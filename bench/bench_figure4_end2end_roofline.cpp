@@ -1,0 +1,77 @@
+// Figure 4 — end-to-end roofline analysis for all models across the seven
+// platforms (per-platform optimal batch/dtype, edge platforms skip the large
+// Transformer/diffusion models).  Prints one series per subplot and renders
+// an SVG chart per platform configuration.
+#include "bench_util.hpp"
+
+using namespace proof;
+
+int main() {
+  bench::banner("Figure 4: End-to-end roofline analysis for models");
+
+  for (const bench::SweepConfig& cfg : bench::figure4_configs()) {
+    const hw::PlatformDesc& platform =
+        hw::PlatformRegistry::instance().get(cfg.platform_id);
+    const std::string label = platform.name + " (" +
+                              std::string(dtype_name(cfg.dtype)) + ", bs=" +
+                              std::to_string(cfg.batch) + ")";
+    std::cout << "--- " << label << " ---\n";
+
+    report::TextTable table({"#", "Model", "Latency (ms)", "AI (FLOP/B)",
+                             "Attained", "of peak", "Bound"});
+    std::vector<roofline::Point> points;
+    roofline::Ceilings ceilings;
+    ceilings.peak_flops = platform.matrix_peak(cfg.dtype);
+    ceilings.peak_bw = platform.dram_bw;
+
+    for (const models::ModelSpec& spec : models::model_zoo()) {
+      const bool transformer = spec.type == "Trans." || spec.type == "MLP";
+      if (transformer && !cfg.run_transformers) {
+        continue;
+      }
+      if (spec.type == "Diffu." && !cfg.run_diffusion) {
+        continue;
+      }
+      ProfileOptions opt;
+      opt.platform_id = cfg.platform_id;
+      opt.dtype = cfg.dtype;  // int8 = fully quantized deployment (fn.1);
+                              // the mixed-precision QDQ flow is exercised by
+                              // analysis/quantize.hpp + the CLI --quantize flag
+      opt.batch = bench::batch_for(cfg, spec.id);
+      opt.mode = MetricMode::kPredicted;
+      ProfileReport r;
+      try {
+        r = Profiler(opt).run_zoo(spec.id);
+      } catch (const ConfigError& e) {
+        // Mirrors the paper's NPU experience: some models fail conversion.
+        table.add_row({std::to_string(spec.table3_index), spec.display,
+                       "conversion failed", "-", "-", "-", "-"});
+        continue;
+      }
+      roofline::Point p = r.roofline.end_to_end;
+      p.name = std::to_string(spec.table3_index);
+      points.push_back(p);
+      table.add_row({std::to_string(spec.table3_index), spec.display,
+                     units::fixed(r.total_latency_s * 1e3, 3),
+                     units::fixed(p.arithmetic_intensity(), 1),
+                     units::tflops(p.attained_flops()),
+                     units::fixed(100.0 * p.attained_flops() / ceilings.peak_flops, 1) +
+                         "%",
+                     ceilings.memory_bound(p) ? "memory" : "compute"});
+    }
+    std::cout << table.to_string() << "\n";
+
+    report::SvgOptions svg_opt;
+    svg_opt.title = "Figure 4: " + label;
+    svg_opt.label_points = true;
+    const std::string path = bench::artifact_dir() + "/figure4_" + cfg.platform_id +
+                             "_" + std::string(dtype_name(cfg.dtype)) + ".svg";
+    report::save_svg(report::render_points_svg(ceilings, points, svg_opt), path);
+    bench::note_artifact(path);
+  }
+  std::cout << "\nExpected shape (paper §4.3): even on A100/RTX4090 few models\n"
+               "exceed half the peak; many sit memory-bound lower-left; Orin is\n"
+               "~2x Xavier; the Pi is capped by its ~5.5 GB/s AXI limit; the NPU\n"
+               "lands far below its 5.7 TFLOP/s theoretical peak.\n";
+  return 0;
+}

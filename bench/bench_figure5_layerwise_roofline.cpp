@@ -1,0 +1,69 @@
+// Figure 5 — layer-wise roofline analysis for ResNet-50, ViT tiny,
+// EfficientNet B4 and EfficientNetV2-T on the A100 (fp16, batch 128).
+//
+// Chart (b) uses the analytical-model metrics, as the paper does after its
+// DLProf dependency crashed; the other three use the counter profiler.
+#include "bench_util.hpp"
+
+using namespace proof;
+
+int main() {
+  bench::banner("Figure 5: Layer-wise roofline analysis on NVIDIA A100");
+
+  struct Panel {
+    const char* tag;
+    const char* model;
+    MetricMode mode;
+  };
+  const Panel panels[] = {
+      {"a", "resnet50", MetricMode::kMeasured},
+      {"b", "vit_tiny", MetricMode::kPredicted},  // *analytical fallback
+      {"c", "efficientnet_b4", MetricMode::kMeasured},
+      {"d", "efficientnetv2_t", MetricMode::kMeasured},
+  };
+
+  for (const Panel& panel : panels) {
+    ProfileOptions opt;
+    opt.platform_id = "a100";
+    opt.dtype = DType::kF16;
+    opt.batch = 128;
+    opt.mode = panel.mode;
+    const ProfileReport r = Profiler(opt).run_zoo(panel.model);
+
+    std::cout << "--- (" << panel.tag << ") " << models::model_spec(panel.model).display
+              << " ---\n";
+    std::cout << summary_text(r) << "\n";
+
+    // Class composition: shares of latency by workload class, the quantity
+    // the paper's colour-coding visualizes (depthwise blue / pointwise green
+    // / other conv red, MatMul green).
+    std::map<OpClass, double> by_class;
+    for (const LayerReport& layer : r.layers) {
+      by_class[layer.cls] += layer.latency_s;
+    }
+    report::TextTable comp({"class", "latency share", "layers"});
+    for (const auto& [cls, t] : by_class) {
+      size_t n = 0;
+      for (const LayerReport& layer : r.layers) {
+        n += layer.cls == cls ? 1 : 0;
+      }
+      comp.add_row({std::string(op_class_name(cls)),
+                    units::fixed(100.0 * t / r.total_latency_s, 1) + "%",
+                    std::to_string(n)});
+    }
+    std::cout << comp.to_string() << "\n";
+
+    report::SvgOptions svg_opt;
+    svg_opt.title = "Figure 5(" + std::string(panel.tag) + "): " +
+                    models::model_spec(panel.model).display + " on A100";
+    const std::string path =
+        bench::artifact_dir() + "/figure5" + panel.tag + "_" + panel.model + ".svg";
+    report::save_svg(report::render_roofline_svg(r.roofline, svg_opt), path);
+    bench::note_artifact(path);
+  }
+  std::cout << "\nExpected shape (paper §4.4): ResNet-50's heavy layers sit at\n"
+               "high AI and FLOP/s; ViT's MatMul layers reach high intensity;\n"
+               "EfficientNet B4's depthwise convolutions drag efficiency down,\n"
+               "which V2-T's fused (regular) convolutions recover.\n";
+  return 0;
+}

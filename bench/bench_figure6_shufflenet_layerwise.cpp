@@ -1,0 +1,95 @@
+// Figure 6 — layer-wise roofline analysis of the original and modified
+// ShuffleNetV2 x1.0 (fp16, batch 2048) with the latency-distribution
+// histograms along both roofline axes.
+#include <array>
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hpp"
+
+using namespace proof;
+
+namespace {
+
+/// Text histogram of latency over log-spaced buckets of `value(point)`.
+void print_histogram(const ProfileReport& r, const char* axis,
+                     double (*value)(const roofline::Point&), double lo, double hi) {
+  constexpr int kBuckets = 8;
+  std::array<double, kBuckets> share{};
+  for (const roofline::Point& p : r.roofline.layers) {
+    const double v = value(p);
+    if (v <= 0.0) {
+      continue;
+    }
+    const double t = (std::log10(v) - std::log10(lo)) /
+                     (std::log10(hi) - std::log10(lo));
+    const int bucket = std::clamp(static_cast<int>(t * kBuckets), 0, kBuckets - 1);
+    share[static_cast<size_t>(bucket)] += p.latency_share;
+  }
+  std::cout << "latency distribution over " << axis << ":\n";
+  for (int i = 0; i < kBuckets; ++i) {
+    const double left = lo * std::pow(hi / lo, static_cast<double>(i) / kBuckets);
+    std::cout << "  >= " << units::fixed(left, 1) << "  ";
+    const int bars = static_cast<int>(share[static_cast<size_t>(i)] * 60.0);
+    for (int b = 0; b < bars; ++b) {
+      std::cout << '#';
+    }
+    std::cout << ' ' << units::fixed(share[static_cast<size_t>(i)] * 100.0, 1)
+              << "%\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 6: Layer-wise roofline, original vs modified ShuffleNetV2 x1.0");
+  const char* panels[][2] = {{"a", "shufflenetv2_10"}, {"b", "shufflenetv2_10_mod"}};
+  for (const auto& [tag, id] : panels) {
+    ProfileOptions opt;
+    opt.platform_id = "a100";
+    opt.dtype = DType::kF16;
+    opt.batch = 2048;
+    opt.mode = MetricMode::kPredicted;  // §4.5 demonstrates prediction mode
+    const ProfileReport r = Profiler(opt).run_zoo(id);
+
+    std::cout << "--- (" << tag << ") " << models::model_spec(id).display << " ---\n";
+    std::cout << summary_text(r) << "\n";
+
+    double transpose_copy = 0.0;
+    double conv = 0.0;
+    for (const LayerReport& layer : r.layers) {
+      if (layer.cls == OpClass::kDataMovement || layer.cls == OpClass::kCopy) {
+        transpose_copy += layer.latency_s;
+      } else if (layer.cls == OpClass::kConv || layer.cls == OpClass::kConvPointwise ||
+                 layer.cls == OpClass::kConvDepthwise) {
+        conv += layer.latency_s;
+      }
+    }
+    std::cout << "conv layers: " << units::fixed(100.0 * conv / r.total_latency_s, 1)
+              << "% of latency, transpose+copy: "
+              << units::fixed(100.0 * transpose_copy / r.total_latency_s, 1)
+              << "%\n\n";
+    print_histogram(
+        r, "arithmetic intensity (FLOP/B)",
+        [](const roofline::Point& p) { return p.arithmetic_intensity(); }, 0.1,
+        1000.0);
+    print_histogram(
+        r, "attained GFLOP/s",
+        [](const roofline::Point& p) { return p.attained_flops() / 1e9; }, 1.0,
+        300000.0);
+    std::cout << "\n";
+
+    report::SvgOptions svg_opt;
+    svg_opt.title = "Figure 6(" + std::string(tag) + "): " +
+                    models::model_spec(id).display + " (fp16, bs 2048)";
+    const std::string path =
+        bench::artifact_dir() + "/figure6" + tag + "_" + id + ".svg";
+    report::save_svg(report::render_roofline_svg(r.roofline, svg_opt), path);
+    bench::note_artifact(path);
+  }
+  std::cout << "Expected shape (paper §4.5): in (a) the Transpose (shuffle) and\n"
+               "data-copy layers take most of the time at low AI; in (b) they\n"
+               "shrink drastically and the conv layers dominate.\n";
+  return 0;
+}

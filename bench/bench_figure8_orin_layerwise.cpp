@@ -1,0 +1,66 @@
+// Figure 8 — layer-wise roofline analysis of EfficientNetV2-T on the Jetson
+// Orin NX at maximum clocks (fp16, batch 128), with the additional bandwidth
+// ceiling lines for the 2133 MHz (62 GB/s) and 665 MHz (15.2 GB/s) memory
+// clocks that drive the §4.6 memory-clock decision.
+#include "bench_util.hpp"
+
+using namespace proof;
+
+int main() {
+  bench::banner("Figure 8: Layer-wise roofline of EfficientNetV2-T on Orin NX");
+
+  ProfileOptions opt;
+  opt.platform_id = "orin_nx16";
+  opt.dtype = DType::kF16;
+  opt.batch = 128;
+  opt.mode = MetricMode::kPredicted;
+  opt.clocks.gpu_mhz = 918;
+  opt.clocks.mem_mhz = 3199;
+  opt.clocks.cpu_cluster_mhz = {729.0, 0.0};
+  ProfileReport r = Profiler(opt).run_zoo("efficientnetv2_t");
+
+  // Achieved-bandwidth ceilings at the selectable memory clocks (Table 6).
+  const auto& orin = hw::PlatformRegistry::instance().get("orin_nx16");
+  const auto bw_at = [&](double mem_mhz) {
+    hw::ClockSetting clocks = opt.clocks;
+    clocks.mem_mhz = mem_mhz;
+    return hw::LatencyModel(hw::PlatformState(orin, clocks)).achieved_bandwidth();
+  };
+  const double bw_2133 = bw_at(2133);
+  const double bw_665 = bw_at(665);
+  r.roofline.ceilings.extra_bw_lines = {
+      {units::gbps(bw_2133) + " (EMC 2133)", bw_2133},
+      {units::gbps(bw_665) + " (EMC 665)", bw_665}};
+
+  std::cout << summary_text(r) << "\n";
+
+  // How much latency sits above each candidate ceiling — the paper's
+  // trade-off argument: layers above the line lose performance when the
+  // memory clock drops to it.
+  double above_2133 = 0.0;
+  double above_665 = 0.0;
+  for (const roofline::Point& p : r.roofline.layers) {
+    if (p.attained_bandwidth() > bw_2133) {
+      above_2133 += p.latency_share;
+    }
+    if (p.attained_bandwidth() > bw_665) {
+      above_665 += p.latency_share;
+    }
+  }
+  std::cout << "latency share attaining > " << units::gbps(bw_2133) << ": "
+            << units::fixed(above_2133 * 100.0, 1)
+            << "%  (layers hurt by dropping EMC to 2133)\n";
+  std::cout << "latency share attaining > " << units::gbps(bw_665) << ": "
+            << units::fixed(above_665 * 100.0, 1)
+            << "%  (layers hurt by dropping EMC to 665)\n";
+  std::cout << "\nExpected shape (paper §4.6): few layers above the 2133 line\n"
+               "(cheap trade) but most layers above the 665 line (ruinous).\n\n";
+  std::cout << layer_table_text(r, 12);
+
+  report::SvgOptions svg_opt;
+  svg_opt.title = "Figure 8: EfficientNetV2-T on Orin NX (fp16, bs 128)";
+  const std::string path = bench::artifact_dir() + "/figure8_orin_layerwise.svg";
+  report::save_svg(report::render_roofline_svg(r.roofline, svg_opt), path);
+  bench::note_artifact(path);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Framework-overhead microbenchmarks (google-benchmark).
+//
+// Supports the paper's §4.2 claim that the analytical path has negligible
+// cost compared to counter profiling: model construction, shape inference,
+// analysis, backend build and layer mapping are all measured here.
+#include <benchmark/benchmark.h>
+
+#include <proof/proof.hpp>
+
+namespace proof {
+namespace {
+
+void BM_BuildResNet50(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::build_model("resnet50"));
+  }
+}
+BENCHMARK(BM_BuildResNet50)->Unit(benchmark::kMillisecond);
+
+void BM_ShapeInference(benchmark::State& state) {
+  Graph g = models::build_model("resnet50");
+  for (auto _ : state) {
+    infer_shapes(g);
+  }
+}
+BENCHMARK(BM_ShapeInference)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeRepresentation(benchmark::State& state) {
+  const Graph g = models::build_model("resnet50");
+  for (auto _ : state) {
+    AnalyzeRepresentation ar(g);
+    benchmark::DoNotOptimize(ar.total_flops());
+  }
+}
+BENCHMARK(BM_AnalyzeRepresentation)->Unit(benchmark::kMillisecond);
+
+void BM_BackendBuild(benchmark::State& state) {
+  const Graph g = models::build_model("resnet50");
+  const auto& a100 = hw::PlatformRegistry::instance().get("a100");
+  backends::BuildConfig config;
+  config.dtype = DType::kF16;
+  config.batch = 128;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backends::BackendRegistry::instance().get("trt_sim").build(g, config, a100));
+  }
+}
+BENCHMARK(BM_BackendBuild)->Unit(benchmark::kMillisecond);
+
+void BM_LayerMapping(benchmark::State& state) {
+  const Graph g = models::build_model("resnet50");
+  const auto& a100 = hw::PlatformRegistry::instance().get("a100");
+  backends::BuildConfig config;
+  config.dtype = DType::kF16;
+  config.batch = 128;
+  const backends::Engine engine =
+      backends::BackendRegistry::instance().get("trt_sim").build(g, config, a100);
+  const AnalyzeRepresentation ar(engine.analysis_graph());
+  for (auto _ : state) {
+    OptimizedAnalyzeRepresentation oar(ar);
+    benchmark::DoNotOptimize(mapping::map_layers(engine, oar));
+  }
+}
+BENCHMARK(BM_LayerMapping)->Unit(benchmark::kMillisecond);
+
+void BM_FullPredictedProfile(benchmark::State& state) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = 128;
+  opt.mode = MetricMode::kPredicted;
+  const Profiler profiler(opt);
+  const Graph g = models::build_model("resnet50");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.run(g));
+  }
+}
+BENCHMARK(BM_FullPredictedProfile)->Unit(benchmark::kMillisecond);
+
+void BM_FullProfileLargeModel(benchmark::State& state) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = 4;
+  opt.mode = MetricMode::kPredicted;
+  const Profiler profiler(opt);
+  const Graph g = models::build_model("sd_unet");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.run(g));
+  }
+}
+BENCHMARK(BM_FullProfileLargeModel)->Unit(benchmark::kMillisecond);
+
+void BM_SubgraphByIo(benchmark::State& state) {
+  const Graph g = models::build_model("vit_tiny");
+  const auto order = g.topo_order();
+  const Graph::Boundary b = g.boundary(order);
+  std::vector<std::string> outs;
+  for (const std::string& o : g.outputs()) {
+    outs.push_back(o);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.subgraph_by_io(b.inputs, outs));
+  }
+}
+BENCHMARK(BM_SubgraphByIo)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace proof
+
+BENCHMARK_MAIN();

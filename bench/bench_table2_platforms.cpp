@@ -1,0 +1,23 @@
+// Table 2 — hardware platforms for evaluation: descriptor inventory plus the
+// theoretical rooflines the later figures use as ceilings.
+#include "bench_util.hpp"
+
+using namespace proof;
+
+int main() {
+  bench::banner("Table 2: Hardware for evaluation (simulated platforms)");
+  report::TextTable table({"Hardware", "Scenario", "Runtime", "Peak fp16",
+                           "Peak int8", "DRAM BW", "Counter tool"});
+  for (const std::string& id : hw::paper_platform_ids()) {
+    const hw::PlatformDesc& p = hw::PlatformRegistry::instance().get(id);
+    const auto peak = [&](DType d) {
+      return p.supports(d) ? units::tflops(p.matrix_peak(d)) : std::string("-");
+    };
+    table.add_row({p.name, p.scenario,
+                   backends::BackendRegistry::instance().get(p.runtime).name(),
+                   peak(DType::kF16), peak(DType::kI8), units::gbps(p.dram_bw),
+                   p.has_counter_profiler ? "yes (NCU-sim)" : "no"});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 3 — models for evaluation: ONNX-node count, parameters and
+// theoretical GFLOP at bs=1 from PRoof's analytical model, side by side with
+// the paper's published values.
+#include "bench_util.hpp"
+
+using namespace proof;
+
+namespace {
+
+struct PaperRow {
+  double params_m;
+  double gflop;
+};
+
+// Table 3 columns from the paper (params in M, GFLOP at bs=1).
+PaperRow paper_row(int index) {
+  static const PaperRow kRows[] = {
+      {67.0, 48.718},  {859.5, 4747.726}, {5.3, 0.851},   {19.3, 3.209},
+      {13.6, 3.939},   {23.9, 6.030},     {59.9, 25.403}, {2.0, 0.205},
+      {3.5, 0.621},    {21.8, 7.338},     {25.5, 8.207},  {1.4, 0.084},
+      {2.3, 0.294},    {2.8, 0.434},      {28.8, 9.133},  {50.5, 17.723},
+      {88.9, 31.183},  {5.7, 2.558},      {22.1, 9.298},  {86.6, 35.329}};
+  return kRows[index - 1];
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 3: Models for evaluation (analytical model, bs=1)");
+  report::TextTable table({"#", "Model name", "Type", "Nodes", "Params (M)",
+                           "GFLOP", "paper Params", "paper GFLOP"});
+  report::CsvWriter csv({"index", "model", "type", "nodes", "params_m", "gflop",
+                         "paper_params_m", "paper_gflop"});
+  for (const models::ModelSpec& spec : models::model_zoo()) {
+    const AnalyzeRepresentation ar(spec.build());
+    const PaperRow paper = paper_row(spec.table3_index);
+    const double params_m = static_cast<double>(ar.param_count()) / 1e6;
+    const double gflop = ar.total_flops() / 1e9;
+    table.add_row({std::to_string(spec.table3_index), spec.display, spec.type,
+                   std::to_string(ar.num_nodes()), units::fixed(params_m, 1),
+                   units::fixed(gflop, 3), units::fixed(paper.params_m, 1),
+                   units::fixed(paper.gflop, 3)});
+    csv.add_row({std::to_string(spec.table3_index), spec.id, spec.type,
+                 std::to_string(ar.num_nodes()), units::fixed(params_m, 3),
+                 units::fixed(gflop, 3), units::fixed(paper.params_m, 1),
+                 units::fixed(paper.gflop, 3)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nNote: node counts differ from the paper where PyTorch's ONNX\n"
+               "export ceremony (Shape/Constant/Gather chains) adds bookkeeping\n"
+               "nodes; params and GFLOP are the comparable columns.\n";
+  const std::string path = bench::artifact_dir() + "/table3_models.csv";
+  csv.save(path);
+  bench::note_artifact(path);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 4 — accuracy of the FLOP / memory-access prediction as the
+// alternative to counter-based measurement (paper §4.2).
+//
+// Five representative models on the (simulated) A100, fp16, batch 128.
+// "Analytical" = PRoof's prediction (Model FLOP, Equation-1 memory with
+// fusion elision).  "NCU" = the simulated counter profiler (Hardware FLOP
+// after the per-architecture HMMA correction, measured DRAM traffic,
+// per-kernel replay overhead).
+#include "bench_util.hpp"
+
+using namespace proof;
+
+int main() {
+  bench::banner("Table 4: Accuracy of FLOP and Memory access prediction");
+  report::TextTable table({"Model name", "Latency (ms)", "Nodes", "GFLOP (pred)",
+                           "Memory MB (pred)", "GFLOP (NCU)", "Memory MB (NCU)",
+                           "Prof. time (s)", "FLOP diff", "Memory diff"});
+  report::CsvWriter csv({"model", "latency_ms", "nodes", "gflop_pred", "mem_mb_pred",
+                         "gflop_ncu", "mem_mb_ncu", "prof_time_s", "flop_diff",
+                         "mem_diff"});
+
+  const std::vector<std::string> model_ids = {
+      "efficientnetv2_s", "mobilenetv2_10", "resnet50", "swin_small", "vit_tiny"};
+
+  for (const std::string& id : model_ids) {
+    ProfileOptions opt;
+    opt.platform_id = "a100";
+    opt.dtype = DType::kF16;
+    opt.batch = 128;
+
+    opt.mode = MetricMode::kPredicted;
+    const ProfileReport pred = Profiler(opt).run_zoo(id);
+    opt.mode = MetricMode::kMeasured;
+    const ProfileReport meas = Profiler(opt).run_zoo(id);
+
+    const size_t nodes = models::build_model(id).num_nodes();
+    const double gflop_p = pred.roofline.end_to_end.flops / 1e9;
+    const double gflop_m = meas.roofline.end_to_end.flops / 1e9;
+    const double mem_p = pred.roofline.end_to_end.bytes / 1e6;
+    const double mem_m = meas.roofline.end_to_end.bytes / 1e6;
+
+    table.add_row({models::model_spec(id).display,
+                   units::fixed(pred.total_latency_s * 1e3, 3),
+                   std::to_string(nodes), units::fixed(gflop_p, 3),
+                   units::fixed(mem_p, 3), units::fixed(gflop_m, 3),
+                   units::fixed(mem_m, 3),
+                   units::fixed(meas.counter_profiling_time_s, 0),
+                   units::percent((gflop_p - gflop_m) / gflop_m),
+                   units::percent((mem_p - mem_m) / mem_m)});
+    csv.add_row({id, units::fixed(pred.total_latency_s * 1e3, 3),
+                 std::to_string(nodes), units::fixed(gflop_p, 3),
+                 units::fixed(mem_p, 3), units::fixed(gflop_m, 3),
+                 units::fixed(mem_m, 3),
+                 units::fixed(meas.counter_profiling_time_s, 0),
+                 units::percent((gflop_p - gflop_m) / gflop_m),
+                 units::percent((mem_p - mem_m) / mem_m)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nPaper reference (diff from NCU): EfficientNetV2-S -19.82%/-1.28%,\n"
+               "MobileNetV2 -23.96%/+1.35%, ResNet-50 -2.03%/-1.37%, Swin small\n"
+               "-6.03%/-8.06%, ViT tiny +9.79%/+6.08%; the analytical model costs\n"
+               "seconds while counter profiling costs minutes (Prof. time column).\n";
+  const std::string path = bench::artifact_dir() + "/table4_prediction_accuracy.csv";
+  csv.save(path);
+  bench::note_artifact(path);
+  return 0;
+}

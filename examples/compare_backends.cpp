@@ -1,0 +1,70 @@
+// Backend comparison: build one model on all three simulated runtimes and
+// inspect how differently they fuse — and how the layer-mapping ladder
+// recovers the model-design correspondence in each information regime.
+#include <iostream>
+
+#include <proof/proof.hpp>
+
+using namespace proof;
+
+int main(int argc, char** argv) {
+  const std::string model_id = argc > 1 ? argv[1] : "resnet50";
+  const Graph model = models::build_model(model_id);
+  const auto& a100 = hw::PlatformRegistry::instance().get("a100");
+
+  backends::BuildConfig config;
+  config.dtype = DType::kF16;
+  config.batch = 32;
+
+  std::cout << "model: " << model_id << " (" << model.num_nodes()
+            << " design nodes)\n\n";
+  report::TextTable table({"backend", "backend layers", "fused groups",
+                           "opaque regions", "reorders", "mapping methods",
+                           "coverage", "latency (A100)"});
+  for (const char* backend_id : {"trt_sim", "ov_sim", "ort_sim"}) {
+    const backends::Backend& backend =
+        backends::BackendRegistry::instance().get(backend_id);
+    const backends::Engine engine = backend.build(model, config, a100);
+
+    size_t fused = 0;
+    size_t opaque = 0;
+    size_t reorders = 0;
+    for (const backends::BackendLayer& layer : engine.layers()) {
+      fused += layer.truth_nodes.size() > 1 ? 1 : 0;
+      opaque += layer.is_opaque ? 1 : 0;
+      reorders += layer.is_reorder ? 1 : 0;
+    }
+
+    const AnalyzeRepresentation ar(engine.analysis_graph());
+    OptimizedAnalyzeRepresentation oar(ar);
+    const mapping::LayerMapping map = mapping::map_layers(engine, oar);
+    std::string methods;
+    for (const auto method :
+         {mapping::MapMethod::kExactName, mapping::MapMethod::kNameList,
+          mapping::MapMethod::kIoSearch, mapping::MapMethod::kDependencyInference}) {
+      const size_t n = map.count(method);
+      if (n > 0) {
+        if (!methods.empty()) {
+          methods += ", ";
+        }
+        methods += std::string(mapping::map_method_name(method)) + ":" +
+                   std::to_string(n);
+      }
+    }
+
+    const backends::EngineProfile profile =
+        engine.profile(hw::PlatformState(a100));
+    table.add_row({backend.name(), std::to_string(engine.layers().size()),
+                   std::to_string(fused), std::to_string(opaque),
+                   std::to_string(reorders), methods,
+                   units::fixed(100.0 * map.node_coverage(ar.num_nodes()), 1) + "%",
+                   units::ms(profile.total_latency_s)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nSame model, three optimization/fusion regimes: TensorRT-sim\n"
+               "fuses aggressively and hides transformer regions behind opaque\n"
+               "names (mapped by I/O search); OpenVINO-sim exposes fused-name\n"
+               "metadata; ONNXRuntime-sim fuses conservatively, renames fused\n"
+               "ops and inserts layout reorder layers (Figure 2).\n";
+  return 0;
+}

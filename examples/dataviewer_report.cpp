@@ -1,0 +1,46 @@
+// Dataviewer dashboard: profile several models on one platform and emit a
+// single self-contained HTML page (the paper's "PRoof dataviewer" output),
+// plus the machine-readable JSON and a Chrome-trace timeline per model.
+#include <iostream>
+
+#include <proof/proof.hpp>
+
+using namespace proof;
+
+int main(int argc, char** argv) {
+  const std::string platform = argc > 1 ? argv[1] : "a100";
+  const std::vector<std::string> model_ids =
+      argc > 2 ? std::vector<std::string>(argv + 2, argv + argc)
+               : std::vector<std::string>{"resnet50", "vit_tiny",
+                                          "shufflenetv2_10", "efficientnetv2_t"};
+
+  const auto& desc = hw::PlatformRegistry::instance().get(platform);
+  ProfileOptions opt;
+  opt.platform_id = platform;
+  opt.dtype = desc.supports(DType::kF16) ? DType::kF16 : DType::kF32;
+  opt.batch = 32;
+  opt.mode = MetricMode::kAuto;
+
+  std::vector<ProfileReport> reports;
+  reports.reserve(model_ids.size());
+  for (const std::string& id : model_ids) {
+    reports.push_back(Profiler(opt).run_zoo(id));
+    const ProfileReport& r = reports.back();
+    std::cout << id << ": " << units::ms(r.total_latency_s) << ", "
+              << units::tflops(r.roofline.end_to_end.attained_flops()) << "\n";
+    save_json(report_to_json(r), id + "_" + platform + ".json");
+    save_chrome_trace(report_to_chrome_trace(r), id + "_" + platform + "_trace.json");
+  }
+
+  std::vector<report::HtmlSection> sections;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    sections.push_back({model_ids[i] + " — " + desc.name, &reports[i]});
+  }
+  const std::string path = "dataviewer_" + platform + ".html";
+  report::save_html(
+      report::render_html_report("PRoof dataviewer — " + desc.name, sections),
+      path);
+  std::cout << "\nwrote " << path << " (open in a browser), per-model JSON and\n"
+            << "Chrome traces (chrome://tracing) alongside it.\n";
+  return 0;
+}

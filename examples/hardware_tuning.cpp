@@ -1,0 +1,112 @@
+// Hardware tuning walkthrough (paper §4.6): maximize EfficientNetV2-T
+// throughput on a Jetson Orin NX within a 15 W power budget by choosing
+// clock speeds with roofline guidance.
+//
+// Procedure:
+//   1. establish the achieved roofline at candidate clocks (peak probe);
+//   2. layer-wise analysis at max clocks, with the candidate memory-clock
+//      bandwidth ceilings drawn in, to pick the memory clock;
+//   3. binary-search the GPU clock just under the budget.
+#include <iostream>
+
+#include <proof/proof.hpp>
+
+using namespace proof;
+
+namespace {
+
+constexpr double kBudgetW = 15.0;
+
+hw::ClockSetting clocks(double gpu, double mem) {
+  hw::ClockSetting c;
+  c.gpu_mhz = gpu;
+  c.mem_mhz = mem;
+  c.cpu_cluster_mhz = {729.0, 0.0};  // CPU is not the bottleneck: one slow cluster
+  return c;
+}
+
+ProfileReport run_workload(double gpu, double mem) {
+  ProfileOptions opt;
+  opt.platform_id = "orin_nx16";
+  opt.dtype = DType::kF16;
+  opt.batch = 128;
+  opt.mode = MetricMode::kPredicted;
+  opt.clocks = clocks(gpu, mem);
+  return Profiler(opt).run_zoo("efficientnetv2_t");
+}
+
+}  // namespace
+
+int main() {
+  const auto& orin = hw::PlatformRegistry::instance().get("orin_nx16");
+
+  std::cout << "Step 1: achieved roofline peaks at candidate clocks\n\n";
+  backends::BuildConfig probe_cfg;
+  probe_cfg.dtype = DType::kF16;
+  const backends::Engine probe =
+      backends::BackendRegistry::instance().get("trt_sim").build(
+          models::build_peak_probe(), probe_cfg, orin);
+  report::TextTable peaks_table({"GPU MHz", "EMC MHz", "achieved FLOP/s",
+                                 "achieved BW", "power (full load)"});
+  for (const auto& [gpu, mem] : std::vector<std::pair<double, double>>{
+           {918, 3199}, {918, 2133}, {510, 3199}, {510, 665}}) {
+    const hw::PlatformState state(orin, clocks(gpu, mem));
+    const auto p = roofline::achieved_peaks(probe, state);
+    peaks_table.add_row({units::fixed(gpu, 0), units::fixed(mem, 0),
+                         units::tflops(p.flops), units::gbps(p.bw),
+                         units::fixed(hw::PowerModel(state).power_w({1, 1}), 1) +
+                             " W"});
+  }
+  std::cout << peaks_table.to_string() << "\n";
+
+  std::cout << "Step 2: layer-wise roofline at max clocks with EMC ceilings\n\n";
+  ProfileReport full = run_workload(918, 3199);
+  const double bw_2133 =
+      hw::LatencyModel(hw::PlatformState(orin, clocks(918, 2133)))
+          .achieved_bandwidth();
+  const double bw_665 =
+      hw::LatencyModel(hw::PlatformState(orin, clocks(918, 665)))
+          .achieved_bandwidth();
+  double share_above_2133 = 0.0;
+  double share_above_665 = 0.0;
+  for (const roofline::Point& p : full.roofline.layers) {
+    share_above_2133 += p.attained_bandwidth() > bw_2133 ? p.latency_share : 0.0;
+    share_above_665 += p.attained_bandwidth() > bw_665 ? p.latency_share : 0.0;
+  }
+  std::cout << "latency share needing more BW than EMC 2133 provides: "
+            << units::fixed(share_above_2133 * 100, 1) << "%\n";
+  std::cout << "latency share needing more BW than EMC  665 provides: "
+            << units::fixed(share_above_665 * 100, 1) << "%\n";
+  std::cout << "-> dropping EMC to 2133 MHz is a cheap power win; 665 MHz would\n"
+               "   throttle most of the model.  Select EMC = 2133 MHz.\n\n";
+
+  std::cout << "Step 3: binary-search the GPU clock under " << kBudgetW << " W\n\n";
+  const auto& steps = orin.gpu_clock.available_mhz;
+  size_t lo = 0;
+  size_t hi = steps.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    const ProfileReport r = run_workload(steps[mid], 2133);
+    std::cout << "  GPU " << units::fixed(steps[mid], 0) << " MHz: "
+              << units::fixed(r.power_w, 1) << " W, "
+              << units::ms(r.total_latency_s) << "\n";
+    if (r.power_w <= kBudgetW) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const ProfileReport tuned = run_workload(steps[lo], 2133);
+  const ProfileReport stock = run_workload(408, 3199);  // stock "25W"-style profile
+  std::cout << "\nSelected: GPU " << units::fixed(steps[lo], 0)
+            << " MHz / EMC 2133 MHz -> " << units::ms(tuned.total_latency_s)
+            << " at " << units::fixed(tuned.power_w, 1) << " W\n";
+  std::cout << "Stock-style alternative (GPU 408 / EMC 3199): "
+            << units::ms(stock.total_latency_s) << " at "
+            << units::fixed(stock.power_w, 1) << " W\n";
+  std::cout << "Tuned profile is " << units::fixed(stock.total_latency_s /
+                                                       tuned.total_latency_s,
+                                                   2)
+            << "x faster within the same budget (paper: 320.1 ms @ 14.7 W).\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Model-design optimization walkthrough (paper §4.5).
+//
+// Uses PRoof the way a model designer would: profile ShuffleNetV2 x1.0 on a
+// data-center GPU, notice the end-to-end FLOP/s is nowhere near the peak,
+// drill into the layer-wise roofline to find that the Shuffle operation's
+// Transpose / data-copy layers dominate latency, and verify that the
+// modified architecture (full-channel pointwise convs + explicit residual,
+// no Shuffle) trades extra FLOP for a large real-world speedup.
+#include <iostream>
+#include <map>
+
+#include <proof/proof.hpp>
+
+using namespace proof;
+
+namespace {
+
+ProfileReport profile(const std::string& model, int64_t batch) {
+  ProfileOptions options;
+  options.platform_id = "a100";
+  options.dtype = DType::kF16;
+  options.batch = batch;
+  options.mode = MetricMode::kPredicted;  // prediction mode, as in the paper
+  return Profiler(options).run_zoo(model);
+}
+
+void dissect(const ProfileReport& r) {
+  std::map<OpClass, double> latency_by_class;
+  for (const LayerReport& layer : r.layers) {
+    latency_by_class[layer.cls] += layer.latency_s;
+  }
+  report::TextTable table({"workload class", "latency", "share"});
+  for (const auto& [cls, t] : latency_by_class) {
+    table.add_row({std::string(op_class_name(cls)), units::ms(t),
+                   units::fixed(100.0 * t / r.total_latency_s, 1) + "%"});
+  }
+  std::cout << table.to_string();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Step 1: end-to-end profile of ShuffleNetV2 x1.0 (fp16, bs 2048)\n\n";
+  const ProfileReport original = profile("shufflenetv2_10", 2048);
+  std::cout << summary_text(original) << "\n";
+  std::cout << "The model attains "
+            << units::tflops(original.roofline.end_to_end.attained_flops())
+            << " of the A100's "
+            << units::tflops(original.roofline.ceilings.peak_flops)
+            << " theoretical peak — time to look layer-wise.\n\n";
+
+  std::cout << "Step 2: where does the time go?\n\n";
+  dissect(original);
+  std::cout << "\nThe Transpose (channel shuffle) and data-copy layers are "
+               "memory-bound\nand contribute the majority of the latency while "
+               "performing zero FLOP.\n\n";
+
+  std::cout << "Step 3: the slowest non-conv layers and their model-design "
+               "origins\n\n";
+  std::vector<const LayerReport*> movers;
+  for (const LayerReport& layer : original.layers) {
+    if (layer.cls == OpClass::kDataMovement || layer.cls == OpClass::kCopy) {
+      movers.push_back(&layer);
+    }
+  }
+  std::sort(movers.begin(), movers.end(), [](const auto* a, const auto* b) {
+    return a->latency_s > b->latency_s;
+  });
+  for (size_t i = 0; i < std::min<size_t>(5, movers.size()); ++i) {
+    std::cout << "  " << movers[i]->backend_layer << "  ("
+              << units::ms(movers[i]->latency_s) << ", maps to "
+              << movers[i]->model_nodes.size()
+              << " model node(s) via "
+              << mapping::map_method_name(movers[i]->method) << ")\n";
+  }
+
+  std::cout << "\nStep 4: profile the modified architecture (Figure 7: no "
+               "Shuffle,\nfull-channel pointwise convs, explicit residual "
+               "Add)\n\n";
+  const ProfileReport modified = profile("shufflenetv2_10_mod", 2048);
+  std::cout << summary_text(modified) << "\n";
+  dissect(modified);
+
+  const double speedup = original.total_latency_s / modified.total_latency_s;
+  std::cout << "\nResult: " << units::fixed(modified.roofline.end_to_end.flops /
+                                                original.roofline.end_to_end.flops,
+                                            2)
+            << "x the FLOP but " << units::fixed(speedup, 2)
+            << "x the throughput (" << units::fixed(original.throughput_per_s(), 0)
+            << " -> " << units::fixed(modified.throughput_per_s(), 0)
+            << " images/s) — the FLOP-for-bandwidth trade §4.5 describes.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Quickstart: profile a zoo model on a simulated platform and read the
+// end-to-end + layer-wise roofline report.
+//
+//   ./quickstart [model] [platform] [batch]
+//   ./quickstart resnet50 a100 128
+#include <iostream>
+
+#include <proof/proof.hpp>
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "resnet50";
+  const std::string platform = argc > 2 ? argv[2] : "a100";
+  const int64_t batch = argc > 3 ? proof::strings::parse_int(argv[3]) : 128;
+
+  proof::ProfileOptions options;
+  options.platform_id = platform;
+  // Pick a dtype the platform supports (fp16 where available, else fp32).
+  const auto& desc = proof::hw::PlatformRegistry::instance().get(platform);
+  options.dtype =
+      desc.supports(proof::DType::kF16) ? proof::DType::kF16 : proof::DType::kF32;
+  options.batch = batch;
+  // kAuto uses the hardware-counter profiler where the platform has one
+  // (data-center / desktop GPUs) and the analytical model everywhere else.
+  options.mode = proof::MetricMode::kAuto;
+
+  proof::Profiler profiler(options);
+  const proof::ProfileReport report = profiler.run_zoo(model);
+
+  std::cout << proof::summary_text(report) << "\n";
+  std::cout << proof::layer_table_text(report, 15);
+  if (report.layers.size() > 15) {
+    std::cout << "... (" << report.layers.size() - 15 << " more layers)\n";
+  }
+
+  proof::report::SvgOptions svg;
+  svg.title = model + " on " + desc.name;
+  const std::string path = model + "_" + platform + "_roofline.svg";
+  proof::report::save_svg(proof::report::render_roofline_svg(report.roofline, svg),
+                          path);
+  std::cout << "\nroofline chart written to " << path << "\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// PRoof public API façade.
+//
+// A C++20 reproduction of "PRoof: A Comprehensive Hierarchical Profiling
+// Framework for Deep Neural Networks with Roofline Analysis" (ICPP 2024).
+//
+// Quickstart:
+//
+//   #include <proof/proof.hpp>
+//
+//   proof::ProfileOptions opt;
+//   opt.platform_id = "a100";
+//   opt.dtype = proof::DType::kF16;
+//   opt.batch = 128;
+//   proof::Profiler profiler(opt);
+//   proof::ProfileReport report = profiler.run_zoo("resnet50");
+//   std::cout << proof::summary_text(report);
+//   std::cout << proof::layer_table_text(report);
+//
+// Layers of the API (all usable directly):
+//   * graph/ops/analysis  — model IR, operator defines, analytical model
+//   * models              — the 20-model evaluation zoo + peak probe
+//   * backends            — simulated TensorRT / OpenVINO / ONNX Runtime
+//   * mapping             — backend-layer -> model-layer reconstruction
+//   * hw                  — platform descriptors, latency/power simulation,
+//                           NCU-like counter profiling
+//   * roofline / report   — roofline math, tables, CSV, SVG charts
+//   * core                — the Profiler orchestrator tying it together
+#pragma once
+
+#include "analysis/analyze_representation.hpp"
+#include "analysis/memory_footprint.hpp"
+#include "analysis/optimized_representation.hpp"
+#include "analysis/quantize.hpp"
+#include "analysis/shape_inference.hpp"
+#include "backends/backend.hpp"
+#include "core/profiler.hpp"
+#include "core/chrome_trace.hpp"
+#include "core/compare.hpp"
+#include "core/html_report.hpp"
+#include "core/report_json.hpp"
+#include "core/report_text.hpp"
+#include "core/sweep.hpp"
+#include "distributed/parallel.hpp"
+#include "graph/graph.hpp"
+#include "graph/serialize.hpp"
+#include "hw/counters.hpp"
+#include "hw/latency_model.hpp"
+#include "hw/platform.hpp"
+#include "hw/power.hpp"
+#include "mapping/layer_mapping.hpp"
+#include "mapping/stack_mapping.hpp"
+#include "models/builder.hpp"
+#include "models/summary.hpp"
+#include "models/zoo.hpp"
+#include "ops/op_def.hpp"
+#include "report/csv.hpp"
+#include "report/svg_roofline.hpp"
+#include "report/table.hpp"
+#include "roofline/peak_test.hpp"
+#include "roofline/roofline.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/units.hpp"

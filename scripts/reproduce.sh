@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every table/figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo
+echo "=== regenerating all tables and figures (artifacts -> proof_artifacts/) ==="
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done
+
+echo
+echo "=== examples ==="
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] && "$e"
+done

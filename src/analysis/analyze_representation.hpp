@@ -1,0 +1,51 @@
+// Analyze Representation (paper §3.2.2).
+//
+// Wraps a model graph with per-node FLOP / memory-access predictions from the
+// operator defines, plus whole-model aggregates.  This is the backend-
+// independent half of PRoof's analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ops/op_def.hpp"
+
+namespace proof {
+
+/// Predicted performance-relevant quantities of one model node.
+struct NodeAnalysis {
+  std::string name;
+  std::string op_type;
+  double flops = 0.0;
+  MemoryEstimate memory;
+  OpClass op_class = OpClass::kElementwise;
+};
+
+class AnalyzeRepresentation {
+ public:
+  /// Takes a copy of the model, runs validation + shape inference, and
+  /// precomputes the per-node analyses.
+  explicit AnalyzeRepresentation(Graph graph);
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] Graph& mutable_graph() { return graph_; }
+
+  /// Re-runs the per-node analysis (after batch/dtype changes).
+  void refresh();
+
+  [[nodiscard]] const NodeAnalysis& analysis(NodeId id) const;
+  [[nodiscard]] const std::vector<NodeAnalysis>& analyses() const { return analyses_; }
+
+  [[nodiscard]] double total_flops() const;
+  [[nodiscard]] MemoryEstimate total_memory() const;
+  [[nodiscard]] int64_t param_count() const { return graph_.param_count(); }
+  [[nodiscard]] int64_t param_bytes() const { return graph_.param_bytes(); }
+  [[nodiscard]] size_t num_nodes() const { return graph_.num_nodes(); }
+
+ private:
+  Graph graph_;
+  std::vector<NodeAnalysis> analyses_;
+};
+
+}  // namespace proof

@@ -1,0 +1,106 @@
+#include "analysis/memory_footprint.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace proof {
+
+MemoryFootprint memory_footprint(const Graph& graph) {
+  MemoryFootprint fp;
+  fp.weight_bytes = graph.param_bytes();
+  for (const std::string& name : graph.inputs()) {
+    fp.io_bytes += graph.tensor(name).size_bytes();
+  }
+  for (const std::string& name : graph.outputs()) {
+    fp.io_bytes += graph.tensor(name).size_bytes();
+  }
+
+  // Liveness: a tensor is live from its producer until its last consumer.
+  // View-op outputs alias their input's storage: charge zero for the view
+  // output but extend the aliased tensor's lifetime.
+  const auto is_view = [](const std::string& op_type) {
+    static const std::set<std::string> kViews = {"Reshape", "Flatten", "Squeeze",
+                                                 "Unsqueeze", "Identity"};
+    return kViews.count(op_type) > 0;
+  };
+
+  const std::vector<NodeId> order = graph.topo_order();
+  std::map<std::string, size_t> last_use;  // storage tensor -> topo position
+  std::map<std::string, std::string> storage_of;  // tensor -> owning storage
+
+  const auto resolve_storage = [&](const std::string& tensor) -> std::string {
+    std::string current = tensor;
+    auto it = storage_of.find(current);
+    while (it != storage_of.end() && it->second != current) {
+      current = it->second;
+      it = storage_of.find(current);
+    }
+    return current;
+  };
+
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const Node& node = graph.node(order[pos]);
+    const bool view = is_view(node.op_type);
+    for (const std::string& in : node.inputs) {
+      if (graph.has_tensor(in) && graph.tensor(in).is_param) {
+        continue;
+      }
+      last_use[resolve_storage(in)] = pos;
+    }
+    for (const std::string& out : node.outputs) {
+      if (view && !node.inputs.empty()) {
+        storage_of[out] = resolve_storage(node.inputs.front());
+      } else {
+        storage_of[out] = out;
+        last_use[out] = pos;  // at least live through its own production
+      }
+    }
+  }
+  // Graph outputs stay live to the end.
+  for (const std::string& out : graph.outputs()) {
+    last_use[resolve_storage(out)] = order.size();
+  }
+
+  // Sweep: track the live set size at each step.
+  std::map<std::string, int64_t> live;  // storage -> bytes
+  int64_t live_bytes = 0;
+  // Graph inputs are live from the start.
+  for (const std::string& in : graph.inputs()) {
+    const std::string storage = resolve_storage(in);
+    live[storage] = graph.tensor(in).size_bytes();
+    live_bytes += live[storage];
+  }
+  fp.peak_activation_bytes = live_bytes;
+
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const Node& node = graph.node(order[pos]);
+    // Allocate outputs (views are free).
+    for (const std::string& out : node.outputs) {
+      const std::string storage = resolve_storage(out);
+      if (live.count(storage) == 0) {
+        const int64_t bytes = graph.tensor(storage).size_bytes();
+        live[storage] = bytes;
+        live_bytes += bytes;
+      }
+    }
+    if (live_bytes > fp.peak_activation_bytes) {
+      fp.peak_activation_bytes = live_bytes;
+      fp.peak_at_node = node.name;
+    }
+    // Free tensors whose last use is this step.
+    for (auto it = live.begin(); it != live.end();) {
+      const auto lu = last_use.find(it->first);
+      if (lu != last_use.end() && lu->second == pos) {
+        live_bytes -= it->second;
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return fp;
+}
+
+}  // namespace proof

@@ -1,0 +1,32 @@
+// Device memory footprint analysis.
+//
+// Complements the DRAM-traffic model (Equation 1) with a *capacity* view:
+// how much device memory an inference needs — weights plus the peak of live
+// activation tensors under topological execution order with exact liveness.
+// Runtimes allocate close to this bound with memory pooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace proof {
+
+struct MemoryFootprint {
+  int64_t weight_bytes = 0;          ///< all parameter tensors
+  int64_t peak_activation_bytes = 0; ///< max live activation set
+  int64_t io_bytes = 0;              ///< graph inputs + outputs
+  /// Node (by name) at which the activation peak occurs.
+  std::string peak_at_node;
+
+  [[nodiscard]] int64_t total_bytes() const {
+    return weight_bytes + peak_activation_bytes;
+  }
+};
+
+/// Computes the footprint of a shape-inferred graph.  View ops (Reshape,
+/// Flatten, ...) alias their input and do not add to the live set.
+[[nodiscard]] MemoryFootprint memory_footprint(const Graph& graph);
+
+}  // namespace proof

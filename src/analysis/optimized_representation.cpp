@@ -1,0 +1,183 @@
+#include "analysis/optimized_representation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace proof {
+
+OptimizedAnalyzeRepresentation::OptimizedAnalyzeRepresentation(
+    const AnalyzeRepresentation& base)
+    : base_(&base), owner_(base.graph().num_nodes(), -1) {}
+
+void OptimizedAnalyzeRepresentation::set_tensor_alias(const std::string& tensor,
+                                                      const std::string& alias) {
+  PROOF_CHECK(alias != tensor, "alias equals tensor name '" << tensor << "'");
+  alias_to_canonical_[alias] = resolve(tensor);
+}
+
+std::string OptimizedAnalyzeRepresentation::resolve(const std::string& name) const {
+  std::string current = name;
+  // Aliases are stored pre-resolved, so a single hop suffices; loop guards
+  // against direct map edits in future code.
+  for (int hops = 0; hops < 8; ++hops) {
+    const auto it = alias_to_canonical_.find(current);
+    if (it == alias_to_canonical_.end()) {
+      return current;
+    }
+    current = it->second;
+  }
+  PROOF_FAIL("alias cycle at '" << name << "'");
+}
+
+std::optional<std::vector<NodeId>>
+OptimizedAnalyzeRepresentation::get_subgraph_ops_by_io(
+    const std::vector<std::string>& inputs,
+    const std::vector<std::string>& outputs) const {
+  std::vector<std::string> in_resolved;
+  in_resolved.reserve(inputs.size());
+  for (const std::string& n : inputs) {
+    in_resolved.push_back(resolve(n));
+  }
+  std::vector<std::string> out_resolved;
+  out_resolved.reserve(outputs.size());
+  for (const std::string& n : outputs) {
+    out_resolved.push_back(resolve(n));
+  }
+  auto result = base_->graph().subgraph_by_io(in_resolved, out_resolved);
+  if (!result.has_value()) {
+    return std::nullopt;
+  }
+  for (const NodeId id : *result) {
+    if (is_fused(id)) {
+      return std::nullopt;  // member already claimed by another backend layer
+    }
+  }
+  return result;
+}
+
+FusedOpId OptimizedAnalyzeRepresentation::set_fused_op(
+    const std::string& name, const std::vector<NodeId>& members) {
+  PROOF_CHECK(!members.empty(), "fused op '" << name << "' has no members");
+  for (const NodeId id : members) {
+    PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < owner_.size(),
+                "bad node id " << id);
+    PROOF_CHECK(owner_[static_cast<size_t>(id)] < 0,
+                "node '" << base_->graph().node(id).name
+                         << "' already fused into group "
+                         << owner_[static_cast<size_t>(id)]);
+  }
+  const FusedOpId gid = static_cast<FusedOpId>(groups_.size());
+  groups_.push_back(FusedGroup{name, members});
+  for (const NodeId id : members) {
+    owner_[static_cast<size_t>(id)] = gid;
+  }
+  return gid;
+}
+
+bool OptimizedAnalyzeRepresentation::is_fused(NodeId id) const {
+  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < owner_.size(), "bad node id " << id);
+  return owner_[static_cast<size_t>(id)] >= 0;
+}
+
+MemoryEstimate OptimizedAnalyzeRepresentation::fused_memory(
+    const std::vector<NodeId>& members) const {
+  if (members.size() == 1) {
+    return base_->analysis(members[0]).memory;
+  }
+  const Graph& g = base_->graph();
+  const Graph::Boundary b = g.boundary(members);
+  MemoryEstimate est;
+  for (const std::string& t : b.params) {
+    est.param_bytes += static_cast<double>(g.tensor(t).size_bytes());
+  }
+  for (const std::string& t : b.inputs) {
+    est.read_bytes += static_cast<double>(g.tensor(t).size_bytes());
+  }
+  for (const std::string& t : b.outputs) {
+    est.write_bytes += static_cast<double>(g.tensor(t).size_bytes());
+  }
+  return est;
+}
+
+double OptimizedAnalyzeRepresentation::fused_flops(
+    const std::vector<NodeId>& members) const {
+  double total = 0.0;
+  for (const NodeId id : members) {
+    total += base_->analysis(id).flops;
+  }
+  return total;
+}
+
+OpClass OptimizedAnalyzeRepresentation::dominant_class(
+    const std::vector<NodeId>& members) const {
+  std::map<OpClass, double> flops_by_class;
+  std::map<OpClass, double> bytes_by_class;
+  for (const NodeId id : members) {
+    const NodeAnalysis& a = base_->analysis(id);
+    flops_by_class[a.op_class] += a.flops;
+    bytes_by_class[a.op_class] += a.memory.total();
+  }
+  OpClass best = base_->analysis(members.front()).op_class;
+  double best_flops = -1.0;
+  for (const auto& [cls, f] : flops_by_class) {
+    if (f > best_flops) {
+      best_flops = f;
+      best = cls;
+    }
+  }
+  if (best_flops > 0.0) {
+    return best;
+  }
+  double best_bytes = -1.0;
+  for (const auto& [cls, by] : bytes_by_class) {
+    if (by > best_bytes) {
+      best_bytes = by;
+      best = cls;
+    }
+  }
+  return best;
+}
+
+std::vector<OptimizedAnalyzeRepresentation::OptLayer>
+OptimizedAnalyzeRepresentation::layers() const {
+  const std::vector<NodeId> order = base_->graph().topo_order();
+  std::vector<OptLayer> out;
+  std::set<FusedOpId> emitted;
+  for (const NodeId id : order) {
+    const FusedOpId gid = owner_[static_cast<size_t>(id)];
+    if (gid < 0) {
+      OptLayer layer;
+      layer.name = base_->graph().node(id).name;
+      layer.members = {id};
+      layer.is_fused = false;
+      const NodeAnalysis& a = base_->analysis(id);
+      layer.flops = a.flops;
+      layer.memory = a.memory;
+      layer.op_class = a.op_class;
+      out.push_back(std::move(layer));
+    } else if (emitted.insert(gid).second) {
+      out.push_back(layer_for_fused(gid));
+    }
+  }
+  return out;
+}
+
+OptimizedAnalyzeRepresentation::OptLayer
+OptimizedAnalyzeRepresentation::layer_for_fused(FusedOpId id) const {
+  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < groups_.size(),
+              "bad fused op id " << id);
+  const FusedGroup& group = groups_[static_cast<size_t>(id)];
+  OptLayer layer;
+  layer.name = group.name;
+  layer.members = group.members;
+  layer.is_fused = true;
+  layer.flops = fused_flops(group.members);
+  layer.memory = fused_memory(group.members);
+  layer.op_class = dominant_class(group.members);
+  return layer;
+}
+
+}  // namespace proof

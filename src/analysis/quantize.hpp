@@ -1,0 +1,30 @@
+// Post-training quantization to the ONNX QDQ representation.
+//
+// The paper's int8 evaluations run quantized models ("the metric should be
+// integer operation per second", §1 fn.1).  This transform produces the
+// standard QDQ form: weights stored as int8 with a DequantizeLinear, and
+// QuantizeLinear/DequantizeLinear pairs on the activations feeding matrix
+// operators.  The simulated runtimes fold QDQ pairs into int8 kernels
+// (backends/fusion.hpp: absorb_qdq_ops), mirroring TensorRT's PTQ flow.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace proof {
+
+struct QuantizeStats {
+  size_t quantized_anchors = 0;  ///< Conv/Gemm/MatMul nodes wrapped in QDQ
+  size_t q_nodes = 0;
+  size_t dq_nodes = 0;
+  size_t int8_params = 0;        ///< weight tensors converted to int8
+};
+
+/// Rewrites `model` into QDQ form.  Only matrix operators (Conv, Gemm,
+/// MatMul) are quantized — the standard mixed-precision PTQ recipe.
+/// Returns statistics about the rewrite.
+QuantizeStats quantize_to_qdq(Graph& model);
+
+/// True when the graph contains QDQ nodes.
+[[nodiscard]] bool is_qdq_model(const Graph& model);
+
+}  // namespace proof

@@ -1,0 +1,37 @@
+// Reference graph executor.
+//
+// Runs a model graph on the CPU using the operator defines' reference
+// implementations, materializing parameters as deterministic pseudo-random
+// tensors.  Used to validate shape inference and operator semantics (the
+// profiling pipeline itself never needs numerics).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace proof {
+
+class ReferenceExecutor {
+ public:
+  /// The graph must outlive the executor and have inferred shapes.
+  explicit ReferenceExecutor(const Graph& graph);
+
+  /// Executes the graph on the given input feeds; returns every tensor
+  /// produced (inputs + params + intermediates + outputs).  Throws when an
+  /// operator lacks a reference implementation.
+  [[nodiscard]] std::map<std::string, Tensor> run(
+      const std::map<std::string, Tensor>& feeds) const;
+
+  /// Convenience: runs with pseudo-random inputs and returns the outputs.
+  [[nodiscard]] std::map<std::string, Tensor> run_random() const;
+
+  /// True when every node in the graph has a reference implementation.
+  [[nodiscard]] bool fully_supported() const;
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace proof

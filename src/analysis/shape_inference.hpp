@@ -1,0 +1,25 @@
+// Whole-graph shape inference.
+//
+// PRoof runs ONNX shape inference once when building the Analyze
+// Representation; this is the equivalent driver over our op registry.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace proof {
+
+/// Infers every intermediate/output tensor desc in topological order.
+/// Graph inputs and params must already carry shapes.  Throws ModelError when
+/// an operator cannot be inferred.
+void infer_shapes(Graph& graph);
+
+/// Rewrites the batch dimension (dim 0 of every graph input) to `batch` and
+/// re-runs shape inference.  Attribute-encoded shapes (Reshape targets,
+/// Expand shapes) that carry the old batch in dim 0 are rewritten as well.
+void set_batch_size(Graph& graph, int64_t batch);
+
+/// Converts all float tensors (activations and params) to `dtype`; used by
+/// backends when building an engine at a reduced precision.
+void convert_float_dtype(Graph& graph, DType dtype);
+
+}  // namespace proof

@@ -1,0 +1,107 @@
+#include "backends/backend.hpp"
+
+#include <cmath>
+
+#include "backends/builtin.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace proof::backends {
+
+Engine::Engine(std::string backend_id, Graph analysis_graph,
+               std::vector<BackendLayer> layers, BuildConfig config)
+    : backend_id_(std::move(backend_id)),
+      analysis_graph_(std::move(analysis_graph)),
+      layers_(std::move(layers)),
+      config_(config) {}
+
+EngineProfile Engine::profile(const hw::PlatformState& state, int iterations) const {
+  PROOF_CHECK(iterations > 0, "iterations must be positive");
+  const hw::LatencyModel model(state);
+  EngineProfile result;
+  result.layer_latency_s.reserve(layers_.size());
+  double compute_busy = 0.0;
+  double memory_busy = 0.0;
+  for (const BackendLayer& layer : layers_) {
+    double latency = 0.0;
+    for (const hw::KernelWork& kernel : layer.kernels) {
+      const hw::KernelTiming t = model.time_kernel(kernel);
+      latency += t.latency_s;
+      compute_busy += t.compute_s;
+      memory_busy += t.memory_s;
+    }
+    // Deterministic measurement jitter, shrinking with averaging length.
+    Rng rng = Rng::from_string(layer.name, /*salt=*/0xBEEF);
+    const double sigma = 0.01 / std::sqrt(static_cast<double>(iterations) / 10.0);
+    latency *= 1.0 + sigma * rng.next_gaussian() / 3.0;
+    result.layer_latency_s.push_back(latency);
+    result.total_latency_s += latency;
+  }
+  if (result.total_latency_s > 0.0) {
+    // Cross-pipeline activity: copies occupy SMs and compute streams DRAM,
+    // so each rail sees a fraction of the other pipeline's busy time.
+    result.utilization.gpu =
+        std::min(1.0, (compute_busy + 0.3 * memory_busy) / result.total_latency_s);
+    result.utilization.mem =
+        std::min(1.0, (memory_busy + 0.35 * compute_busy) / result.total_latency_s);
+  }
+  return result;
+}
+
+std::vector<hw::KernelWork> Engine::all_kernels() const {
+  std::vector<hw::KernelWork> out;
+  for (const BackendLayer& layer : layers_) {
+    out.insert(out.end(), layer.kernels.begin(), layer.kernels.end());
+  }
+  return out;
+}
+
+namespace {
+void register_builtin_backends(BackendRegistry& registry);
+}  // namespace
+
+BackendRegistry::BackendRegistry() { register_builtin_backends(*this); }
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry* registry = new BackendRegistry();
+  return *registry;
+}
+
+void BackendRegistry::add(std::unique_ptr<Backend> backend) {
+  PROOF_CHECK(backend != nullptr, "null backend");
+  const std::string id = backend->id();
+  PROOF_CHECK(backends_.find(id) == backends_.end(), "duplicate backend '" << id << "'");
+  backends_.emplace(id, std::move(backend));
+}
+
+const Backend& BackendRegistry::get(const std::string& id) const {
+  const auto it = backends_.find(id);
+  if (it == backends_.end()) {
+    throw ConfigError("unknown backend '" + id + "'");
+  }
+  return *it->second;
+}
+
+bool BackendRegistry::contains(const std::string& id) const {
+  return backends_.count(id) > 0;
+}
+
+std::vector<std::string> BackendRegistry::ids() const {
+  std::vector<std::string> out;
+  for (const auto& [id, b] : backends_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+namespace {
+
+void register_builtin_backends(BackendRegistry& registry) {
+  registry.add(make_trt_sim());
+  registry.add(make_ov_sim());
+  registry.add(make_ort_sim());
+}
+
+}  // namespace
+
+}  // namespace proof::backends

@@ -1,0 +1,114 @@
+// Backend abstraction (paper §3.3).
+//
+// A Backend mirrors a production inference runtime: it takes the model graph
+// plus a build configuration (precision, batch size), optimizes the graph
+// into *backend layers* (fusion, inserted conversion layers, renamed
+// tensors), lowers layers to device kernels and exposes a built-in profiler
+// reporting per-backend-layer latency — exactly the information surface PRoof
+// gets from TensorRT / OpenVINO / ONNX Runtime.
+//
+// The ground-truth layer->node mapping is stored on each BackendLayer for
+// test verification, but the mapping module must only consume the public
+// surface: layer names, `info` metadata and I/O tensor names.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hw/counters.hpp"
+#include "hw/latency_model.hpp"
+#include "hw/power.hpp"
+
+namespace proof::backends {
+
+struct BuildConfig {
+  DType dtype = DType::kF16;
+  int64_t batch = 1;
+};
+
+/// One optimized layer in a built engine.
+struct BackendLayer {
+  std::string name;                        ///< backend naming convention
+  std::vector<std::string> input_tensors;  ///< backend tensor names
+  std::vector<std::string> output_tensors;
+  /// Runtime-specific mapping metadata: ort_sim exposes the original node
+  /// name; ov_sim exposes a comma-separated fused-names list (OpenVINO's
+  /// originalLayersNames); trt_sim regions expose nothing ("").
+  std::string info;
+  bool is_reorder = false;   ///< backend-inserted conversion layer
+  bool is_opaque = false;    ///< Myelin-style region: no name-based mapping
+  OpClass cls = OpClass::kElementwise;
+  std::vector<hw::KernelWork> kernels;
+
+  /// Ground truth for tests only — model node names this layer implements.
+  std::vector<std::string> truth_nodes;
+};
+
+/// Built-in profiler result (per-iteration averages).
+struct EngineProfile {
+  std::vector<double> layer_latency_s;  ///< parallel to Engine::layers()
+  double total_latency_s = 0.0;
+  hw::Utilization utilization;          ///< engine busy fractions
+};
+
+class Engine {
+ public:
+  Engine(std::string backend_id, Graph analysis_graph, std::vector<BackendLayer> layers,
+         BuildConfig config);
+
+  [[nodiscard]] const std::string& backend_id() const { return backend_id_; }
+  [[nodiscard]] const BuildConfig& config() const { return config_; }
+
+  /// The batch/dtype-converted model graph the layers reference (same node
+  /// names as the input model).
+  [[nodiscard]] const Graph& analysis_graph() const { return analysis_graph_; }
+
+  [[nodiscard]] const std::vector<BackendLayer>& layers() const { return layers_; }
+
+  /// Built-in profiler: per-layer latency under a platform clock state, with
+  /// deterministic measurement jitter shrinking with iteration count.
+  [[nodiscard]] EngineProfile profile(const hw::PlatformState& state,
+                                      int iterations = 50) const;
+
+  /// All kernels in execution order (for the counter profiler).
+  [[nodiscard]] std::vector<hw::KernelWork> all_kernels() const;
+
+ private:
+  std::string backend_id_;
+  Graph analysis_graph_;
+  std::vector<BackendLayer> layers_;
+  BuildConfig config_;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Short id: "trt_sim" / "ov_sim" / "ort_sim".
+  [[nodiscard]] virtual std::string id() const = 0;
+  /// Display name mirroring Table 2's runtime column.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Optimizes + lowers `model` for `platform`.  Throws ConfigError when the
+  /// dtype is unsupported by the platform.
+  [[nodiscard]] virtual Engine build(const Graph& model, const BuildConfig& config,
+                                     const hw::PlatformDesc& platform) const = 0;
+};
+
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  void add(std::unique_ptr<Backend> backend);
+  [[nodiscard]] const Backend& get(const std::string& id) const;
+  [[nodiscard]] bool contains(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+ private:
+  BackendRegistry();
+  std::map<std::string, std::unique_ptr<Backend>> backends_;
+};
+
+}  // namespace proof::backends

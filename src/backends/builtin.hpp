@@ -1,0 +1,14 @@
+// Internal: factories for the built-in simulated runtimes.
+#pragma once
+
+#include <memory>
+
+#include "backends/backend.hpp"
+
+namespace proof::backends {
+
+std::unique_ptr<Backend> make_trt_sim();
+std::unique_ptr<Backend> make_ov_sim();
+std::unique_ptr<Backend> make_ort_sim();
+
+}  // namespace proof::backends

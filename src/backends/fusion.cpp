@@ -1,0 +1,276 @@
+#include "backends/fusion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace proof::backends {
+
+FusionState::FusionState(const Graph& graph) : graph_(&graph) {
+  parent_.resize(graph.num_nodes());
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    parent_[i] = static_cast<int>(i);
+  }
+}
+
+int FusionState::find(int x) const {
+  while (parent_[static_cast<size_t>(x)] != x) {
+    x = parent_[static_cast<size_t>(x)];
+  }
+  return x;
+}
+
+int FusionState::group_of(NodeId id) const {
+  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < parent_.size(), "bad node id " << id);
+  return find(id);
+}
+
+bool FusionState::same_group(NodeId a, NodeId b) const {
+  return group_of(a) == group_of(b);
+}
+
+void FusionState::merge(NodeId a, NodeId b) {
+  const int ra = group_of(a);
+  const int rb = group_of(b);
+  if (ra != rb) {
+    // Root at the smaller id so group identity follows the earliest member.
+    parent_[static_cast<size_t>(std::max(ra, rb))] = std::min(ra, rb);
+  }
+}
+
+std::vector<std::vector<NodeId>> FusionState::groups() const {
+  std::map<int, std::vector<NodeId>> by_root;
+  for (const NodeId id : graph_->topo_order()) {
+    by_root[group_of(id)].push_back(id);
+  }
+  // Order groups by the topo position of their first member.
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(by_root.size());
+  std::vector<std::pair<size_t, std::vector<NodeId>>> keyed;
+  const std::vector<NodeId> order = graph_->topo_order();
+  std::vector<size_t> topo_pos(graph_->num_nodes());
+  for (size_t i = 0; i < order.size(); ++i) {
+    topo_pos[static_cast<size_t>(order[i])] = i;
+  }
+  for (auto& [root, members] : by_root) {
+    size_t first = topo_pos[static_cast<size_t>(members.front())];
+    for (const NodeId m : members) {
+      first = std::min(first, topo_pos[static_cast<size_t>(m)]);
+    }
+    keyed.emplace_back(first, std::move(members));
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [pos, members] : keyed) {
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+bool FusionState::single_use(const std::string& tensor) const {
+  const auto& outs = graph_->outputs();
+  if (std::find(outs.begin(), outs.end(), tensor) != outs.end()) {
+    return false;
+  }
+  return graph_->consumers(tensor).size() == 1;
+}
+
+NodeId FusionState::sole_consumer(NodeId id) const {
+  const Node& node = graph_->node(id);
+  if (node.outputs.size() != 1 || !single_use(node.outputs[0])) {
+    return kInvalidNode;
+  }
+  return graph_->consumers(node.outputs[0]).front();
+}
+
+bool is_fusable_activation(const std::string& op_type) {
+  static const std::set<std::string> kActs = {
+      "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Clip",      "HardSigmoid",
+      "HardSwish", "Silu",  "Gelu",    "Erf",  "Softmax"};
+  return kActs.count(op_type) > 0;
+}
+
+bool is_view_op(const std::string& op_type) {
+  static const std::set<std::string> kViews = {"Reshape", "Flatten", "Squeeze",
+                                               "Unsqueeze", "Identity"};
+  return kViews.count(op_type) > 0;
+}
+
+bool is_pointwise_op(const std::string& op_type) {
+  static const std::set<std::string> kPointwise = {
+      "Add",  "Sub",   "Mul",  "Div",   "Pow",        "Sqrt", "Min",
+      "Max",  "Equal", "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Erf",
+      "Exp",  "Log",   "Neg",  "Clip",  "HardSigmoid", "HardSwish",
+      "Silu", "Gelu",  "Reciprocal", "Where", "Cast",
+      "BatchNormalization", "LayerNormalization", "GroupNormalization",
+      "Softmax"};
+  return kPointwise.count(op_type) > 0;
+}
+
+void fuse_conv_epilogues(FusionState& state, const EpilogueOptions& options) {
+  const Graph& g = state.graph();
+  static const std::set<std::string> kAnchors = {"Conv", "ConvTranspose", "Gemm",
+                                                 "MatMul"};
+  for (const NodeId id : g.topo_order()) {
+    if (kAnchors.count(g.node(id).op_type) == 0) {
+      continue;
+    }
+    NodeId tail = id;
+    // Walk the single-consumer chain, absorbing eligible epilogue nodes.
+    while (true) {
+      const NodeId next = state.sole_consumer(tail);
+      if (next == kInvalidNode || state.same_group(tail, next) ||
+          state.group_of(next) != next) {
+        break;  // already claimed by another group
+      }
+      const std::string& type = g.node(next).op_type;
+      bool eligible = false;
+      if (options.fold_batchnorm && type == "BatchNormalization") {
+        eligible = true;
+      } else if (options.fuse_activation && is_fusable_activation(type) &&
+                 type != "Softmax") {
+        eligible = true;
+      } else if (type == "Add" || type == "Mul") {
+        // Bias / residual add: the other operand must come from outside the
+        // chain (params always qualify; activations need the residual flag).
+        const Node& add = g.node(next);
+        bool other_is_param = false;
+        for (const std::string& in : add.inputs) {
+          if (g.has_tensor(in) && g.tensor(in).is_param) {
+            other_is_param = true;
+          }
+        }
+        eligible = other_is_param || options.fuse_residual_add;
+      }
+      if (!eligible) {
+        break;
+      }
+      state.merge(id, next);
+      tail = next;
+    }
+  }
+}
+
+void fuse_pointwise_chains(FusionState& state, int max_chain) {
+  const Graph& g = state.graph();
+  for (const NodeId id : g.topo_order()) {
+    if (!is_pointwise_op(g.node(id).op_type) || state.group_of(id) != id) {
+      continue;
+    }
+    NodeId tail = id;
+    int length = 1;
+    while (length < max_chain) {
+      const NodeId next = state.sole_consumer(tail);
+      if (next == kInvalidNode || state.same_group(tail, next) ||
+          state.group_of(next) != next ||
+          !is_pointwise_op(g.node(next).op_type)) {
+        break;
+      }
+      state.merge(id, next);
+      tail = next;
+      ++length;
+    }
+  }
+}
+
+void absorb_view_ops(FusionState& state) {
+  const Graph& g = state.graph();
+  for (const NodeId id : g.topo_order()) {
+    if (!is_view_op(g.node(id).op_type)) {
+      continue;
+    }
+    const NodeId producer = g.producer(g.node(id).inputs.empty()
+                                           ? std::string{}
+                                           : g.node(id).inputs.front());
+    if (producer != kInvalidNode && state.single_use(g.node(id).inputs.front())) {
+      state.merge(producer, id);
+      continue;
+    }
+    const NodeId consumer = state.sole_consumer(id);
+    if (consumer != kInvalidNode) {
+      state.merge(id, consumer);
+    }
+  }
+}
+
+void absorb_qdq_ops(FusionState& state) {
+  const Graph& g = state.graph();
+  const std::vector<NodeId> order = g.topo_order();
+  // Reverse topo order so a DequantizeLinear joins its anchor first and the
+  // paired QuantizeLinear then joins the same group transitively.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    const std::string& t = g.node(id).op_type;
+    if (t != "QuantizeLinear" && t != "DequantizeLinear") {
+      continue;
+    }
+    const NodeId consumer = state.sole_consumer(id);
+    if (consumer != kInvalidNode) {
+      state.merge(id, consumer);
+      continue;
+    }
+    const NodeId producer =
+        g.node(id).inputs.empty() ? kInvalidNode : g.producer(g.node(id).inputs[0]);
+    if (producer != kInvalidNode) {
+      state.merge(producer, id);
+    }
+  }
+}
+
+std::vector<NodeId> fuse_attention_regions(FusionState& state, int min_matmuls) {
+  const Graph& g = state.graph();
+  // Node types Myelin-style optimizers swallow into foreign-node regions:
+  // everything except convolutions and pooling.
+  const auto eligible = [&](const NodeId id) {
+    if (state.group_of(id) != id) {
+      return false;  // claimed by an earlier pass (e.g. conv epilogue)
+    }
+    const std::string& t = g.node(id).op_type;
+    if (t == "Conv" || t == "ConvTranspose" || t == "MaxPool" ||
+        t == "AveragePool" || t == "GlobalAveragePool" || t == "Resize" ||
+        t == "Pad") {
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<NodeId> representatives;
+  const std::vector<NodeId> order = g.topo_order();
+  std::vector<NodeId> segment;
+  int matmuls = 0;
+
+  const auto flush = [&]() {
+    if (matmuls >= min_matmuls && segment.size() >= 2) {
+      for (size_t i = 1; i < segment.size(); ++i) {
+        state.merge(segment[0], segment[i]);
+      }
+      representatives.push_back(segment[0]);
+    }
+    segment.clear();
+    matmuls = 0;
+  };
+
+  for (const NodeId id : order) {
+    if (!eligible(id)) {
+      flush();
+      continue;
+    }
+    const std::string& t = g.node(id).op_type;
+    // A LayerNormalization opens a new region segment: regions are bounded
+    // at transformer-block granularity so the layer-wise roofline stays
+    // informative (TRT similarly emits one profiled entry per sub-kernel).
+    if (t == "LayerNormalization" && matmuls >= min_matmuls) {
+      flush();
+    }
+    segment.push_back(id);
+    if (t == "MatMul" || t == "Gemm") {
+      ++matmuls;
+    }
+  }
+  flush();
+  return representatives;
+}
+
+}  // namespace proof::backends

@@ -1,0 +1,92 @@
+// Graph-fusion planning shared by the simulated runtimes.
+//
+// Each simulated backend (trt_sim / ov_sim / ort_sim) composes these passes
+// with different aggressiveness, reproducing the optimization behaviours that
+// make backend layers diverge from the model design: conv+BN+activation
+// folding, GEMM epilogue fusion, pointwise chains, view absorption and
+// opaque attention regions (TensorRT Myelin).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace proof::backends {
+
+/// Mutable grouping state over a graph's nodes.  Nodes start in singleton
+/// groups; passes merge groups.  Merges are only legal when the union stays
+/// convex (no dataflow path leaves and re-enters the group), which the
+/// chain-based passes guarantee by construction.
+class FusionState {
+ public:
+  explicit FusionState(const Graph& graph);
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+  /// Group id a node currently belongs to.
+  [[nodiscard]] int group_of(NodeId id) const;
+
+  /// Merges the group of `b` into the group of `a`.
+  void merge(NodeId a, NodeId b);
+
+  /// All groups with >= 1 member, ordered by first member in topo order.
+  [[nodiscard]] std::vector<std::vector<NodeId>> groups() const;
+
+  /// True when `tensor` has exactly one consumer and is not a graph output.
+  [[nodiscard]] bool single_use(const std::string& tensor) const;
+
+  /// The unique consumer of node `id`'s single output, or kInvalidNode when
+  /// the node has multiple outputs / consumers or feeds a graph output.
+  [[nodiscard]] NodeId sole_consumer(NodeId id) const;
+
+  /// True when the two nodes are already in the same group.
+  [[nodiscard]] bool same_group(NodeId a, NodeId b) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<int> parent_;  // union-find
+  [[nodiscard]] int find(int x) const;
+  mutable std::vector<int> find_cache_;
+};
+
+/// Options controlling the conv/GEMM epilogue passes.
+struct EpilogueOptions {
+  bool fold_batchnorm = true;        ///< Conv+BN -> Conv (weight folding)
+  bool fuse_activation = true;       ///< + Relu/Sigmoid/Silu/HardSwish/...
+  bool fuse_residual_add = false;    ///< + Add with a skip connection
+};
+
+/// Fuses Conv/ConvTranspose/Gemm/MatMul nodes with their BN / bias-add /
+/// activation / residual-add epilogues (single-consumer chains).
+void fuse_conv_epilogues(FusionState& state, const EpilogueOptions& options);
+
+/// Fuses maximal single-consumer chains of pointwise ops (elementwise,
+/// normalization, softmax) up to `max_chain` nodes.
+void fuse_pointwise_chains(FusionState& state, int max_chain);
+
+/// Absorbs pure view ops (Reshape/Flatten/Squeeze/Unsqueeze/Identity) into
+/// the producing group when the producer exists, otherwise into the consumer.
+void absorb_view_ops(FusionState& state);
+
+/// Folds QuantizeLinear/DequantizeLinear nodes into the group that consumes
+/// them — the runtimes execute the wrapped matrix operator as one int8
+/// kernel (TensorRT's PTQ folding).  Run before the other passes.
+void absorb_qdq_ops(FusionState& state);
+
+/// Finds transformer attention/MLP regions — maximal runs of MatMul-anchored
+/// single-consumer chains containing >= `min_matmuls` MatMul/Gemm nodes —
+/// and fuses each into one opaque region (the Myelin behaviour).  Returns
+/// one representative node per region created.
+std::vector<NodeId> fuse_attention_regions(FusionState& state, int min_matmuls);
+
+/// True for activation op types the runtimes fuse as epilogues.
+[[nodiscard]] bool is_fusable_activation(const std::string& op_type);
+
+/// True for pure view ops (no data movement).
+[[nodiscard]] bool is_view_op(const std::string& op_type);
+
+/// True for pointwise-ish ops eligible for chain fusion.
+[[nodiscard]] bool is_pointwise_op(const std::string& op_type);
+
+}  // namespace proof::backends

@@ -1,0 +1,38 @@
+// Lowering node groups to backend layers and device kernels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backends/backend.hpp"
+
+namespace proof::backends {
+
+struct LoweringOptions {
+  std::string arch;                 ///< platform architecture (MMA tables)
+  /// Opaque regions are emitted as one kernel per GEMM anchor; intermediate
+  /// tensors between kernels round-trip through DRAM, which is the real
+  /// behaviour Equation 1's fused model slightly under-predicts.
+  bool split_regions_at_anchors = true;
+  int max_kernels_per_region = 64;
+};
+
+/// Builds a backend layer from a group of model nodes.  Computes boundary
+/// DRAM traffic, hardware FLOP, matrix-pipeline FLOP and the kernel list.
+[[nodiscard]] BackendLayer lower_group(const Graph& graph,
+                                       const std::vector<NodeId>& members,
+                                       std::string layer_name, bool opaque,
+                                       const LoweringOptions& options);
+
+/// Builds a backend-inserted conversion layer moving `bytes` through DRAM.
+[[nodiscard]] BackendLayer make_reorder_layer(std::string name,
+                                              const std::string& input_tensor,
+                                              const std::string& output_tensor,
+                                              double bytes, DType dtype);
+
+/// Dominant workload class of a node set (FLOP-weighted, falls back to
+/// byte-weighted for FLOP-free sets).
+[[nodiscard]] OpClass dominant_op_class(const Graph& graph,
+                                        const std::vector<NodeId>& members);
+
+}  // namespace proof::backends

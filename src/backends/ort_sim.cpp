@@ -1,0 +1,135 @@
+// ort_sim: ONNX-Runtime-like simulated runtime (CPU execution provider).
+//
+// Behaviour modelled after ONNX Runtime 1.1x with oneDNN-style kernels:
+//  * conservative fusion: Conv+BN+activation and bias adds only — no
+//    residual-add fusion, no pointwise chains, no opaque regions;
+//  * unfused layers keep their source node names (exact-name mapping);
+//  * fused layers are renamed "fused_op_<n>" and expose NO name metadata —
+//    exactly the Figure-2 situation, mapped via I/O subgraph search;
+//  * "reorder_<n>" layers convert tensor layouts between plain and blocked
+//    formats around convolution stacks, renaming the tensor with an "_r"
+//    suffix (Figure 2's t2 -> t2_r).
+#include "backends/builtin.hpp"
+#include "backends/fusion.hpp"
+#include "backends/lowering.hpp"
+#include "backends/prepare.hpp"
+
+#include <map>
+#include <set>
+
+namespace proof::backends {
+
+namespace {
+
+bool group_is_conv(const Graph& g, const std::vector<NodeId>& members) {
+  for (const NodeId id : members) {
+    const std::string& t = g.node(id).op_type;
+    if (t == "Conv" || t == "ConvTranspose") {
+      return true;
+    }
+  }
+  return false;
+}
+
+class OrtSimBackend final : public Backend {
+ public:
+  [[nodiscard]] std::string id() const override { return "ort_sim"; }
+  [[nodiscard]] std::string name() const override { return "ONNXRuntime-sim 1.15"; }
+
+  [[nodiscard]] Engine build(const Graph& model, const BuildConfig& config,
+                             const hw::PlatformDesc& platform) const override {
+    Graph g = prepare_model(model, config, platform);
+
+    FusionState state(g);
+    absorb_qdq_ops(state);  // int8 QDQ models fold into int8 kernels
+    EpilogueOptions epilogue;
+    epilogue.fold_batchnorm = true;
+    epilogue.fuse_activation = true;
+    epilogue.fuse_residual_add = false;
+    fuse_conv_epilogues(state, epilogue);
+
+    LoweringOptions lowering;
+    lowering.arch = platform.arch;
+    lowering.split_regions_at_anchors = false;
+
+    // First pass: which tensors cross a layout boundary (produced outside any
+    // conv group, consumed by one)?  Graph inputs feeding convs also qualify.
+    const std::vector<std::vector<NodeId>> groups = state.groups();
+    std::map<std::string, bool> produced_by_conv;
+    for (const std::vector<NodeId>& members : groups) {
+      const bool conv = group_is_conv(g, members);
+      for (const NodeId id : members) {
+        for (const std::string& out : g.node(id).outputs) {
+          produced_by_conv[out] = conv;
+        }
+      }
+    }
+    std::set<std::string> needs_reorder;
+    for (const std::vector<NodeId>& members : groups) {
+      if (!group_is_conv(g, members)) {
+        continue;
+      }
+      const Graph::Boundary b = g.boundary(members);
+      for (const std::string& in : b.inputs) {
+        const auto it = produced_by_conv.find(in);
+        const bool from_conv = it != produced_by_conv.end() && it->second;
+        if (!from_conv) {
+          needs_reorder.insert(in);
+        }
+      }
+    }
+
+    std::vector<BackendLayer> layers;
+    std::map<std::string, std::string> renames;
+    int reorder_index = 0;
+    int fused_index = 0;
+    std::set<std::string> reordered;
+
+    for (const std::vector<NodeId>& members : groups) {
+      const bool conv_group = group_is_conv(g, members);
+      // Emit reorder layers for this group's blocked-layout inputs, once per
+      // tensor, immediately before the first consumer (Figure 2 ordering).
+      if (conv_group) {
+        const Graph::Boundary b = g.boundary(members);
+        for (const std::string& in : b.inputs) {
+          if (needs_reorder.count(in) == 0 || reordered.count(in) > 0) {
+            continue;
+          }
+          reordered.insert(in);
+          const TensorDesc& desc = g.tensor(in);
+          const std::string renamed = in + "_r";
+          layers.push_back(make_reorder_layer(
+              "reorder_" + std::to_string(reorder_index++), in, renamed,
+              2.0 * static_cast<double>(desc.size_bytes()), desc.dtype));
+          renames[in] = renamed;
+        }
+      }
+
+      std::string name;
+      std::string info;
+      if (members.size() == 1) {
+        name = g.node(members.front()).name;
+        info = name;  // exact-name mapping is available for unfused layers
+      } else {
+        name = "fused_op_" + std::to_string(fused_index++);
+        info = "";  // fused layers expose only their I/O tensors
+      }
+      BackendLayer layer = lower_group(g, members, std::move(name), false, lowering);
+      layer.info = info;
+      for (std::string& t : layer.input_tensors) {
+        const auto it = renames.find(t);
+        if (it != renames.end()) {
+          t = it->second;
+        }
+      }
+      layers.push_back(std::move(layer));
+    }
+    return Engine(id(), std::move(g), std::move(layers), config);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_ort_sim() { return std::make_unique<OrtSimBackend>(); }
+
+}  // namespace proof::backends

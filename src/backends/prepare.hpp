@@ -1,0 +1,21 @@
+// Internal: shared model preparation for the simulated runtimes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backends/backend.hpp"
+
+namespace proof::backends {
+
+/// Copies the model, applies the build batch size and precision, and checks
+/// the platform supports the requested dtype.
+[[nodiscard]] Graph prepare_model(const Graph& model, const BuildConfig& config,
+                                  const hw::PlatformDesc& platform);
+
+/// " + "-joined member node names (TensorRT's fused-layer naming style).
+[[nodiscard]] std::string joined_layer_name(const Graph& graph,
+                                            const std::vector<NodeId>& members,
+                                            const std::string& sep);
+
+}  // namespace proof::backends

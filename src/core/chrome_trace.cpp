@@ -1,0 +1,98 @@
+#include "core/chrome_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace proof {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string report_to_chrome_trace(const ProfileReport& report) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& name, int tid, double start_us,
+                        double dur_us, const std::string& args_json) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << "{\"name\":\"" << json_escape(name)
+        << "\",\"cat\":\"proof\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+        << ",\"ts\":" << start_us << ",\"dur\":" << dur_us << ",\"args\":{"
+        << args_json << "}}";
+  };
+
+  // Track metadata.
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
+      << json_escape(report.model_name + " on " + report.platform_name)
+      << "\"}},";
+  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":\"backend layers\"}},";
+  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+         "\"args\":{\"name\":\"device kernels\"}}";
+  first = false;
+
+  double cursor_us = 0.0;
+  for (size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerReport& layer = report.layers[i];
+    const roofline::Point& pt = report.roofline.layers[i];
+    const double dur_us = layer.latency_s * 1e6;
+    std::ostringstream args;
+    args.precision(4);
+    args << "\"class\":\"" << op_class_name(layer.cls) << "\",\"mapped_via\":\""
+         << mapping::map_method_name(layer.method) << "\",\"model_nodes\":\""
+         << json_escape(strings::join(layer.model_nodes, " + "))
+         << "\",\"ai\":" << pt.arithmetic_intensity()
+         << ",\"gflops\":" << layer.flops / 1e9;
+    emit(layer.backend_layer, 1, cursor_us, dur_us, args.str());
+    // Kernel sub-events share the layer's span proportionally.
+    const size_t kernels = layer.kernels.size();
+    if (kernels > 0) {
+      const double slice = dur_us / static_cast<double>(kernels);
+      for (size_t k = 0; k < kernels; ++k) {
+        emit(layer.kernels[k], 2, cursor_us + slice * static_cast<double>(k),
+             slice, "\"layer\":\"" + json_escape(layer.backend_layer) + "\"");
+      }
+    }
+    cursor_us += dur_us;
+  }
+  out << "]}";
+  return out.str();
+}
+
+void save_chrome_trace(const std::string& trace, const std::string& path) {
+  std::ofstream out(path);
+  PROOF_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << trace << "\n";
+}
+
+}  // namespace proof

@@ -1,0 +1,21 @@
+// Chrome-trace timeline export (chrome://tracing / Perfetto).
+//
+// The paper obtains kernel-to-layer correspondence through Nsight Systems'
+// timeline; this emits the equivalent view of a profiled run: one track of
+// backend layers and one track of device kernels, aligned on the simulated
+// timeline, each event annotated with the mapped model-design nodes.
+#pragma once
+
+#include <string>
+
+#include "core/profiler.hpp"
+
+namespace proof {
+
+/// Serializes the run as a Chrome trace-event JSON document ("traceEvents"
+/// array with complete 'X' events; timestamps in microseconds).
+[[nodiscard]] std::string report_to_chrome_trace(const ProfileReport& report);
+
+void save_chrome_trace(const std::string& trace, const std::string& path);
+
+}  // namespace proof

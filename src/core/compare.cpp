@@ -1,0 +1,61 @@
+#include "core/compare.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace proof {
+
+ReportDelta compare_reports(const ProfileReport& baseline,
+                            const ProfileReport& candidate) {
+  PROOF_CHECK(baseline.total_latency_s > 0.0 && candidate.total_latency_s > 0.0,
+              "cannot compare reports with zero latency");
+  ReportDelta d;
+  d.baseline_name = baseline.model_name + "@" + baseline.platform_name;
+  d.candidate_name = candidate.model_name + "@" + candidate.platform_name;
+  d.speedup = baseline.total_latency_s / candidate.total_latency_s;
+  d.throughput_ratio =
+      candidate.throughput_per_s() / std::max(1e-12, baseline.throughput_per_s());
+  d.flop_ratio = candidate.roofline.end_to_end.flops /
+                 std::max(1.0, baseline.roofline.end_to_end.flops);
+  d.bytes_ratio = candidate.roofline.end_to_end.bytes /
+                  std::max(1.0, baseline.roofline.end_to_end.bytes);
+  d.power_delta_w = candidate.power_w - baseline.power_w;
+  const double base_eff = baseline.throughput_per_s() / std::max(1e-9, baseline.power_w);
+  const double cand_eff =
+      candidate.throughput_per_s() / std::max(1e-9, candidate.power_w);
+  d.efficiency_ratio = cand_eff / std::max(1e-12, base_eff);
+
+  for (const LayerReport& layer : candidate.layers) {
+    d.class_latency_delta_s[layer.cls] += layer.latency_s;
+  }
+  for (const LayerReport& layer : baseline.layers) {
+    d.class_latency_delta_s[layer.cls] -= layer.latency_s;
+  }
+  return d;
+}
+
+std::string delta_text(const ReportDelta& d) {
+  std::ostringstream out;
+  out << "baseline:  " << d.baseline_name << "\n";
+  out << "candidate: " << d.candidate_name << "\n";
+  out << "speedup: " << units::fixed(d.speedup, 2)
+      << "x  throughput: " << units::fixed(d.throughput_ratio, 2)
+      << "x  FLOP: " << units::fixed(d.flop_ratio, 2)
+      << "x  DRAM traffic: " << units::fixed(d.bytes_ratio, 2) << "x\n";
+  out << "power: " << (d.power_delta_w >= 0 ? "+" : "")
+      << units::fixed(d.power_delta_w, 1)
+      << " W  perf/W: " << units::fixed(d.efficiency_ratio, 2) << "x\n";
+  out << "latency shift by workload class (candidate - baseline):\n";
+  for (const auto& [cls, delta] : d.class_latency_delta_s) {
+    if (std::abs(delta) < 1e-9) {
+      continue;
+    }
+    out << "  " << op_class_name(cls) << ": " << (delta >= 0 ? "+" : "")
+        << units::ms(delta) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace proof

@@ -1,0 +1,36 @@
+// Report comparison: the A/B workflow behind §4.5 (original vs modified
+// model) and §4.6 (clock profiles) as a first-class API.
+#pragma once
+
+#include <string>
+
+#include "core/profiler.hpp"
+
+namespace proof {
+
+/// Aggregate deltas between a baseline and a candidate report.
+struct ReportDelta {
+  std::string baseline_name;
+  std::string candidate_name;
+
+  double speedup = 0.0;           ///< baseline latency / candidate latency
+  double throughput_ratio = 0.0;  ///< candidate / baseline
+  double flop_ratio = 0.0;        ///< candidate / baseline (Model FLOP)
+  double bytes_ratio = 0.0;
+  double power_delta_w = 0.0;     ///< candidate - baseline
+  /// Perf per watt improvement: (cand thr / cand W) / (base thr / base W).
+  double efficiency_ratio = 0.0;
+
+  /// Latency moved between workload classes: positive = candidate spends
+  /// more absolute time in this class.
+  std::map<OpClass, double> class_latency_delta_s;
+};
+
+/// Computes the delta between two reports (any two models/configs).
+[[nodiscard]] ReportDelta compare_reports(const ProfileReport& baseline,
+                                          const ProfileReport& candidate);
+
+/// Human-readable rendering of a delta.
+[[nodiscard]] std::string delta_text(const ReportDelta& delta);
+
+}  // namespace proof

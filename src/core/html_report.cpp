@@ -1,0 +1,139 @@
+#include "core/html_report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "report/svg_roofline.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/units.hpp"
+
+namespace proof::report {
+
+namespace {
+
+std::string escape_html(const std::string& text) {
+  std::string out = strings::replace_all(text, "&", "&amp;");
+  out = strings::replace_all(out, "<", "&lt;");
+  out = strings::replace_all(out, ">", "&gt;");
+  return out;
+}
+
+const char* kStyle = R"(
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 2em;
+       color: #222; max-width: 1100px; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #444; padding-bottom: .3em; }
+h2 { font-size: 1.2em; margin-top: 2em; }
+table { border-collapse: collapse; font-size: .85em; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: .3em .6em; text-align: right; }
+th { background: #f0f0f0; }
+td:first-child, th:first-child { text-align: left; }
+.summary { display: flex; flex-wrap: wrap; gap: 1em; margin: 1em 0; }
+.stat { background: #f7f7f9; border: 1px solid #ddd; border-radius: 6px;
+        padding: .6em 1em; }
+.stat b { display: block; font-size: 1.15em; }
+.stat span { font-size: .75em; color: #666; }
+.reorder { color: #888; font-style: italic; }
+.memory { color: #0a58ca; }
+.compute { color: #b02a37; }
+footer { margin-top: 3em; font-size: .75em; color: #888; }
+)";
+
+void emit_stat(std::ostringstream& out, const std::string& value,
+               const std::string& label) {
+  out << "<div class='stat'><b>" << escape_html(value) << "</b><span>"
+      << escape_html(label) << "</span></div>\n";
+}
+
+void emit_section(std::ostringstream& out, const HtmlSection& section) {
+  const ProfileReport& r = *section.report;
+  const roofline::Point& e2e = r.roofline.end_to_end;
+  out << "<h2>" << escape_html(section.title) << "</h2>\n";
+  out << "<p>" << escape_html(r.model_name) << " &middot; "
+      << escape_html(r.backend_name) << " &middot; "
+      << escape_html(r.platform_name) << " &middot; "
+      << dtype_name(r.options.dtype) << ", batch " << r.options.batch
+      << " &middot; metrics: "
+      << (r.counter_profiling_time_s > 0.0 ? "measured (counters)"
+                                           : "predicted (analytical)")
+      << "</p>\n";
+
+  out << "<div class='summary'>\n";
+  emit_stat(out, units::ms(r.total_latency_s), "latency / iteration");
+  emit_stat(out, units::fixed(r.throughput_per_s(), 0) + " /s", "throughput");
+  emit_stat(out, units::tflops(e2e.attained_flops()), "attained compute");
+  emit_stat(out, units::gbps(e2e.attained_bandwidth()), "attained bandwidth");
+  emit_stat(out, units::fixed(e2e.arithmetic_intensity(), 1) + " FLOP/B",
+            "arithmetic intensity");
+  emit_stat(out,
+            r.roofline.ceilings.memory_bound(e2e) ? "memory" : "compute",
+            "roofline bound");
+  emit_stat(out, units::fixed(r.power_w, 1) + " W", "board power");
+  emit_stat(out, units::fixed(r.mapping_coverage * 100.0, 1) + " %",
+            "mapping coverage");
+  out << "</div>\n";
+
+  SvgOptions svg;
+  svg.title = section.title;
+  out << render_roofline_svg(r.roofline, svg);
+
+  out << "<table>\n<tr><th>backend layer</th><th>model-design nodes</th>"
+         "<th>class</th><th>latency</th><th>share</th><th>FLOP/s</th>"
+         "<th>bandwidth</th><th>AI</th><th>bound</th><th>mapped via</th></tr>\n";
+  for (size_t i = 0; i < r.layers.size(); ++i) {
+    const LayerReport& layer = r.layers[i];
+    const roofline::Point& pt = r.roofline.layers[i];
+    const bool mem_bound = r.roofline.ceilings.memory_bound(pt);
+    out << "<tr" << (layer.is_reorder ? " class='reorder'" : "") << "><td>"
+        << escape_html(layer.backend_layer) << "</td><td>";
+    if (layer.model_nodes.empty()) {
+      out << (layer.is_reorder ? "(backend inserted)" : "-");
+    } else if (layer.model_nodes.size() <= 4) {
+      out << escape_html(strings::join(layer.model_nodes, ", "));
+    } else {
+      out << escape_html(layer.model_nodes.front()) << " &hellip; "
+          << escape_html(layer.model_nodes.back()) << " ("
+          << layer.model_nodes.size() << " nodes)";
+    }
+    out << "</td><td>" << op_class_name(layer.cls) << "</td><td>"
+        << units::ms(layer.latency_s) << "</td><td>"
+        << units::fixed(pt.latency_share * 100.0, 1) << "%</td><td>"
+        << units::tflops(pt.attained_flops()) << "</td><td>"
+        << units::gbps(pt.attained_bandwidth()) << "</td><td>"
+        << units::fixed(pt.arithmetic_intensity(), 1) << "</td><td class='"
+        << (mem_bound ? "memory'>memory" : "compute'>compute") << "</td><td>"
+        << mapping::map_method_name(layer.method) << "</td></tr>\n";
+  }
+  out << "</table>\n";
+}
+
+}  // namespace
+
+std::string render_html_report(const std::string& page_title,
+                               const std::vector<HtmlSection>& sections) {
+  std::ostringstream out;
+  out << "<!doctype html>\n<html><head><meta charset='utf-8'><title>"
+      << escape_html(page_title) << "</title><style>" << kStyle
+      << "</style></head>\n<body>\n<h1>" << escape_html(page_title) << "</h1>\n";
+  for (const HtmlSection& section : sections) {
+    PROOF_CHECK(section.report != nullptr, "null report in HTML section");
+    emit_section(out, section);
+  }
+  out << "<footer>Generated by PRoof (C++ reproduction of Wu et al., ICPP 2024)."
+         "</footer>\n</body></html>\n";
+  return out.str();
+}
+
+std::string render_html_report(const ProfileReport& report) {
+  const std::string title =
+      report.model_name + " on " + report.platform_name;
+  return render_html_report("PRoof report: " + title, {{title, &report}});
+}
+
+void save_html(const std::string& html, const std::string& path) {
+  std::ofstream out(path);
+  PROOF_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << html;
+}
+
+}  // namespace proof::report

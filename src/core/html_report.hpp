@@ -1,0 +1,29 @@
+// HTML dataviewer (paper Figure 1's "PRoof dataviewer").
+//
+// Renders one or more profile analyses into a single self-contained HTML
+// file: run summary, end-to-end stats, the roofline chart (inline SVG) and a
+// sortable per-backend-layer table with the model-design mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace proof::report {
+
+struct HtmlSection {
+  std::string title;          ///< e.g. "ResNet-50 on NVIDIA A100"
+  const ProfileReport* report = nullptr;
+};
+
+/// Renders a full dataviewer page for the given sections.
+[[nodiscard]] std::string render_html_report(const std::string& page_title,
+                                             const std::vector<HtmlSection>& sections);
+
+/// Convenience: single-report page.
+[[nodiscard]] std::string render_html_report(const ProfileReport& report);
+
+void save_html(const std::string& html, const std::string& path);
+
+}  // namespace proof::report

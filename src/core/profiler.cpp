@@ -1,0 +1,155 @@
+#include "core/profiler.hpp"
+
+#include <chrono>
+
+#include "hw/counters.hpp"
+#include "hw/platform.hpp"
+#include "mapping/stack_mapping.hpp"
+#include "models/zoo.hpp"
+#include "support/error.hpp"
+
+namespace proof {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+roofline::Point LayerReport::to_point() const {
+  roofline::Point p;
+  p.name = backend_layer;
+  p.flops = flops;
+  p.bytes = bytes;
+  p.latency_s = latency_s;
+  p.cls = cls;
+  return p;
+}
+
+Profiler::Profiler(ProfileOptions options) : options_(std::move(options)) {
+  PROOF_CHECK(!options_.platform_id.empty(), "platform_id is required");
+  PROOF_CHECK(options_.batch > 0, "batch must be positive");
+}
+
+ProfileReport Profiler::run_zoo(const std::string& model_id) const {
+  return run(models::build_model(model_id));
+}
+
+ProfileReport Profiler::run(const Graph& model) const {
+  const hw::PlatformDesc& platform =
+      hw::PlatformRegistry::instance().get(options_.platform_id);
+  const std::string backend_id =
+      options_.backend_id.empty() ? platform.runtime : options_.backend_id;
+  const backends::Backend& backend =
+      backends::BackendRegistry::instance().get(backend_id);
+
+  ProfileReport report;
+  report.model_name = model.name();
+  report.backend_name = backend.name();
+  report.platform_name = platform.name;
+  report.options = options_;
+  report.options.backend_id = backend_id;
+
+  // 1. Build the engine (backend graph optimization + lowering).
+  backends::BuildConfig config;
+  config.dtype = options_.dtype;
+  config.batch = options_.batch;
+  const backends::Engine engine = backend.build(model, config, platform);
+
+  // 2. Analysis representation + layer mapping.
+  const double t0 = now_s();
+  const AnalyzeRepresentation ar(engine.analysis_graph());
+  OptimizedAnalyzeRepresentation oar(ar);
+  const mapping::LayerMapping layer_map = mapping::map_layers(engine, oar);
+  report.mapping_coverage = layer_map.node_coverage(ar.num_nodes());
+  report.unmapped_layers = layer_map.count(mapping::MapMethod::kUnmapped);
+  report.analysis_time_s = now_s() - t0;
+
+  // 3. Latency from the backend's built-in profiler.
+  const hw::PlatformState state(platform, options_.clocks);
+  const backends::EngineProfile profile =
+      engine.profile(state, options_.iterations);
+  report.total_latency_s = profile.total_latency_s;
+  report.utilization = profile.utilization;
+  report.power_w = hw::PowerModel(state).power_w(profile.utilization);
+
+  // 4. FLOP / memory metrics per layer.
+  const bool use_counters =
+      options_.mode == MetricMode::kMeasured ||
+      (options_.mode == MetricMode::kAuto && platform.has_counter_profiler);
+  if (use_counters && !platform.has_counter_profiler) {
+    throw ConfigError("platform '" + platform.id + "' has no counter profiler");
+  }
+
+  std::vector<double> measured_flops(engine.layers().size(), 0.0);
+  std::vector<double> measured_bytes(engine.layers().size(), 0.0);
+  if (use_counters) {
+    const hw::CounterProfiler counters(platform);
+    const hw::CounterReport counter_report =
+        counters.profile(engine.all_kernels(), hw::LatencyModel(state));
+    report.counter_profiling_time_s = counter_report.profiling_time_s;
+    const mapping::StackMapping stack(engine, layer_map);
+    for (const hw::CounterSample& sample : counter_report.samples) {
+      const int layer = stack.backend_layer_of_kernel(sample.kernel_name);
+      if (layer >= 0) {
+        measured_flops[static_cast<size_t>(layer)] += sample.corrected_flops;
+        measured_bytes[static_cast<size_t>(layer)] += sample.dram_bytes;
+      }
+    }
+  }
+
+  report.layers.reserve(engine.layers().size());
+  for (size_t i = 0; i < engine.layers().size(); ++i) {
+    const backends::BackendLayer& bl = engine.layers()[i];
+    const mapping::LayerMapEntry& entry = layer_map.entries[i];
+    LayerReport layer;
+    layer.backend_layer = bl.name;
+    layer.model_nodes = entry.model_nodes;
+    layer.method = entry.method;
+    layer.cls = bl.cls;
+    layer.is_reorder = bl.is_reorder;
+    layer.latency_s = profile.layer_latency_s[i];
+    for (const hw::KernelWork& kernel : bl.kernels) {
+      layer.kernels.push_back(kernel.name);
+    }
+    if (use_counters) {
+      layer.flops = measured_flops[i];
+      layer.bytes = measured_bytes[i];
+    } else if (!entry.model_nodes.empty()) {
+      // Analytical model over the mapped node set (fusion-aware Equation 1).
+      std::vector<NodeId> ids;
+      ids.reserve(entry.model_nodes.size());
+      for (const std::string& name : entry.model_nodes) {
+        ids.push_back(ar.graph().find_node(name));
+      }
+      layer.flops = oar.fused_flops(ids);
+      layer.bytes = oar.fused_memory(ids).total();
+    } else if (bl.is_reorder) {
+      // Conversion layer: traffic derivable from its I/O tensor sizes.
+      double bytes = 0.0;
+      for (const hw::KernelWork& k : bl.kernels) {
+        bytes += k.bytes;
+      }
+      layer.bytes = bytes;
+    }
+    report.layers.push_back(std::move(layer));
+  }
+
+  // 5. Roofline assembly (theoretical ceilings at the active clocks).
+  report.roofline.ceilings.peak_flops =
+      platform.matrix_peak(options_.dtype) * state.gpu_scale();
+  report.roofline.ceilings.peak_bw = platform.dram_bw * state.mem_scale();
+  report.roofline.layers.reserve(report.layers.size());
+  for (const LayerReport& layer : report.layers) {
+    report.roofline.layers.push_back(layer.to_point());
+  }
+  report.roofline.end_to_end =
+      roofline::aggregate(report.roofline.layers, model.name());
+  return report;
+}
+
+}  // namespace proof

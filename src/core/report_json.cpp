@@ -1,0 +1,167 @@
+#include "core/report_json.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace proof {
+
+namespace {
+
+/// Minimal JSON writer: enough for flat objects/arrays of strings + numbers.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostringstream& out) : out_(out) { out_.precision(12); }
+
+  void begin_object() { separator(); out_ << '{'; fresh_ = true; }
+  void end_object() { out_ << '}'; fresh_ = false; }
+  void begin_array(const std::string& key) {
+    separator();
+    emit_key(key);
+    out_ << '[';
+    fresh_ = true;
+  }
+  void end_array() { out_ << ']'; fresh_ = false; }
+
+  void field(const std::string& key, const std::string& value) {
+    separator();
+    emit_key(key);
+    emit_string(value);
+  }
+  void field(const std::string& key, double value) {
+    separator();
+    emit_key(key);
+    if (std::isfinite(value)) {
+      out_ << value;
+    } else {
+      out_ << "null";
+    }
+  }
+  void field(const std::string& key, int64_t value) {
+    separator();
+    emit_key(key);
+    out_ << value;
+  }
+  void field(const std::string& key, bool value) {
+    separator();
+    emit_key(key);
+    out_ << (value ? "true" : "false");
+  }
+  void string_element(const std::string& value) {
+    separator();
+    emit_string(value);
+  }
+
+ private:
+  void separator() {
+    if (!fresh_) {
+      out_ << ',';
+    }
+    fresh_ = false;
+  }
+  void emit_key(const std::string& key) { emit_string(key); out_ << ':'; }
+  void emit_string(const std::string& value) {
+    out_ << '"';
+    for (const char c : value) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream& out_;
+  bool fresh_ = true;
+};
+
+}  // namespace
+
+std::string report_to_json(const ProfileReport& report) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("model", report.model_name);
+  w.field("backend", report.backend_name);
+  w.field("platform", report.platform_name);
+  w.field("dtype", std::string(dtype_name(report.options.dtype)));
+  w.field("batch", static_cast<int64_t>(report.options.batch));
+  w.field("metrics",
+          std::string(report.counter_profiling_time_s > 0.0 ? "measured"
+                                                            : "predicted"));
+  w.field("latency_s", report.total_latency_s);
+  w.field("throughput_per_s", report.throughput_per_s());
+  w.field("power_w", report.power_w);
+  w.field("mapping_coverage", report.mapping_coverage);
+  w.field("analysis_time_s", report.analysis_time_s);
+  w.field("counter_profiling_time_s", report.counter_profiling_time_s);
+
+  const roofline::Point& e2e = report.roofline.end_to_end;
+  w.field("flops", e2e.flops);
+  w.field("bytes", e2e.bytes);
+  w.field("arithmetic_intensity", e2e.arithmetic_intensity());
+  w.field("attained_flops", e2e.attained_flops());
+  w.field("attained_bandwidth", e2e.attained_bandwidth());
+  w.field("peak_flops", report.roofline.ceilings.peak_flops);
+  w.field("peak_bandwidth", report.roofline.ceilings.peak_bw);
+  w.field("memory_bound", report.roofline.ceilings.memory_bound(e2e));
+
+  w.begin_array("layers");
+  for (size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerReport& layer = report.layers[i];
+    const roofline::Point& pt = report.roofline.layers[i];
+    w.begin_object();
+    w.field("name", layer.backend_layer);
+    w.field("class", std::string(op_class_name(layer.cls)));
+    w.field("mapped_via", std::string(mapping::map_method_name(layer.method)));
+    w.field("is_reorder", layer.is_reorder);
+    w.field("latency_s", layer.latency_s);
+    w.field("latency_share", pt.latency_share);
+    w.field("flops", layer.flops);
+    w.field("bytes", layer.bytes);
+    w.field("arithmetic_intensity", pt.arithmetic_intensity());
+    w.field("attained_flops", pt.attained_flops());
+    w.begin_array("model_nodes");
+    for (const std::string& node : layer.model_nodes) {
+      w.string_element(node);
+    }
+    w.end_array();
+    w.begin_array("kernels");
+    for (const std::string& kernel : layer.kernels) {
+      w.string_element(kernel);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out.str();
+}
+
+void save_json(const std::string& json, const std::string& path) {
+  std::ofstream out(path);
+  PROOF_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << json << "\n";
+}
+
+}  // namespace proof

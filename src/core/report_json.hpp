@@ -1,0 +1,17 @@
+// JSON export of profile reports — the machine-readable interchange format
+// for external dataviewers and CI tracking.
+#pragma once
+
+#include <string>
+
+#include "core/profiler.hpp"
+
+namespace proof {
+
+/// Serializes the full report (options, end-to-end aggregates, ceilings and
+/// every backend layer with its model-design mapping) as a JSON document.
+[[nodiscard]] std::string report_to_json(const ProfileReport& report);
+
+void save_json(const std::string& json, const std::string& path);
+
+}  // namespace proof

@@ -1,0 +1,117 @@
+#include "core/report_text.hpp"
+
+#include <sstream>
+
+#include "report/table.hpp"
+#include "support/units.hpp"
+
+namespace proof {
+
+std::string summary_text(const ProfileReport& report) {
+  const roofline::Point& e2e = report.roofline.end_to_end;
+  std::ostringstream out;
+  out << "model: " << report.model_name << "  backend: " << report.backend_name
+      << "  platform: " << report.platform_name << "\n";
+  out << "dtype: " << dtype_name(report.options.dtype)
+      << "  batch: " << report.options.batch << "  metrics: "
+      << (report.counter_profiling_time_s > 0.0 ? "measured (counters)"
+                                                : "predicted (analytical)")
+      << "\n";
+  out << "latency: " << units::ms(report.total_latency_s)
+      << "  throughput: " << units::fixed(report.throughput_per_s(), 0)
+      << " samples/s\n";
+  out << "FLOP: " << units::gflop(e2e.flops)
+      << "  memory: " << units::megabytes(e2e.bytes)
+      << "  AI: " << units::fixed(e2e.arithmetic_intensity(), 2) << " FLOP/B\n";
+  out << "attained: " << units::tflops(e2e.attained_flops()) << " / "
+      << units::gbps(e2e.attained_bandwidth()) << "  bound: "
+      << (report.roofline.ceilings.memory_bound(e2e) ? "memory" : "compute")
+      << "  roofline efficiency: "
+      << units::fixed(report.roofline.roofline_efficiency() * 100.0, 1) << "%\n";
+  out << "power: " << units::fixed(report.power_w, 1)
+      << " W  mapping coverage: "
+      << units::fixed(report.mapping_coverage * 100.0, 1) << "% ("
+      << report.unmapped_layers << " unmapped layers)\n";
+  if (report.counter_profiling_time_s > 0.0) {
+    out << "counter profiling overhead: "
+        << units::fixed(report.counter_profiling_time_s, 0) << " s\n";
+  }
+  return out.str();
+}
+
+std::string layer_table_text(const ProfileReport& report, size_t max_rows) {
+  report::TextTable table({"backend layer", "nodes", "class", "latency", "share",
+                           "FLOP/s", "BW", "AI", "mapped via"});
+  size_t rows = 0;
+  for (size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerReport& layer = report.layers[i];
+    const roofline::Point& pt = report.roofline.layers[i];
+    if (max_rows > 0 && rows >= max_rows) {
+      break;
+    }
+    ++rows;
+    std::string name = layer.backend_layer;
+    if (name.size() > 42) {
+      name = name.substr(0, 39) + "...";
+    }
+    table.add_row({name, std::to_string(layer.model_nodes.size()),
+                   std::string(op_class_name(layer.cls)),
+                   units::ms(layer.latency_s),
+                   units::fixed(pt.latency_share * 100.0, 1) + "%",
+                   units::tflops(pt.attained_flops()),
+                   units::gbps(pt.attained_bandwidth()),
+                   units::fixed(pt.arithmetic_intensity(), 1),
+                   std::string(mapping::map_method_name(layer.method))});
+  }
+  return table.to_string();
+}
+
+std::string stack_text(const ProfileReport& report, const std::string& filter) {
+  std::ostringstream out;
+  const auto matches = [&](const LayerReport& layer) {
+    if (filter.empty()) {
+      return true;
+    }
+    if (layer.backend_layer.find(filter) != std::string::npos) {
+      return true;
+    }
+    for (const std::string& node : layer.model_nodes) {
+      if (node.find(filter) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  size_t shown = 0;
+  for (const LayerReport& layer : report.layers) {
+    if (!matches(layer)) {
+      continue;
+    }
+    ++shown;
+    out << "backend layer: " << layer.backend_layer << "  ["
+        << op_class_name(layer.cls) << ", " << units::ms(layer.latency_s)
+        << ", mapped via " << mapping::map_method_name(layer.method) << "]\n";
+    if (layer.model_nodes.empty()) {
+      out << "  model design: "
+          << (layer.is_reorder ? "(backend-inserted conversion layer)" : "(none)")
+          << "\n";
+    } else {
+      out << "  model design: ";
+      for (size_t i = 0; i < layer.model_nodes.size(); ++i) {
+        out << (i > 0 ? " + " : "") << layer.model_nodes[i];
+      }
+      out << "\n";
+    }
+    out << "  device kernels:";
+    for (const std::string& kernel : layer.kernels) {
+      out << " " << kernel;
+    }
+    out << "\n";
+  }
+  if (shown == 0) {
+    out << "(no backend layer matches '" << filter << "')\n";
+  }
+  return out.str();
+}
+
+}  // namespace proof

@@ -1,0 +1,25 @@
+// Text rendering of profile reports (the dataviewer's CLI output).
+#pragma once
+
+#include <string>
+
+#include "core/profiler.hpp"
+
+namespace proof {
+
+/// One-paragraph end-to-end summary: model, backend, platform, latency,
+/// throughput, attained FLOP/s and bandwidth, roofline bound, power.
+[[nodiscard]] std::string summary_text(const ProfileReport& report);
+
+/// Per-backend-layer table: name, mapped nodes, class, latency (+share),
+/// FLOP/s, bandwidth, arithmetic intensity, mapping method.
+[[nodiscard]] std::string layer_table_text(const ProfileReport& report,
+                                           size_t max_rows = 0);
+
+/// Full-stack drill-down (paper Figure 3): for layers matching `filter`
+/// (substring of the backend-layer name or of any mapped model node; empty =
+/// all layers), prints model-design nodes -> backend layer -> device kernels.
+[[nodiscard]] std::string stack_text(const ProfileReport& report,
+                                     const std::string& filter = "");
+
+}  // namespace proof

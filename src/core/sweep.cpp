@@ -1,0 +1,60 @@
+#include "core/sweep.hpp"
+
+#include <sstream>
+
+#include "report/table.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace proof {
+
+BatchSweep sweep_batches(const ProfileOptions& base, const Graph& model,
+                         std::vector<int64_t> candidates, double knee_tolerance) {
+  if (candidates.empty()) {
+    for (int64_t b = 1; b <= 2048; b *= 2) {
+      candidates.push_back(b);
+    }
+  }
+  PROOF_CHECK(knee_tolerance >= 0.0 && knee_tolerance < 1.0,
+              "knee_tolerance must be in [0, 1)");
+  BatchSweep sweep;
+  double best_throughput = 0.0;
+  for (const int64_t batch : candidates) {
+    ProfileOptions opt = base;
+    opt.batch = batch;
+    const ProfileReport r = Profiler(opt).run(model);
+    BatchPoint point;
+    point.batch = batch;
+    point.latency_s = r.total_latency_s;
+    point.throughput_per_s = r.throughput_per_s();
+    point.attained_flops = r.roofline.end_to_end.attained_flops();
+    best_throughput = std::max(best_throughput, point.throughput_per_s);
+    sweep.points.push_back(point);
+  }
+  for (const BatchPoint& point : sweep.points) {
+    if (point.throughput_per_s >= (1.0 - knee_tolerance) * best_throughput) {
+      sweep.optimal_batch = point.batch;
+      break;
+    }
+  }
+  return sweep;
+}
+
+std::string sweep_text(const BatchSweep& sweep) {
+  report::TextTable table({"batch", "latency", "throughput", "attained"});
+  for (const BatchPoint& p : sweep.points) {
+    std::string batch = std::to_string(p.batch);
+    if (p.batch == sweep.optimal_batch) {
+      batch += " *";
+    }
+    table.add_row({batch, units::ms(p.latency_s),
+                   units::fixed(p.throughput_per_s, 0) + "/s",
+                   units::tflops(p.attained_flops)});
+  }
+  std::ostringstream out;
+  out << table.to_string();
+  out << "* optimal batch (throughput knee): " << sweep.optimal_batch << "\n";
+  return out.str();
+}
+
+}  // namespace proof

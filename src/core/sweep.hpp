@@ -1,0 +1,39 @@
+// Batch-size sweeps and optimal-batch selection.
+//
+// The paper's Figure-4 methodology picks "a batch size ... that fully
+// utilizes the hardware" per device; this utility automates that choice by
+// sweeping candidate batch sizes and selecting the knee of the throughput
+// curve.
+#pragma once
+
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace proof {
+
+struct BatchPoint {
+  int64_t batch = 0;
+  double latency_s = 0.0;
+  double throughput_per_s = 0.0;
+  double attained_flops = 0.0;
+};
+
+struct BatchSweep {
+  std::vector<BatchPoint> points;
+  /// Smallest batch whose throughput is within `knee_tolerance` of the best.
+  int64_t optimal_batch = 0;
+};
+
+/// Profiles `model` at each candidate batch (default: powers of two 1..2048)
+/// and selects the saturation knee.  `knee_tolerance` = 0.05 keeps the
+/// smallest batch within 5 % of peak throughput.
+[[nodiscard]] BatchSweep sweep_batches(const ProfileOptions& base,
+                                       const Graph& model,
+                                       std::vector<int64_t> candidates = {},
+                                       double knee_tolerance = 0.05);
+
+/// Text rendering of a sweep.
+[[nodiscard]] std::string sweep_text(const BatchSweep& sweep);
+
+}  // namespace proof

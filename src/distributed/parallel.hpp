@@ -1,0 +1,82 @@
+// Distributed-inference analysis (the paper's §5 future work: "investigate
+// the adaptation of PRoof to distributed environments").
+//
+// Extends the single-device profile to multi-device estimates:
+//  * pipeline parallelism — balanced contiguous stage partition over the
+//    backend layers, activation transfers at the cuts, steady-state
+//    throughput with the classic microbatch bubble model;
+//  * tensor parallelism — matrix-bearing layers sharded across devices with
+//    ring-allreduce communication per sharded layer.
+// Both are roofline-style analytical estimates built from the same per-layer
+// quantities the profiler already produces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace proof::distributed {
+
+/// Device-to-device link model.
+struct InterconnectDesc {
+  std::string name;
+  double bandwidth = 0.0;  ///< bytes/s per direction
+  double latency_s = 0.0;  ///< per-transfer base latency
+};
+
+[[nodiscard]] InterconnectDesc nvlink4();        ///< 450 GB/s, ~2 us
+[[nodiscard]] InterconnectDesc pcie_gen4_x16();  ///< 32 GB/s, ~5 us
+[[nodiscard]] InterconnectDesc ethernet_100g();  ///< 12.5 GB/s, ~30 us
+
+/// One pipeline stage.
+struct StageReport {
+  int device = 0;
+  size_t first_layer = 0;   ///< index range into the source report's layers
+  size_t last_layer = 0;    ///< inclusive
+  double compute_s = 0.0;
+  double send_bytes = 0.0;  ///< activations forwarded to the next stage
+  double comm_s = 0.0;
+};
+
+struct PipelineReport {
+  std::vector<StageReport> stages;
+  double stage_time_s = 0.0;          ///< slowest stage incl. its comm
+  double single_batch_latency_s = 0.0;
+  double steady_throughput_per_s = 0.0;
+  double bubble_fraction = 0.0;       ///< (S-1)/(M+S-1) pipeline fill cost
+  double speedup_vs_single = 0.0;     ///< steady throughput vs 1 device
+  double scaling_efficiency = 0.0;    ///< speedup / stage count
+};
+
+/// Partitions `model`'s backend layers into `num_stages` contiguous stages on
+/// identical devices described by `options.platform_id` and estimates
+/// pipelined execution with `microbatches` in flight.
+[[nodiscard]] PipelineReport profile_pipeline(const Graph& model,
+                                              const ProfileOptions& options,
+                                              int num_stages,
+                                              const InterconnectDesc& link,
+                                              int microbatches = 8);
+
+struct TensorParallelReport {
+  int ways = 0;
+  double compute_s = 0.0;        ///< per-device compute after sharding
+  double allreduce_s = 0.0;      ///< total ring-allreduce time
+  double total_latency_s = 0.0;
+  double speedup_vs_single = 0.0;
+  double scaling_efficiency = 0.0;
+  size_t sharded_layers = 0;     ///< layers actually split
+};
+
+/// Estimates `ways`-way tensor parallelism: matrix-pipeline layers shard
+/// their compute; each sharded layer pays a ring allreduce of its output
+/// activations (2(N-1)/N * bytes / bw + latency).
+[[nodiscard]] TensorParallelReport profile_tensor_parallel(
+    const Graph& model, const ProfileOptions& options, int ways,
+    const InterconnectDesc& link);
+
+/// Text renderings.
+[[nodiscard]] std::string pipeline_text(const PipelineReport& report);
+[[nodiscard]] std::string tensor_parallel_text(const TensorParallelReport& report);
+
+}  // namespace proof::distributed

@@ -1,0 +1,62 @@
+#include "graph/attributes.hpp"
+
+#include "support/error.hpp"
+
+namespace proof {
+
+namespace {
+
+template <typename T>
+const T& get_typed(const std::map<std::string, AttrValue>& values, const std::string& key) {
+  const auto it = values.find(key);
+  PROOF_CHECK(it != values.end(), "missing attribute '" << key << "'");
+  const T* ptr = std::get_if<T>(&it->second);
+  PROOF_CHECK(ptr != nullptr, "attribute '" << key << "' has unexpected type");
+  return *ptr;
+}
+
+}  // namespace
+
+int64_t AttrMap::get_int(const std::string& key) const {
+  return get_typed<int64_t>(values_, key);
+}
+
+int64_t AttrMap::get_int_or(const std::string& key, int64_t fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+double AttrMap::get_float(const std::string& key) const {
+  const auto it = values_.find(key);
+  PROOF_CHECK(it != values_.end(), "missing attribute '" << key << "'");
+  if (const double* d = std::get_if<double>(&it->second)) {
+    return *d;
+  }
+  // Integers promote to float transparently (mirrors ONNX attribute reuse).
+  if (const int64_t* i = std::get_if<int64_t>(&it->second)) {
+    return static_cast<double>(*i);
+  }
+  PROOF_FAIL("attribute '" << key << "' is not numeric");
+}
+
+double AttrMap::get_float_or(const std::string& key, double fallback) const {
+  return has(key) ? get_float(key) : fallback;
+}
+
+const std::string& AttrMap::get_string(const std::string& key) const {
+  return get_typed<std::string>(values_, key);
+}
+
+std::string AttrMap::get_string_or(const std::string& key, const std::string& fallback) const {
+  return has(key) ? get_string(key) : fallback;
+}
+
+const std::vector<int64_t>& AttrMap::get_ints(const std::string& key) const {
+  return get_typed<std::vector<int64_t>>(values_, key);
+}
+
+std::vector<int64_t> AttrMap::get_ints_or(const std::string& key,
+                                          std::vector<int64_t> fallback) const {
+  return has(key) ? get_ints(key) : std::move(fallback);
+}
+
+}  // namespace proof

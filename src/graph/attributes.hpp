@@ -1,0 +1,40 @@
+// Node attributes (ONNX-style): a small named-value map attached to a node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace proof {
+
+using AttrValue = std::variant<int64_t, double, std::string, std::vector<int64_t>,
+                               std::vector<double>>;
+
+/// Ordered attribute map.  Accessors throw proof::Error on missing keys or
+/// type mismatches; the *_or variants return a default instead.
+class AttrMap {
+ public:
+  void set(const std::string& key, AttrValue value) { values_[key] = std::move(value); }
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  [[nodiscard]] int64_t get_int(const std::string& key) const;
+  [[nodiscard]] int64_t get_int_or(const std::string& key, int64_t fallback) const;
+  [[nodiscard]] double get_float(const std::string& key) const;
+  [[nodiscard]] double get_float_or(const std::string& key, double fallback) const;
+  [[nodiscard]] const std::string& get_string(const std::string& key) const;
+  [[nodiscard]] std::string get_string_or(const std::string& key,
+                                          const std::string& fallback) const;
+  [[nodiscard]] const std::vector<int64_t>& get_ints(const std::string& key) const;
+  [[nodiscard]] std::vector<int64_t> get_ints_or(const std::string& key,
+                                                 std::vector<int64_t> fallback) const;
+
+  [[nodiscard]] const std::map<std::string, AttrValue>& raw() const { return values_; }
+
+ private:
+  std::map<std::string, AttrValue> values_;
+};
+
+}  // namespace proof

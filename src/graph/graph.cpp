@@ -1,0 +1,306 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace proof {
+
+NodeId Graph::add_node(Node node) {
+  PROOF_CHECK(!node.name.empty(), "node must have a name");
+  PROOF_CHECK(!node.op_type.empty(), "node '" << node.name << "' must have an op_type");
+  for (const std::string& out : node.outputs) {
+    if (tensors_.find(out) == tensors_.end()) {
+      TensorDesc desc;
+      desc.name = out;
+      tensors_.emplace(out, std::move(desc));
+    }
+  }
+  nodes_.push_back(std::move(node));
+  indices_valid_ = false;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Graph::set_tensor(TensorDesc desc) {
+  PROOF_CHECK(!desc.name.empty(), "tensor must have a name");
+  tensors_[desc.name] = std::move(desc);
+}
+
+void Graph::add_param(const std::string& name, DType dtype, Shape shape) {
+  TensorDesc desc;
+  desc.name = name;
+  desc.dtype = dtype;
+  desc.shape = std::move(shape);
+  desc.is_param = true;
+  set_tensor(std::move(desc));
+}
+
+void Graph::add_input(const std::string& tensor_name) {
+  PROOF_CHECK(std::find(inputs_.begin(), inputs_.end(), tensor_name) == inputs_.end(),
+              "duplicate graph input '" << tensor_name << "'");
+  inputs_.push_back(tensor_name);
+}
+
+void Graph::add_output(const std::string& tensor_name) {
+  PROOF_CHECK(std::find(outputs_.begin(), outputs_.end(), tensor_name) == outputs_.end(),
+              "duplicate graph output '" << tensor_name << "'");
+  outputs_.push_back(tensor_name);
+}
+
+const Node& Graph::node(NodeId id) const {
+  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size(), "bad node id " << id);
+  return nodes_[static_cast<size_t>(id)];
+}
+
+Node& Graph::node(NodeId id) {
+  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size(), "bad node id " << id);
+  indices_valid_ = false;
+  return nodes_[static_cast<size_t>(id)];
+}
+
+bool Graph::has_tensor(const std::string& name) const {
+  return tensors_.find(name) != tensors_.end();
+}
+
+const TensorDesc& Graph::tensor(const std::string& name) const {
+  const auto it = tensors_.find(name);
+  PROOF_CHECK(it != tensors_.end(), "unknown tensor '" << name << "'");
+  return it->second;
+}
+
+TensorDesc& Graph::tensor(const std::string& name) {
+  const auto it = tensors_.find(name);
+  PROOF_CHECK(it != tensors_.end(), "unknown tensor '" << name << "'");
+  return it->second;
+}
+
+void Graph::rebuild_indices() const {
+  producer_of_.clear();
+  consumers_of_.clear();
+  node_by_name_.clear();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const NodeId id = static_cast<NodeId>(i);
+    const auto [it, inserted] = node_by_name_.emplace(n.name, id);
+    (void)it;
+    if (!inserted) {
+      throw ModelError("duplicate node name '" + n.name + "'");
+    }
+    for (const std::string& out : n.outputs) {
+      producer_of_[out] = id;
+    }
+    for (const std::string& in : n.inputs) {
+      consumers_of_[in].push_back(id);
+    }
+  }
+  indices_valid_ = true;
+}
+
+NodeId Graph::producer(const std::string& tensor_name) const {
+  if (!indices_valid_) {
+    rebuild_indices();
+  }
+  const auto it = producer_of_.find(tensor_name);
+  return it == producer_of_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<NodeId> Graph::consumers(const std::string& tensor_name) const {
+  if (!indices_valid_) {
+    rebuild_indices();
+  }
+  const auto it = consumers_of_.find(tensor_name);
+  return it == consumers_of_.end() ? std::vector<NodeId>{} : it->second;
+}
+
+NodeId Graph::find_node(const std::string& node_name) const {
+  if (!indices_valid_) {
+    rebuild_indices();
+  }
+  const auto it = node_by_name_.find(node_name);
+  return it == node_by_name_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<NodeId> Graph::nodes_of_type(const std::string& op_type) const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].op_type == op_type) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  if (!indices_valid_) {
+    rebuild_indices();
+  }
+  // Kahn's algorithm over tensor-mediated dependencies.
+  std::vector<int> in_degree(nodes_.size(), 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::string& in : nodes_[i].inputs) {
+      if (producer(in) != kInvalidNode) {
+        ++in_degree[i];
+      }
+    }
+  }
+  std::deque<NodeId> ready;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) {
+      ready.push_back(static_cast<NodeId>(i));
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const std::string& out : nodes_[static_cast<size_t>(id)].outputs) {
+      for (const NodeId consumer : consumers(out)) {
+        if (--in_degree[static_cast<size_t>(consumer)] == 0) {
+          ready.push_back(consumer);
+        }
+      }
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw ModelError("graph '" + name_ + "' contains a cycle");
+  }
+  return order;
+}
+
+std::optional<std::vector<NodeId>> Graph::subgraph_by_io(
+    const std::vector<std::string>& input_tensors,
+    const std::vector<std::string>& output_tensors) const {
+  const std::set<std::string> stop(input_tensors.begin(), input_tensors.end());
+  std::set<NodeId> visited;
+  std::deque<NodeId> frontier;
+
+  for (const std::string& out : output_tensors) {
+    const NodeId p = producer(out);
+    if (p == kInvalidNode) {
+      return std::nullopt;  // output is not produced by any node
+    }
+    if (visited.insert(p).second) {
+      frontier.push_back(p);
+    }
+  }
+
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop_front();
+    for (const std::string& in : nodes_[static_cast<size_t>(id)].inputs) {
+      if (stop.count(in) > 0) {
+        continue;  // boundary input: stop the walk here
+      }
+      const TensorDesc* desc = has_tensor(in) ? &tensor(in) : nullptr;
+      if (desc != nullptr && desc->is_param) {
+        continue;  // params live inside the subgraph
+      }
+      const NodeId p = producer(in);
+      if (p == kInvalidNode) {
+        // Reached a graph input / external tensor that is not in the declared
+        // boundary: the requested subgraph does not exist.
+        return std::nullopt;
+      }
+      if (visited.insert(p).second) {
+        frontier.push_back(p);
+      }
+    }
+  }
+
+  std::vector<NodeId> result(visited.begin(), visited.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Graph::Boundary Graph::boundary(const std::vector<NodeId>& node_set) const {
+  const std::set<NodeId> members(node_set.begin(), node_set.end());
+  std::set<std::string> produced_inside;
+  for (const NodeId id : node_set) {
+    for (const std::string& out : node(id).outputs) {
+      produced_inside.insert(out);
+    }
+  }
+  Boundary result;
+  std::set<std::string> seen_inputs;
+  std::set<std::string> seen_params;
+  for (const NodeId id : node_set) {
+    for (const std::string& in : node(id).inputs) {
+      if (produced_inside.count(in) > 0) {
+        continue;
+      }
+      const bool is_param = has_tensor(in) && tensor(in).is_param;
+      if (is_param) {
+        if (seen_params.insert(in).second) {
+          result.params.push_back(in);
+        }
+      } else if (seen_inputs.insert(in).second) {
+        result.inputs.push_back(in);
+      }
+    }
+  }
+  const std::set<std::string> graph_outputs(outputs_.begin(), outputs_.end());
+  for (const NodeId id : node_set) {
+    for (const std::string& out : node(id).outputs) {
+      bool external = graph_outputs.count(out) > 0;
+      if (!external) {
+        for (const NodeId consumer : consumers(out)) {
+          if (members.count(consumer) == 0) {
+            external = true;
+            break;
+          }
+        }
+      }
+      if (external) {
+        result.outputs.push_back(out);
+      }
+    }
+  }
+  return result;
+}
+
+void Graph::validate() const {
+  if (!indices_valid_) {
+    rebuild_indices();  // also checks duplicate node names
+  }
+  for (const Node& n : nodes_) {
+    for (const std::string& in : n.inputs) {
+      const bool resolvable = has_tensor(in) || producer(in) != kInvalidNode ||
+                              std::find(inputs_.begin(), inputs_.end(), in) != inputs_.end();
+      if (!resolvable) {
+        throw ModelError("node '" + n.name + "' consumes undeclared tensor '" + in + "'");
+      }
+    }
+  }
+  for (const std::string& out : outputs_) {
+    if (producer(out) == kInvalidNode) {
+      throw ModelError("graph output '" + out + "' has no producer");
+    }
+  }
+  (void)topo_order();  // throws on cycles
+}
+
+int64_t Graph::param_bytes() const {
+  int64_t total = 0;
+  for (const auto& [name, desc] : tensors_) {
+    if (desc.is_param) {
+      total += desc.size_bytes();
+    }
+  }
+  return total;
+}
+
+int64_t Graph::param_count() const {
+  int64_t total = 0;
+  for (const auto& [name, desc] : tensors_) {
+    if (desc.is_param) {
+      total += desc.numel();
+    }
+  }
+  return total;
+}
+
+}  // namespace proof

@@ -1,0 +1,121 @@
+// Model graph IR.
+//
+// A Graph mirrors the information PRoof extracts from an ONNX file: a list of
+// operator nodes, a tensor table (shapes/dtypes, which tensors are params),
+// and the designated model inputs/outputs.  The graph also provides the
+// search primitives the Optimized Analyze Representation relies on, most
+// importantly subgraph extraction by boundary tensors
+// (`get_subgraph_ops_by_io`, Figure 2 of the paper).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/node.hpp"
+#include "tensor/tensor.hpp"
+
+namespace proof {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- construction -------------------------------------------------------
+
+  /// Adds a node; all of its output tensors get placeholder descs if unknown.
+  NodeId add_node(Node node);
+
+  /// Declares/overwrites a tensor description.
+  void set_tensor(TensorDesc desc);
+
+  /// Declares a model parameter (weight) tensor.
+  void add_param(const std::string& name, DType dtype, Shape shape);
+
+  /// Marks graph-level inputs/outputs.
+  void add_input(const std::string& tensor_name);
+  void add_output(const std::string& tensor_name);
+
+  // --- lookup -------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] std::vector<Node>& nodes() { return nodes_; }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] size_t num_nodes() const { return nodes_.size(); }
+
+  [[nodiscard]] bool has_tensor(const std::string& name) const;
+  [[nodiscard]] const TensorDesc& tensor(const std::string& name) const;
+  [[nodiscard]] TensorDesc& tensor(const std::string& name);
+  [[nodiscard]] const std::map<std::string, TensorDesc>& tensors() const { return tensors_; }
+
+  [[nodiscard]] const std::vector<std::string>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<std::string>& outputs() const { return outputs_; }
+
+  /// Node that produces `tensor_name`, or kInvalidNode for inputs/params.
+  [[nodiscard]] NodeId producer(const std::string& tensor_name) const;
+
+  /// Nodes that consume `tensor_name` (in node order).
+  [[nodiscard]] std::vector<NodeId> consumers(const std::string& tensor_name) const;
+
+  /// Finds a node by its unique name; returns kInvalidNode when absent.
+  [[nodiscard]] NodeId find_node(const std::string& node_name) const;
+
+  /// All node ids with the given op_type, in node order.
+  [[nodiscard]] std::vector<NodeId> nodes_of_type(const std::string& op_type) const;
+
+  // --- analysis primitives --------------------------------------------------
+
+  /// Topological order of node ids; throws ModelError on cycles.
+  [[nodiscard]] std::vector<NodeId> topo_order() const;
+
+  /// Returns the set of nodes forming the subgraph whose external inputs are
+  /// covered by `input_tensors` and which produces all `output_tensors`
+  /// (paper interface `get_subgraph_ops_by_io`).  Walks backwards from the
+  /// outputs, stopping at the given inputs / params / graph inputs.  Returns
+  /// std::nullopt when the walk escapes the boundary (no such subgraph).
+  [[nodiscard]] std::optional<std::vector<NodeId>> subgraph_by_io(
+      const std::vector<std::string>& input_tensors,
+      const std::vector<std::string>& output_tensors) const;
+
+  /// Boundary tensors of a node set: external inputs (consumed but not
+  /// produced inside, excluding params unless `include_params`) and external
+  /// outputs (produced inside and consumed outside or graph outputs).
+  struct Boundary {
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    std::vector<std::string> params;
+  };
+  [[nodiscard]] Boundary boundary(const std::vector<NodeId>& node_set) const;
+
+  /// Structural validation: unique names, inputs resolvable, no orphan
+  /// outputs.  Throws ModelError with a precise message on violation.
+  void validate() const;
+
+  /// Total parameter bytes (all tensors flagged is_param).
+  [[nodiscard]] int64_t param_bytes() const;
+  /// Total parameter element count.
+  [[nodiscard]] int64_t param_count() const;
+
+ private:
+  void rebuild_indices() const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::map<std::string, TensorDesc> tensors_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+
+  // Lazy caches, rebuilt on demand after mutation.
+  mutable bool indices_valid_ = false;
+  mutable std::map<std::string, NodeId> producer_of_;
+  mutable std::map<std::string, std::vector<NodeId>> consumers_of_;
+  mutable std::map<std::string, NodeId> node_by_name_;
+};
+
+}  // namespace proof

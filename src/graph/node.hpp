@@ -1,0 +1,25 @@
+// A node in the model graph: one operator application.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/attributes.hpp"
+
+namespace proof {
+
+/// Stable node identifier within a Graph (index into Graph::nodes()).
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Node {
+  std::string name;               ///< Unique within the graph.
+  std::string op_type;            ///< "Conv", "MatMul", ... (or "_FusedOp").
+  std::vector<std::string> inputs;   ///< Tensor names (may include params).
+  std::vector<std::string> outputs;  ///< Tensor names.
+  AttrMap attrs;
+
+  [[nodiscard]] bool is(const std::string& type) const { return op_type == type; }
+};
+
+}  // namespace proof

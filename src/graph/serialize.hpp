@@ -1,0 +1,32 @@
+// Text serialization of model graphs (".pg" — proof graph).
+//
+// The paper's tool consumes ONNX protobufs; this reproduction uses an
+// equivalent self-contained line-oriented text format so models can be saved,
+// diffed and loaded without a protobuf dependency.  Format:
+//
+//   graph <name>
+//   input <tensor-name>
+//   output <tensor-name>
+//   tensor <name> <dtype> [d0,d1,...] (param|var)
+//   node <name> <op-type> in=<t1,t2> out=<t3> <key>=i:<int> <key>=f:<float>
+//        <key>=s:<string> <key>=is:<int,int,...>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace proof {
+
+/// Serializes `graph` to the text format.
+[[nodiscard]] std::string graph_to_text(const Graph& graph);
+
+/// Parses the text format; throws ModelError on malformed input.
+[[nodiscard]] Graph graph_from_text(const std::string& text);
+
+/// File convenience wrappers.
+void save_graph(const Graph& graph, const std::string& path);
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+}  // namespace proof

@@ -1,0 +1,99 @@
+#include "hw/counters.hpp"
+
+#include "hw/hardware_flops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace proof::hw {
+
+double CounterReport::total_corrected_flops() const {
+  double total = 0.0;
+  for (const CounterSample& s : samples) {
+    total += s.corrected_flops;
+  }
+  return total;
+}
+
+double CounterReport::total_raw_flops() const {
+  double total = 0.0;
+  for (const CounterSample& s : samples) {
+    total += s.ncu_raw_flops;
+  }
+  return total;
+}
+
+double CounterReport::total_dram_bytes() const {
+  double total = 0.0;
+  for (const CounterSample& s : samples) {
+    total += s.dram_bytes;
+  }
+  return total;
+}
+
+double measured_traffic_factor(OpClass cls) {
+  switch (cls) {
+    case OpClass::kGemm:
+      return 1.04;  // tile-spill workspace traffic
+    case OpClass::kConv:
+    case OpClass::kConvPointwise:
+      return 1.01;
+    case OpClass::kConvDepthwise:
+      return 1.03;  // halo re-reads
+    case OpClass::kSoftmax:
+    case OpClass::kNormalization:
+      return 1.09;  // multi-pass statistics re-read the tensor
+    case OpClass::kReduction:
+      return 1.02;
+    case OpClass::kDataMovement:
+      return 1.05;  // strided accesses trigger extra sector traffic
+    case OpClass::kCopy:
+      return 1.01;
+    case OpClass::kElementwise:
+    case OpClass::kNoOp:
+      return 1.0;
+  }
+  PROOF_FAIL("unknown op class");
+}
+
+CounterProfiler::CounterProfiler(const PlatformDesc& platform, CounterConfig config)
+    : platform_(&platform), config_(config) {}
+
+bool CounterProfiler::available() const { return platform_->has_counter_profiler; }
+
+CounterReport CounterProfiler::profile(const std::vector<KernelWork>& kernels,
+                                       const LatencyModel& model) const {
+  PROOF_CHECK(available(), "platform '" << platform_->id
+                                        << "' has no counter profiling tool");
+  CounterReport report;
+  report.samples.reserve(kernels.size());
+  for (const KernelWork& kernel : kernels) {
+    const MmaShape mma = mma_shape(platform_->arch, kernel.dtype);
+    CounterSample s;
+    s.kernel_name = kernel.name;
+    s.scalar_flops = kernel.hw_flops - kernel.matrix_flops;
+    PROOF_CHECK(s.scalar_flops >= -1e-6 * kernel.hw_flops,
+                "matrix_flops exceeds hw_flops for kernel '" << kernel.name << "'");
+    s.hmma_instructions = kernel.matrix_flops / mma.flop_per_instruction();
+    // NCU assumes every tensor instruction performs 512 FLOP (correct only
+    // for Volta HMMA.884); PRoof multiplies the instruction count by the
+    // architecture's true FLOP/instruction instead.
+    s.ncu_raw_flops = s.hmma_instructions * 512.0 + s.scalar_flops;
+    s.corrected_flops =
+        s.hmma_instructions * mma.flop_per_instruction() + s.scalar_flops;
+
+    Rng rng = Rng::from_string(kernel.name, /*salt=*/0xC0FFEE);
+    const double jitter =
+        1.0 + config_.jitter_frac * rng.next_gaussian() / 3.0;
+    s.dram_bytes = kernel.bytes * measured_traffic_factor(kernel.cls) * jitter;
+
+    const KernelTiming timing = model.time_kernel(kernel);
+    s.latency_s = timing.latency_s;
+    report.profiling_time_s +=
+        config_.per_kernel_fixed_s +
+        static_cast<double>(config_.replay_passes) * timing.latency_s;
+    report.samples.push_back(std::move(s));
+  }
+  return report;
+}
+
+}  // namespace proof::hw

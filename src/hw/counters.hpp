@@ -1,0 +1,67 @@
+// Simulated hardware-counter profiler (the paper's NVIDIA Nsight Compute
+// substitute).
+//
+// Reproduces the behaviours §4.2 reports:
+//  * measured FLOP = Hardware FLOP (tile padding, instruction counting);
+//  * NCU's tensor-core bug: raw FLOP = HMMA instruction count x 512, which is
+//    only correct for Volta's HMMA.884 — PRoof corrects using per-arch MMA
+//    shapes (Raihan et al.);
+//  * measured DRAM traffic carries cache/workspace effects and small jitter;
+//  * kernel-replay overhead makes counter profiling orders of magnitude
+//    slower than the analytical model (Table 4's "Prof. time" column).
+#pragma once
+
+#include <vector>
+
+#include "hw/latency_model.hpp"
+
+namespace proof::hw {
+
+/// Counter readings of one kernel.
+struct CounterSample {
+  std::string kernel_name;
+  double hmma_instructions = 0.0;
+  double ncu_raw_flops = 0.0;     ///< HMMA x 512 + scalar (the buggy reading)
+  double corrected_flops = 0.0;   ///< HMMA x arch FLOP/instr + scalar
+  double scalar_flops = 0.0;
+  double dram_bytes = 0.0;
+  double latency_s = 0.0;
+};
+
+struct CounterConfig {
+  int replay_passes = 40;          ///< kernel replays to cover all counters
+  double per_kernel_fixed_s = 4.5; ///< NCU setup/serialization per kernel
+  double jitter_frac = 0.015;      ///< run-to-run measurement noise
+};
+
+struct CounterReport {
+  std::vector<CounterSample> samples;
+  double profiling_time_s = 0.0;   ///< extra wall time spent by the profiler
+
+  [[nodiscard]] double total_corrected_flops() const;
+  [[nodiscard]] double total_raw_flops() const;
+  [[nodiscard]] double total_dram_bytes() const;
+};
+
+class CounterProfiler {
+ public:
+  CounterProfiler(const PlatformDesc& platform, CounterConfig config = {});
+
+  /// True when the platform ships an NCU-like tool (Table 2: data-center and
+  /// desktop GPUs only).
+  [[nodiscard]] bool available() const;
+
+  /// Profiles a kernel sequence under `model`'s clock state.
+  [[nodiscard]] CounterReport profile(const std::vector<KernelWork>& kernels,
+                                      const LatencyModel& model) const;
+
+ private:
+  const PlatformDesc* platform_;
+  CounterConfig config_;
+};
+
+/// Multiplier applied to predicted DRAM traffic to obtain a "measured" value:
+/// real kernels add workspace/cache-eviction traffic that Equation 1 ignores.
+[[nodiscard]] double measured_traffic_factor(OpClass cls);
+
+}  // namespace proof::hw

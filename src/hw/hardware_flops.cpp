@@ -1,0 +1,118 @@
+#include "hw/hardware_flops.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace proof::hw {
+
+namespace {
+
+double ceil_to(double value, int multiple) {
+  return std::ceil(value / static_cast<double>(multiple)) *
+         static_cast<double>(multiple);
+}
+
+/// Ratio of hardware (instruction-count) FLOP to analytical Model FLOP for
+/// non-matrix ops.  Transcendentals execute as one MUFU instruction on GPUs,
+/// so hardware counts land *below* the model's multi-FLOP charge.
+double scalar_hw_factor(const std::string& op_type) {
+  static const std::map<std::string, double> kFactors = {
+      {"Sigmoid", 0.25}, {"Silu", 0.3},    {"Tanh", 0.125},  {"Erf", 0.125},
+      {"Exp", 0.125},    {"Log", 0.125},   {"Sqrt", 0.25},   {"Pow", 0.25},
+      {"Gelu", 0.4},     {"Softmax", 0.3}, {"Div", 0.5},     {"Reciprocal", 0.25},
+      {"HardSwish", 0.8}, {"HardSigmoid", 0.8}, {"Clip", 0.5},
+      {"LayerNormalization", 0.75}, {"GroupNormalization", 0.75},
+  };
+  const auto it = kFactors.find(op_type);
+  return it == kFactors.end() ? 1.0 : it->second;
+}
+
+}  // namespace
+
+MmaShape mma_shape(const std::string& arch, DType dtype) {
+  const bool int8 = dtype == DType::kI8;
+  if (arch == "volta") {
+    return MmaShape{8, 8, 4};  // HMMA.884: 512 FLOP — NCU's fixed assumption
+  }
+  if (arch == "turing") {
+    return int8 ? MmaShape{8, 8, 16} : MmaShape{16, 8, 8};
+  }
+  if (arch == "ampere" || arch == "ada" || arch == "hopper") {
+    return int8 ? MmaShape{16, 8, 32} : MmaShape{16, 8, 16};
+  }
+  // Non-NVIDIA matrix engines: model one 16x16x16 tile op.
+  return MmaShape{16, 16, 16};
+}
+
+BlockTile block_tile(const std::string& arch) {
+  if (arch == "volta" || arch == "turing") {
+    return BlockTile{64, 32, 16};
+  }
+  return BlockTile{64, 64, 32};
+}
+
+double padded_gemm_flops(double m, double n, double k, const BlockTile& tile) {
+  PROOF_CHECK(m >= 0 && n >= 0 && k >= 0, "negative GEMM dims");
+  return 2.0 * ceil_to(m, tile.m) * ceil_to(n, tile.n) * ceil_to(k, tile.k);
+}
+
+double hardware_flops(const OpContext& ctx, const std::string& arch) {
+  const Node& node = ctx.node();
+  const OpDef& def = op_def_for(node);
+  const OpClass cls = def.op_class(ctx);
+  const BlockTile tile = block_tile(arch);
+
+  if (node.op_type == "Conv" && cls != OpClass::kConvDepthwise) {
+    const Shape& x = ctx.in_shape(0);
+    const Shape& w = ctx.in_shape(1);
+    const Shape& y = ctx.out_shape(0);
+    const int64_t groups = ctx.attrs().get_int_or("group", 1);
+    const double m = static_cast<double>(y.dim(0) * y.dim(2) * y.dim(3));
+    const double n = static_cast<double>(w.dim(0)) / static_cast<double>(groups);
+    const double k = static_cast<double>(w.dim(1) * w.dim(2) * w.dim(3));
+    (void)x;
+    return static_cast<double>(groups) * padded_gemm_flops(m, n, k, tile);
+  }
+  if (cls == OpClass::kConvDepthwise) {
+    // Specialized depthwise kernels: halo re-reads plus partially-filled
+    // vector lanes on thin channel tiles.
+    return def.flops(ctx) * 1.25;
+  }
+  if (node.op_type == "ConvTranspose") {
+    return def.flops(ctx) * 1.15;
+  }
+  if (node.op_type == "Gemm") {
+    // Dense GEMMs pad to MMA-instruction granularity only (the kernel picks a
+    // block tile that divides the instruction shape).
+    const MmaShape mma = mma_shape(arch, ctx.output(0).dtype);
+    const Shape& y = ctx.out_shape(0);
+    const double m = static_cast<double>(y.dim(0));
+    const double n = static_cast<double>(y.dim(1));
+    const double k = static_cast<double>(ctx.in_shape(0).numel()) / m;
+    return padded_gemm_flops(m, n, k, BlockTile{mma.m, mma.n, mma.k});
+  }
+  if (node.op_type == "MatMul") {
+    const MmaShape mma = mma_shape(arch, ctx.output(0).dtype);
+    const BlockTile itile{mma.m, mma.n, mma.k};
+    const Shape& a = ctx.in_shape(0);
+    const Shape& b = ctx.in_shape(1);
+    const Shape& y = ctx.out_shape(0);
+    const double m = static_cast<double>(y.dim(-2));
+    const double n = static_cast<double>(y.dim(-1));
+    const double k = static_cast<double>(a.dim(-1));
+    const double batch = static_cast<double>(y.numel()) / (m * n);
+    if (b.rank() <= 2) {
+      // Shared weight matrix: the kernel concatenates all batch rows into one
+      // tall GEMM, so M padding amortizes away.
+      return padded_gemm_flops(batch * m, n, k, itile);
+    }
+    // Per-sample B matrices (attention): every matrix pads individually.
+    return batch * padded_gemm_flops(m, n, k, itile);
+  }
+  // Scalar-pipeline ops: instruction-count accounting.
+  return def.flops(ctx) * scalar_hw_factor(node.op_type);
+}
+
+}  // namespace proof::hw

@@ -1,0 +1,51 @@
+// "Hardware FLOP" estimation (paper §4.2).
+//
+// The analytical model predicts Model FLOP — the algorithmically necessary
+// work.  A counter-based profiler instead observes Hardware FLOP: matrix
+// pipelines execute tile-padded MMA instructions, and scalar transcendentals
+// count as single instructions regardless of their algorithmic FLOP weight.
+// This module models that divergence so the simulated counter profiler
+// reports realistic NCU-style numbers.
+#pragma once
+
+#include <string>
+
+#include "ops/op_def.hpp"
+
+namespace proof::hw {
+
+/// MMA instruction geometry of a GPU generation.
+struct MmaShape {
+  int m = 0, n = 0, k = 0;
+  /// FLOP actually performed by one HMMA/IMMA instruction (2*m*n*k).
+  [[nodiscard]] double flop_per_instruction() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+  }
+};
+
+/// Per-architecture MMA shape (from Raihan et al.'s reverse engineering,
+/// the correction source cited in §4.2).  Volta HMMA.884 performs 512 FLOP —
+/// the only case where NCU's fixed x512 accounting is correct.
+[[nodiscard]] MmaShape mma_shape(const std::string& arch, DType dtype);
+
+/// Thread-block tile the implicit-GEMM kernels pad to.  Dimensions that are
+/// not multiples of the tile are rounded up, wasting FLOP.
+struct BlockTile {
+  int m = 64, n = 32, k = 16;
+};
+[[nodiscard]] BlockTile block_tile(const std::string& arch);
+
+/// GEMM FLOP after tile padding: 2 * ceil(M) * ceil(N) * ceil(K).
+[[nodiscard]] double padded_gemm_flops(double m, double n, double k,
+                                       const BlockTile& tile);
+
+/// Hardware FLOP of one model node on `arch`.
+///  * Conv / Gemm / MatMul: implicit-GEMM tile padding.
+///  * Depthwise conv: specialized kernels, ~8 % halo/boundary waste.
+///  * Elementwise / normalization / softmax: instruction-count FLOP; GPU
+///    transcendentals are a single MUFU instruction, so the hardware count is
+///    *below* the analytical model's multi-FLOP charge.
+[[nodiscard]] double hardware_flops(const OpContext& ctx, const std::string& arch);
+
+}  // namespace proof::hw

@@ -1,0 +1,187 @@
+#include "hw/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace proof::hw {
+
+namespace {
+
+double clamp_to_domain(const ClockDomain& domain, double mhz) {
+  PROOF_CHECK(domain.nominal_mhz > 0.0, "clock domain not configured");
+  if (domain.available_mhz.empty()) {
+    return mhz;
+  }
+  // Snap to the nearest available step.
+  double best = domain.available_mhz.front();
+  for (const double step : domain.available_mhz) {
+    if (std::abs(step - mhz) < std::abs(best - mhz)) {
+      best = step;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PlatformState::PlatformState(const PlatformDesc& desc, ClockSetting clocks)
+    : desc_(&desc), clocks_(std::move(clocks)) {
+  if (clocks_.gpu_mhz.has_value()) {
+    clocks_.gpu_mhz = clamp_to_domain(desc.gpu_clock, *clocks_.gpu_mhz);
+  }
+  if (clocks_.mem_mhz.has_value()) {
+    clocks_.mem_mhz = clamp_to_domain(desc.mem_clock, *clocks_.mem_mhz);
+  }
+  PROOF_CHECK(clocks_.cpu_cluster_mhz.empty() ||
+                  clocks_.cpu_cluster_mhz.size() == desc.cpu_clusters.size(),
+              "platform '" << desc.id << "' has " << desc.cpu_clusters.size()
+                           << " CPU clusters, got "
+                           << clocks_.cpu_cluster_mhz.size() << " settings");
+}
+
+double PlatformState::gpu_mhz() const {
+  return clocks_.gpu_mhz.value_or(desc_->gpu_clock.nominal_mhz);
+}
+
+double PlatformState::mem_mhz() const {
+  return clocks_.mem_mhz.value_or(desc_->mem_clock.nominal_mhz);
+}
+
+double PlatformState::gpu_scale() const {
+  return gpu_mhz() / desc_->gpu_clock.nominal_mhz;
+}
+
+double PlatformState::mem_scale() const {
+  return mem_mhz() / desc_->mem_clock.nominal_mhz;
+}
+
+int PlatformState::active_cpu_clusters() const {
+  if (clocks_.cpu_cluster_mhz.empty()) {
+    return static_cast<int>(desc_->cpu_clusters.size());
+  }
+  int active = 0;
+  for (const double mhz : clocks_.cpu_cluster_mhz) {
+    if (mhz > 0.0) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+double LatencyModel::class_compute_eff(OpClass cls) {
+  switch (cls) {
+    case OpClass::kGemm:
+      return 1.0;
+    case OpClass::kConv:
+      return 0.93;
+    case OpClass::kConvPointwise:
+      return 0.88;
+    case OpClass::kConvDepthwise:
+      return 0.11;  // poor tiling / vector pipeline only
+    case OpClass::kElementwise:
+      return 0.9;
+    case OpClass::kReduction:
+      return 0.45;
+    case OpClass::kNormalization:
+      return 0.55;
+    case OpClass::kSoftmax:
+      return 0.5;
+    case OpClass::kDataMovement:
+    case OpClass::kCopy:
+    case OpClass::kNoOp:
+      return 1.0;  // no compute component
+  }
+  PROOF_FAIL("unknown op class");
+}
+
+double LatencyModel::class_memory_eff(OpClass cls) {
+  switch (cls) {
+    case OpClass::kGemm:
+      return 0.9;
+    case OpClass::kConv:
+    case OpClass::kConvPointwise:
+      return 0.85;  // implicit-GEMM streams are not perfectly coalesced
+    case OpClass::kElementwise:
+      return 0.92;
+    case OpClass::kConvDepthwise:
+      return 0.9;
+    case OpClass::kReduction:
+    case OpClass::kNormalization:
+    case OpClass::kSoftmax:
+      return 0.9;
+    case OpClass::kDataMovement:
+      return 0.42;  // strided transposes / gathers / channel shuffles
+    case OpClass::kCopy:
+      return 0.97;  // contiguous copies stream near peak
+    case OpClass::kNoOp:
+      return 1.0;
+  }
+  PROOF_FAIL("unknown op class");
+}
+
+bool LatencyModel::uses_matrix_pipeline(OpClass cls) {
+  return cls == OpClass::kGemm || cls == OpClass::kConv ||
+         cls == OpClass::kConvPointwise;
+}
+
+double LatencyModel::achieved_bandwidth() const {
+  const PlatformDesc& d = state_.desc();
+  double bw = d.dram_bw * state_.mem_scale() * d.max_mem_eff;
+  if (d.copy_bytes_per_clock > 0.0) {
+    const double copy_cap = d.copy_bytes_per_clock * state_.gpu_mhz() * 1e6;
+    bw = std::min(bw, copy_cap);
+  }
+  return bw;
+}
+
+double LatencyModel::achieved_compute_peak(DType dtype) const {
+  const PlatformDesc& d = state_.desc();
+  return d.matrix_peak(dtype) * state_.gpu_scale() * d.max_compute_eff;
+}
+
+KernelTiming LatencyModel::time_kernel(const KernelWork& kernel) const {
+  const PlatformDesc& d = state_.desc();
+  KernelTiming t;
+
+  double compute_s = 0.0;
+  if (kernel.hw_flops > 0.0) {
+    PROOF_CHECK(d.supports(kernel.dtype),
+                "platform '" << d.id << "' does not support "
+                             << dtype_name(kernel.dtype));
+    const double pipeline_peak = uses_matrix_pipeline(kernel.cls)
+                                     ? d.matrix_peak(kernel.dtype)
+                                     : d.vector_peak(kernel.dtype);
+    double eff = d.max_compute_eff * class_compute_eff(kernel.cls);
+    if (kernel.cls == OpClass::kConv || kernel.cls == OpClass::kConvPointwise ||
+        kernel.cls == OpClass::kConvDepthwise) {
+      eff *= d.conv_eff_scale;
+    }
+    // Occupancy ramp: small kernels pay a wave/tail penalty that fades as the
+    // in-flight work saturates the machine (additive, so tiny kernels stay
+    // overhead-bound instead of diverging).
+    const double occ = kernel.hw_flops / (kernel.hw_flops + d.saturation_flops);
+    const double ramp_s =
+        d.saturation_flops /
+        (d.matrix_peak(kernel.dtype) * state_.gpu_scale() * d.max_compute_eff);
+    compute_s = kernel.hw_flops / (pipeline_peak * state_.gpu_scale() * eff) +
+                ramp_s * (1.0 - occ);
+  }
+
+  double memory_s = 0.0;
+  if (kernel.bytes > 0.0) {
+    const double sat_bytes = d.saturation_flops / 400.0;
+    const double occ = kernel.bytes / (kernel.bytes + sat_bytes);
+    const double bw = achieved_bandwidth() * class_memory_eff(kernel.cls);
+    memory_s = kernel.bytes / bw + (sat_bytes / bw) * (1.0 - occ);
+  }
+
+  t.compute_s = compute_s;
+  t.memory_s = memory_s;
+  t.memory_bound = memory_s >= compute_s;
+  t.latency_s = d.kernel_overhead_s + std::max(compute_s, memory_s);
+  return t;
+}
+
+}  // namespace proof::hw

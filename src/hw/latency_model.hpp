@@ -1,0 +1,87 @@
+// Roofline-consistent kernel latency simulation.
+//
+// This is the substitute for real hardware in this reproduction: given a
+// kernel's workload class, hardware FLOP and DRAM traffic, the model produces
+// a deterministic latency `overhead + max(compute, memory)` using the
+// platform's pipeline peaks, efficiency ceilings, occupancy saturation and
+// DVFS clock scaling.  Calibrated so the paper's qualitative results hold
+// (see DESIGN.md §7).
+#pragma once
+
+#include <string>
+
+#include "hw/platform.hpp"
+#include "ops/op_def.hpp"
+
+namespace proof::hw {
+
+/// One device kernel's workload as seen by the hardware.
+struct KernelWork {
+  std::string name;
+  OpClass cls = OpClass::kElementwise;
+  DType dtype = DType::kF32;
+  double hw_flops = 0.0;     ///< padded/implementation FLOP (drives latency)
+  double bytes = 0.0;        ///< DRAM bytes moved
+  /// Subset of hw_flops executed as MMA (tensor-core) instructions; the rest
+  /// runs on the scalar/vector pipeline.  Consumed by the counter profiler.
+  double matrix_flops = 0.0;
+};
+
+/// A platform pinned at a specific clock configuration.
+class PlatformState {
+ public:
+  explicit PlatformState(const PlatformDesc& desc, ClockSetting clocks = {});
+
+  [[nodiscard]] const PlatformDesc& desc() const { return *desc_; }
+  [[nodiscard]] const ClockSetting& clocks() const { return clocks_; }
+
+  /// Frequency scale factors vs nominal.
+  [[nodiscard]] double gpu_scale() const;
+  [[nodiscard]] double mem_scale() const;
+  [[nodiscard]] double gpu_mhz() const;
+  [[nodiscard]] double mem_mhz() const;
+  /// Number of powered CPU clusters.
+  [[nodiscard]] int active_cpu_clusters() const;
+
+ private:
+  const PlatformDesc* desc_;
+  ClockSetting clocks_;
+};
+
+/// Per-kernel timing split.
+struct KernelTiming {
+  double latency_s = 0.0;
+  double compute_s = 0.0;   ///< compute-pipeline busy time
+  double memory_s = 0.0;    ///< DRAM busy time
+  bool memory_bound = false;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(PlatformState state) : state_(std::move(state)) {}
+
+  [[nodiscard]] const PlatformState& state() const { return state_; }
+
+  /// Simulated execution time of one kernel.
+  [[nodiscard]] KernelTiming time_kernel(const KernelWork& kernel) const;
+
+  /// Best-case attained FLOP/s for an ideal large GEMM at `dtype` (what the
+  /// paper's roofline-peak pseudo model measures, Table 6).
+  [[nodiscard]] double achieved_compute_peak(DType dtype) const;
+
+  /// Best-case attained DRAM bandwidth: min of the DRAM limit at the memory
+  /// clock and the copy capability of the compute engine at the core clock.
+  [[nodiscard]] double achieved_bandwidth() const;
+
+  /// Efficiency multiplier of the compute pipeline for a workload class.
+  [[nodiscard]] static double class_compute_eff(OpClass cls);
+  /// Efficiency multiplier of DRAM streaming for a workload class.
+  [[nodiscard]] static double class_memory_eff(OpClass cls);
+  /// True when the class runs on the matrix (tensor-core) pipeline.
+  [[nodiscard]] static bool uses_matrix_pipeline(OpClass cls);
+
+ private:
+  PlatformState state_;
+};
+
+}  // namespace proof::hw

@@ -1,0 +1,269 @@
+#include "hw/platform.hpp"
+
+#include "support/error.hpp"
+
+namespace proof::hw {
+
+double PlatformDesc::matrix_peak(DType dtype) const {
+  const auto it = tensor_peak_flops.find(dtype);
+  if (it != tensor_peak_flops.end()) {
+    return it->second;
+  }
+  return vector_peak(dtype);
+}
+
+double PlatformDesc::vector_peak(DType dtype) const {
+  const auto it = vector_peak_flops.find(dtype);
+  PROOF_CHECK(it != vector_peak_flops.end(),
+              "platform '" << id << "' does not support dtype " << dtype_name(dtype));
+  return it->second;
+}
+
+bool PlatformDesc::supports(DType dtype) const {
+  return vector_peak_flops.count(dtype) > 0 || tensor_peak_flops.count(dtype) > 0;
+}
+
+namespace {
+
+constexpr double kT = 1e12;
+constexpr double kG = 1e9;
+
+PlatformDesc make_a100() {
+  PlatformDesc p;
+  p.id = "a100";
+  p.name = "NVIDIA A100 PCIE-40GB";
+  p.scenario = "Data center GPU";
+  p.runtime = "trt_sim";
+  p.arch = "ampere";
+  p.tensor_peak_flops = {{DType::kF16, 312.0 * kT},
+                         {DType::kBF16, 312.0 * kT},
+                         {DType::kI8, 624.0 * kT},
+                         {DType::kF32, 19.5 * kT}};
+  p.vector_peak_flops = {{DType::kF16, 78.0 * kT},
+                         {DType::kBF16, 39.0 * kT},
+                         {DType::kF32, 19.5 * kT},
+                         {DType::kI8, 78.0 * kT}};
+  p.dram_bw = 1555.0 * kG;
+  p.kernel_overhead_s = 4.5e-6;
+  p.max_compute_eff = 0.82;
+  p.max_mem_eff = 0.88;
+  p.saturation_flops = 1.1e9;
+  p.conv_eff_scale = 0.80;
+  p.gpu_clock = {1410.0, {765.0, 1065.0, 1410.0}};
+  p.mem_clock = {1215.0, {1215.0}};
+  p.has_counter_profiler = true;
+  p.power = {35.0, 0.0, 215.0, 0.72, 60.0, 0.8, 0.2, 0.25};
+  return p;
+}
+
+PlatformDesc make_rtx4090() {
+  PlatformDesc p;
+  p.id = "rtx4090";
+  p.name = "NVIDIA RTX 4090";
+  p.scenario = "Desktop GPU";
+  p.runtime = "trt_sim";
+  p.arch = "ada";
+  p.tensor_peak_flops = {{DType::kF16, 330.4 * kT},
+                         {DType::kBF16, 330.4 * kT},
+                         {DType::kI8, 660.8 * kT},
+                         {DType::kF32, 82.6 * kT}};
+  p.vector_peak_flops = {{DType::kF16, 82.6 * kT},
+                         {DType::kBF16, 82.6 * kT},
+                         {DType::kF32, 82.6 * kT},
+                         {DType::kI8, 82.6 * kT}};
+  p.dram_bw = 1008.0 * kG;
+  p.kernel_overhead_s = 4.0e-6;
+  p.max_compute_eff = 0.78;
+  p.max_mem_eff = 0.9;
+  p.saturation_flops = 0.9e9;
+  p.conv_eff_scale = 0.80;
+  p.gpu_clock = {2520.0, {1260.0, 1800.0, 2520.0}};
+  p.mem_clock = {1313.0, {1313.0}};
+  p.has_counter_profiler = true;
+  p.power = {30.0, 0.0, 330.0, 0.7, 90.0, 0.8, 0.15, 0.2};
+  return p;
+}
+
+PlatformDesc make_xeon6330() {
+  PlatformDesc p;
+  p.id = "xeon6330";
+  p.name = "Intel Xeon Gold 6330";
+  p.scenario = "Datacenter CPU";
+  p.runtime = "ort_sim";
+  p.arch = "x86";
+  // 28 cores x 2.0 GHz AVX-512 base x 2 FMA units x 16 lanes x 2 FLOP.
+  p.vector_peak_flops = {{DType::kF32, 3.58 * kT},
+                         {DType::kF16, 3.58 * kT},   // fp16 emulated via fp32 FMA
+                         {DType::kI8, 28.7 * kT}};   // VNNI
+  p.dram_bw = 187.0 * kG;  // 8ch DDR4-2933
+  p.kernel_overhead_s = 1.5e-6;
+  p.max_compute_eff = 0.75;
+  p.max_mem_eff = 0.75;
+  p.saturation_flops = 0.15e9;
+  p.gpu_clock = {2000.0, {2000.0}};  // core clock reused as the compute domain
+  p.mem_clock = {1466.5, {1466.5}};
+  p.cpu_clusters = {{2000.0, {2000.0}}};
+  p.power = {80.0, 0.0, 125.0, 0.8, 40.0, 0.85, 0.3, 0.3};
+  return p;
+}
+
+PlatformDesc make_xavier_nx() {
+  PlatformDesc p;
+  p.id = "xavier_nx";
+  p.name = "NVIDIA Jetson Xavier NX";
+  p.scenario = "Edge GPU";
+  p.runtime = "trt_sim";
+  p.arch = "volta";
+  // 48 Volta tensor cores @ 1100 MHz.
+  p.tensor_peak_flops = {{DType::kF16, 6.75 * kT}, {DType::kI8, 13.5 * kT}};
+  p.vector_peak_flops = {{DType::kF16, 1.69 * kT},
+                         {DType::kF32, 0.845 * kT},
+                         {DType::kI8, 1.69 * kT}};
+  p.dram_bw = 51.2 * kG;
+  p.kernel_overhead_s = 12e-6;
+  p.max_compute_eff = 0.8;
+  p.max_mem_eff = 0.82;
+  p.copy_bytes_per_clock = 58.0;
+  p.saturation_flops = 0.12e9;
+  p.conv_eff_scale = 0.425;
+  p.gpu_clock = {1100.0, {510.0, 804.0, 1100.0}};
+  p.mem_clock = {1866.0, {204.0, 1600.0, 1866.0}};
+  p.cpu_clusters = {{1900.0, {1200.0, 1900.0}}, {1900.0, {1200.0, 1900.0}}};
+  p.power = {3.0, 1.2, 7.5, 0.7, 3.0, 0.8, 0.1, 0.15};
+  return p;
+}
+
+PlatformDesc make_orin_nx16() {
+  PlatformDesc p;
+  p.id = "orin_nx16";
+  p.name = "NVIDIA Jetson Orin NX 16GB";
+  p.scenario = "Edge GPU";
+  p.runtime = "trt_sim";
+  p.arch = "ampere";
+  // 1024 CUDA cores / 32 Ampere tensor cores @ 918 MHz nominal.
+  p.tensor_peak_flops = {{DType::kF16, 16.6 * kT}, {DType::kI8, 33.2 * kT}};
+  p.vector_peak_flops = {{DType::kF16, 3.76 * kT},
+                         {DType::kF32, 1.88 * kT},
+                         {DType::kI8, 3.76 * kT}};
+  p.dram_bw = 102.4 * kG;  // 128-bit LPDDR5 @ 3199 MHz
+  p.kernel_overhead_s = 10e-6;
+  p.max_compute_eff = 0.82;
+  p.max_mem_eff = 0.858;
+  p.copy_bytes_per_clock = 105.0;
+  p.saturation_flops = 0.15e9;
+  p.conv_eff_scale = 0.425;
+  p.gpu_clock = {918.0, {306.0, 408.0, 510.0, 612.0, 714.0, 816.0, 918.0}};
+  p.mem_clock = {3199.0, {204.0, 665.0, 2133.0, 3199.0}};
+  p.cpu_clusters = {{1984.0, {729.0, 1190.0, 1984.0}}, {1984.0, {729.0, 1190.0, 1984.0}}};
+  p.has_counter_profiler = false;
+  // Calibrated against Table 6: 23.6 W at 918/3199 full load,
+  // 13.6 W at 510/2133, 11.5 W at 510/665.
+  p.power = {2.2, 0.75, 13.6, 0.715, 7.5, 0.75, 0.14, 0.2};
+  return p;
+}
+
+PlatformDesc make_rpi4b() {
+  PlatformDesc p;
+  p.id = "rpi4b";
+  p.name = "Raspberry Pi 4B";
+  p.scenario = "Edge CPU";
+  p.runtime = "ort_sim";
+  p.arch = "arm";
+  // 4x Cortex-A72 @ 1.5 GHz, 128-bit NEON FMA.
+  p.vector_peak_flops = {{DType::kF32, 48.0 * kG},
+                         {DType::kF16, 48.0 * kG},
+                         {DType::kI8, 192.0 * kG}};
+  // LPDDR4-3200 is nominally ~12.8 GB/s but the BCM2711 AXI bus caps real
+  // traffic near 5.5 GB/s (paper §4.3): expressed as a low max_mem_eff.
+  p.dram_bw = 12.8 * kG;
+  p.max_mem_eff = 0.43;
+  p.kernel_overhead_s = 2.5e-6;
+  p.max_compute_eff = 0.65;
+  p.saturation_flops = 2.5e6;
+  p.gpu_clock = {1500.0, {600.0, 1000.0, 1500.0}};
+  p.mem_clock = {1600.0, {1600.0}};
+  p.cpu_clusters = {{1500.0, {600.0, 1500.0}}};
+  p.power = {2.0, 1.0, 2.8, 0.75, 0.8, 0.85, 0.2, 0.3};
+  return p;
+}
+
+PlatformDesc make_npu3720() {
+  PlatformDesc p;
+  p.id = "npu3720";
+  p.name = "NPU 3720 (Intel Core Ultra 185H)";
+  p.scenario = "Mobile NPU";
+  p.runtime = "ov_sim";
+  p.arch = "npu";
+  // 2048 fp16 MACs / 4096 int8 MACs per cycle @ 1.4 GHz.
+  p.tensor_peak_flops = {{DType::kF16, 5.7 * kT}, {DType::kI8, 11.5 * kT}};
+  p.vector_peak_flops = {{DType::kF16, 0.36 * kT}, {DType::kI8, 0.72 * kT},
+                         {DType::kF32, 0.18 * kT}};
+  p.dram_bw = 120.0 * kG;  // LPDDR5x-7467, shared with the CPU
+  p.max_mem_eff = 0.55;
+  p.kernel_overhead_s = 40e-6;
+  // The paper observes performance far below the 5.7 TFLOP/s theoretical
+  // value even with OpenVINO 2024; the immature software stack is modelled
+  // as a low compute-efficiency ceiling.
+  p.max_compute_eff = 0.30;
+  p.saturation_flops = 0.4e9;
+  // The 2024 NPU compiler stack rejects several op families outright —
+  // this is why only part of the model zoo runs on it (paper §4.3).
+  p.unsupported_ops = {"Silu",  "Gelu",          "Erf",
+                       "Einsum", "GroupNormalization", "Resize",
+                       "Where", "ConvTranspose"};
+  p.gpu_clock = {1400.0, {1400.0}};
+  p.mem_clock = {3733.0, {3733.0}};
+  p.power = {1.0, 0.0, 6.0, 0.75, 2.0, 0.8, 0.1, 0.15};
+  return p;
+}
+
+}  // namespace
+
+PlatformRegistry::PlatformRegistry() {
+  add(make_a100());
+  add(make_rtx4090());
+  add(make_xeon6330());
+  add(make_xavier_nx());
+  add(make_orin_nx16());
+  add(make_rpi4b());
+  add(make_npu3720());
+}
+
+PlatformRegistry& PlatformRegistry::instance() {
+  static PlatformRegistry* registry = new PlatformRegistry();
+  return *registry;
+}
+
+void PlatformRegistry::add(PlatformDesc desc) {
+  PROOF_CHECK(!desc.id.empty(), "platform must have an id");
+  platforms_[desc.id] = std::move(desc);
+}
+
+const PlatformDesc& PlatformRegistry::get(const std::string& id) const {
+  const auto it = platforms_.find(id);
+  if (it == platforms_.end()) {
+    throw ConfigError("unknown platform '" + id + "'");
+  }
+  return it->second;
+}
+
+bool PlatformRegistry::contains(const std::string& id) const {
+  return platforms_.count(id) > 0;
+}
+
+std::vector<std::string> PlatformRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(platforms_.size());
+  for (const auto& [id, desc] : platforms_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+const std::vector<std::string>& paper_platform_ids() {
+  static const std::vector<std::string> ids = {
+      "a100", "rtx4090", "xeon6330", "xavier_nx", "orin_nx16", "rpi4b", "npu3720"};
+  return ids;
+}
+
+}  // namespace proof::hw

@@ -1,0 +1,117 @@
+// Hardware platform descriptors (Table 2 of the paper).
+//
+// Each platform carries the theoretical roofline parameters (per-dtype peak
+// FLOP/s for tensor-core and vector pipelines, DRAM bandwidth) plus the
+// efficiency/overhead constants that drive the kernel latency simulator.
+// The seven platforms of the paper's evaluation are built in; descriptors
+// are plain data so users can register their own.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tensor/dtype.hpp"
+
+namespace proof::hw {
+
+/// One DVFS-controllable clock domain.
+struct ClockDomain {
+  double nominal_mhz = 0.0;               ///< frequency at the default profile
+  std::vector<double> available_mhz;      ///< selectable steps (ascending)
+};
+
+/// Requested clock configuration; empty optionals mean "nominal".
+struct ClockSetting {
+  std::optional<double> gpu_mhz;
+  std::optional<double> mem_mhz;
+  /// Per-CPU-cluster clocks; 0 turns a cluster off.  Empty = all nominal.
+  std::vector<double> cpu_cluster_mhz;
+};
+
+/// Power-model constants: P = idle + cpu + gpu(f,V(f)^2)*util + mem(f)*util.
+struct PowerParams {
+  double idle_w = 0.0;              ///< SoC + board static power
+  double cpu_cluster_w = 0.0;       ///< per active CPU cluster at nominal clock
+  double gpu_max_w = 0.0;           ///< GPU rail at nominal clock, 100 % util
+  double gpu_vmin_frac = 0.7;       ///< V(f) = vmin + (1-vmin) * f/fnominal
+  double mem_max_w = 0.0;           ///< memory rail at nominal clock, 100 % util
+  double mem_vmin_frac = 0.8;
+  double gpu_idle_frac = 0.12;      ///< rail floor when powered but idle
+  double mem_idle_frac = 0.15;
+};
+
+struct PlatformDesc {
+  std::string id;          ///< short key, e.g. "a100"
+  std::string name;        ///< "NVIDIA A100 PCIE-40GB"
+  std::string scenario;    ///< "Data center GPU"
+  std::string runtime;     ///< paper's runtime for this platform (backend id)
+  std::string arch;        ///< "volta" / "ampere" / "ada" / "x86" / "arm" / "npu"
+
+  /// Theoretical peak FLOP/s of the matrix pipeline (tensor cores / AMX-like)
+  /// per dtype; empty when the platform has no matrix engine.
+  std::map<DType, double> tensor_peak_flops;
+  /// Theoretical peak FLOP/s of the vector/SIMT pipeline per dtype.
+  std::map<DType, double> vector_peak_flops;
+
+  double dram_bw = 0.0;               ///< theoretical bytes/s at nominal clocks
+  double kernel_overhead_s = 5e-6;    ///< per-kernel launch/dispatch cost
+
+  // Efficiency ceilings reached by ideal workloads (achieved roofline).
+  double max_compute_eff = 0.85;      ///< best GEMM fraction of peak
+  double max_mem_eff = 0.9;           ///< best stream fraction of DRAM BW
+  /// Bytes/cycle the compute engine can move (caps copy bandwidth when the
+  /// core clock drops; reproduces Table 6's BW-vs-GPU-clock coupling).
+  double copy_bytes_per_clock = 0.0;  ///< 0 = uncapped
+
+  /// FLOP of in-flight work needed to reach ~50 % of the efficiency ceiling
+  /// (occupancy saturation; small batches land near kernel overhead).
+  double saturation_flops = 1e9;
+
+  /// Extra efficiency multiplier applied to convolution kernels only.  Edge
+  /// GPUs reach far less of their tensor-core peak on conv workloads than on
+  /// plain GEMMs (small L2, shallow memory hierarchy), which is what makes
+  /// EfficientNetV2-T on the Orin GPU-clock-bound (Table 7).
+  double conv_eff_scale = 1.0;
+
+  /// Operator types this platform's runtime cannot lower (the paper's NPU
+  /// observation: "only a small portion of models were able to successfully
+  /// perform inference").  Backends refuse models containing these.
+  std::set<std::string> unsupported_ops;
+
+  ClockDomain gpu_clock;
+  ClockDomain mem_clock;
+  std::vector<ClockDomain> cpu_clusters;
+
+  bool has_counter_profiler = false;  ///< NCU-like tool exists
+  PowerParams power;
+
+  /// Peak of the preferred matrix pipeline for `dtype` (falls back to the
+  /// vector pipeline when no matrix engine supports it).
+  [[nodiscard]] double matrix_peak(DType dtype) const;
+  /// Peak of the vector pipeline for `dtype` (throws when unsupported).
+  [[nodiscard]] double vector_peak(DType dtype) const;
+  [[nodiscard]] bool supports(DType dtype) const;
+};
+
+/// Registry of known platforms.
+class PlatformRegistry {
+ public:
+  static PlatformRegistry& instance();
+
+  void add(PlatformDesc desc);
+  [[nodiscard]] const PlatformDesc& get(const std::string& id) const;
+  [[nodiscard]] bool contains(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+ private:
+  PlatformRegistry();
+  std::map<std::string, PlatformDesc> platforms_;
+};
+
+/// Ids of the seven evaluation platforms, in Table 2 order.
+[[nodiscard]] const std::vector<std::string>& paper_platform_ids();
+
+}  // namespace proof::hw

@@ -1,0 +1,51 @@
+#include "hw/power.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace proof::hw {
+
+double PowerModel::fv2(double scale, double vmin_frac) {
+  PROOF_CHECK(scale >= 0.0, "negative clock scale");
+  const double v = vmin_frac + (1.0 - vmin_frac) * scale;
+  return scale * v * v;
+}
+
+double PowerModel::gpu_rail_w(double util) const {
+  const PowerParams& p = state_.desc().power;
+  const double f = fv2(state_.gpu_scale(), p.gpu_vmin_frac);
+  return p.gpu_max_w *
+         (p.gpu_idle_frac + (1.0 - p.gpu_idle_frac) * std::clamp(util, 0.0, 1.0) * f);
+}
+
+double PowerModel::mem_rail_w(double util) const {
+  const PowerParams& p = state_.desc().power;
+  const double f = fv2(state_.mem_scale(), p.mem_vmin_frac);
+  return p.mem_max_w *
+         (p.mem_idle_frac + (1.0 - p.mem_idle_frac) * std::clamp(util, 0.0, 1.0) * f);
+}
+
+double PowerModel::cpu_rail_w() const {
+  const PlatformDesc& d = state_.desc();
+  const PowerParams& p = d.power;
+  const auto& settings = state_.clocks().cpu_cluster_mhz;
+  double total = 0.0;
+  for (size_t i = 0; i < d.cpu_clusters.size(); ++i) {
+    const double nominal = d.cpu_clusters[i].nominal_mhz;
+    const double mhz = i < settings.size() ? settings[i] : nominal;
+    if (mhz <= 0.0) {
+      continue;  // cluster powered off
+    }
+    total += p.cpu_cluster_w * fv2(mhz / nominal, 0.75);
+  }
+  return total;
+}
+
+double PowerModel::idle_w() const { return state_.desc().power.idle_w; }
+
+double PowerModel::power_w(const Utilization& util) const {
+  return idle_w() + cpu_rail_w() + gpu_rail_w(util.gpu) + mem_rail_w(util.mem);
+}
+
+}  // namespace proof::hw

@@ -1,0 +1,40 @@
+// DVFS power model (paper §4.6 substitute for nvpmodel + jtop).
+//
+// Per-rail power: P_rail = max_w * (idle_frac + (1 - idle_frac) * util * fV2)
+// where fV2 = (f/f_nom) * V(f)^2 and V(f) rises linearly from vmin_frac to 1
+// across the frequency range.  Constants per platform are calibrated against
+// Tables 6 and 7 (see PlatformDesc::power).
+#pragma once
+
+#include "hw/latency_model.hpp"
+
+namespace proof::hw {
+
+/// Engine utilizations of a workload, in [0, 1].
+struct Utilization {
+  double gpu = 0.0;
+  double mem = 0.0;
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PlatformState state) : state_(std::move(state)) {}
+
+  /// Total board power for the given engine utilizations.
+  [[nodiscard]] double power_w(const Utilization& util) const;
+
+  /// Individual contributions (for reporting).
+  [[nodiscard]] double gpu_rail_w(double util) const;
+  [[nodiscard]] double mem_rail_w(double util) const;
+  [[nodiscard]] double cpu_rail_w() const;
+  [[nodiscard]] double idle_w() const;
+
+  /// Dynamic-power frequency/voltage scale factor for a clock at `scale` of
+  /// nominal with the given minimum-voltage fraction.
+  [[nodiscard]] static double fv2(double scale, double vmin_frac);
+
+ private:
+  PlatformState state_;
+};
+
+}  // namespace proof::hw

@@ -1,0 +1,44 @@
+#include "mapping/stack_mapping.hpp"
+
+#include "support/error.hpp"
+
+namespace proof::mapping {
+
+StackMapping::StackMapping(const backends::Engine& engine, const LayerMapping& mapping) {
+  PROOF_CHECK(mapping.entries.size() == engine.layers().size(),
+              "mapping/layer count mismatch");
+  model_nodes_.resize(mapping.entries.size());
+  kernels_.resize(mapping.entries.size());
+  for (size_t i = 0; i < mapping.entries.size(); ++i) {
+    model_nodes_[i] = mapping.entries[i].model_nodes;
+    for (const std::string& node : model_nodes_[i]) {
+      node_to_layer_[node] = static_cast<int>(i);
+    }
+    for (const hw::KernelWork& kernel : engine.layers()[i].kernels) {
+      kernels_[i].push_back(kernel.name);
+      kernel_to_layer_[kernel.name] = static_cast<int>(i);
+    }
+  }
+}
+
+int StackMapping::backend_layer_of(const std::string& model_node) const {
+  const auto it = node_to_layer_.find(model_node);
+  return it == node_to_layer_.end() ? -1 : it->second;
+}
+
+const std::vector<std::string>& StackMapping::model_nodes_of(size_t layer_index) const {
+  PROOF_CHECK(layer_index < model_nodes_.size(), "bad layer index " << layer_index);
+  return model_nodes_[layer_index];
+}
+
+const std::vector<std::string>& StackMapping::kernels_of(size_t layer_index) const {
+  PROOF_CHECK(layer_index < kernels_.size(), "bad layer index " << layer_index);
+  return kernels_[layer_index];
+}
+
+int StackMapping::backend_layer_of_kernel(const std::string& kernel_name) const {
+  const auto it = kernel_to_layer_.find(kernel_name);
+  return it == kernel_to_layer_.end() ? -1 : it->second;
+}
+
+}  // namespace proof::mapping

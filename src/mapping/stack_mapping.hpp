@@ -1,0 +1,39 @@
+// Full-stack mapping (paper Figure 3): model layer <-> backend layer <->
+// device kernel, bidirectionally navigable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapping/layer_mapping.hpp"
+
+namespace proof::mapping {
+
+/// Immutable three-level index built from a completed layer mapping.
+class StackMapping {
+ public:
+  StackMapping(const backends::Engine& engine, const LayerMapping& mapping);
+
+  /// Backend layer index implementing a model node, or -1 when unclaimed.
+  [[nodiscard]] int backend_layer_of(const std::string& model_node) const;
+
+  /// Model nodes implemented by backend layer `layer_index`.
+  [[nodiscard]] const std::vector<std::string>& model_nodes_of(size_t layer_index) const;
+
+  /// Kernel names lowered from backend layer `layer_index`.
+  [[nodiscard]] const std::vector<std::string>& kernels_of(size_t layer_index) const;
+
+  /// Backend layer index owning a kernel, or -1 when unknown.
+  [[nodiscard]] int backend_layer_of_kernel(const std::string& kernel_name) const;
+
+  [[nodiscard]] size_t num_layers() const { return model_nodes_.size(); }
+
+ private:
+  std::map<std::string, int> node_to_layer_;
+  std::map<std::string, int> kernel_to_layer_;
+  std::vector<std::vector<std::string>> model_nodes_;
+  std::vector<std::vector<std::string>> kernels_;
+};
+
+}  // namespace proof::mapping

@@ -1,0 +1,116 @@
+// GraphBuilder: ergonomic construction of model graphs with incremental
+// shape inference, used by the model zoo (and handy for user models/tests).
+//
+// Every emitter adds node(s), infers the output tensor descs immediately, and
+// returns the output tensor name, so builders can branch on shapes while
+// constructing (e.g. "channels of x").
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace proof::models {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string model_name);
+
+  /// Declares a graph input and returns its tensor name.
+  std::string input(const std::string& name, Shape shape, DType dtype = DType::kF32);
+
+  // --- convolutional building blocks ---------------------------------------
+
+  /// Conv with folded batch-norm semantics (bias included), as PyTorch's ONNX
+  /// export emits for eval-mode CNNs.  pad = -1 selects "same" padding for
+  /// odd kernels.  Returns the output tensor.
+  std::string conv(const std::string& x, int64_t out_ch, int64_t kernel,
+                   int64_t stride = 1, int64_t pad = -1, int64_t groups = 1,
+                   bool bias = true, int64_t dilation = 1);
+  /// Depthwise conv (groups == channels).
+  std::string dwconv(const std::string& x, int64_t kernel, int64_t stride = 1,
+                     int64_t pad = -1);
+  std::string conv_act(const std::string& x, int64_t out_ch, int64_t kernel,
+                       int64_t stride, const std::string& act_type,
+                       int64_t groups = 1);
+  std::string maxpool(const std::string& x, int64_t kernel, int64_t stride,
+                      int64_t pad = -1);
+  std::string avgpool(const std::string& x, int64_t kernel, int64_t stride,
+                      int64_t pad = -1);
+  std::string global_avgpool(const std::string& x);
+
+  // --- dense / attention blocks ---------------------------------------------
+
+  /// x @ W(+b): Gemm for 2-D x, MatMul+Add for higher ranks.
+  std::string linear(const std::string& x, int64_t out_features, bool bias = true);
+  std::string matmul(const std::string& a, const std::string& b);
+  std::string layernorm(const std::string& x);
+  std::string groupnorm(const std::string& x, int64_t groups);
+  std::string batchnorm(const std::string& x);
+  std::string softmax(const std::string& x, int axis = -1);
+  /// Embedding lookup: Gather(table[vocab, dim], ids).
+  std::string embedding(const std::string& ids, int64_t vocab, int64_t dim);
+
+  // --- elementwise -----------------------------------------------------------
+
+  std::string act(const std::string& x, const std::string& act_type);
+  std::string binary(const std::string& op_type, const std::string& a,
+                     const std::string& b);
+  std::string add(const std::string& a, const std::string& b) {
+    return binary("Add", a, b);
+  }
+  std::string mul(const std::string& a, const std::string& b) {
+    return binary("Mul", a, b);
+  }
+  /// Elementwise op against a new broadcastable parameter of `shape`.
+  std::string binary_param(const std::string& op_type, const std::string& x,
+                           Shape shape);
+  std::string clip(const std::string& x, double lo, double hi);
+  std::string reduce_mean(const std::string& x, std::vector<int64_t> axes,
+                          bool keepdims);
+
+  // --- data movement ----------------------------------------------------------
+
+  std::string reshape(const std::string& x, std::vector<int64_t> shape);
+  std::string transpose(const std::string& x, std::vector<int64_t> perm);
+  std::string flatten(const std::string& x, int64_t axis = 1);
+  std::string concat(const std::vector<std::string>& xs, int axis);
+  std::vector<std::string> split(const std::string& x, int axis, int num_outputs);
+  std::string slice(const std::string& x, std::vector<int64_t> axes,
+                    std::vector<int64_t> starts, std::vector<int64_t> ends,
+                    std::vector<int64_t> steps = {});
+
+  // --- generic ---------------------------------------------------------------
+
+  /// Adds an arbitrary node; extra params may be created via param().
+  std::string node(const std::string& op_type, std::vector<std::string> inputs,
+                   AttrMap attrs = {}, int num_outputs = 1);
+  /// Multi-output variant.
+  std::vector<std::string> node_multi(const std::string& op_type,
+                                      std::vector<std::string> inputs, AttrMap attrs,
+                                      int num_outputs);
+  /// Creates a named parameter tensor and returns its name.
+  std::string param(const std::string& hint, Shape shape, DType dtype = DType::kF32);
+
+  [[nodiscard]] const Shape& shape_of(const std::string& tensor) const;
+  [[nodiscard]] int64_t channels(const std::string& tensor) const {
+    return shape_of(tensor).dim(1);
+  }
+  [[nodiscard]] int64_t dim(const std::string& tensor, int axis) const {
+    return shape_of(tensor).dim(axis);
+  }
+
+  /// Finalizes: marks outputs, validates, returns the graph.
+  [[nodiscard]] Graph finish(const std::vector<std::string>& outputs);
+
+ private:
+  std::string fresh(const std::string& hint);
+  std::string add_and_infer(Node node);
+
+  Graph graph_;
+  std::map<std::string, int> name_counters_;
+};
+
+}  // namespace proof::models

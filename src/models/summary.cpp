@@ -1,0 +1,60 @@
+#include "models/summary.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "ops/op_def.hpp"
+#include "report/table.hpp"
+#include "support/units.hpp"
+
+namespace proof::models {
+
+std::string model_summary(const Graph& graph, size_t max_rows) {
+  report::TextTable table({"node", "op", "output shape", "params", "GFLOP",
+                           "memory (MB)", "class"});
+  double total_flops = 0.0;
+  double total_bytes = 0.0;
+  size_t rows = 0;
+  for (const NodeId id : graph.topo_order()) {
+    const Node& node = graph.node(id);
+    const OpDef& def = op_def_for(node);
+    const OpContext ctx(graph, node);
+    const double flops = def.flops(ctx);
+    const MemoryEstimate mem = def.memory(ctx);
+    total_flops += flops;
+    total_bytes += mem.total();
+    int64_t params = 0;
+    for (const std::string& in : node.inputs) {
+      if (graph.has_tensor(in) && graph.tensor(in).is_param) {
+        params += graph.tensor(in).numel();
+      }
+    }
+    if (max_rows > 0 && rows >= max_rows) {
+      continue;  // keep accumulating totals, stop printing
+    }
+    ++rows;
+    table.add_row({node.name, node.op_type,
+                   node.outputs.empty()
+                       ? std::string("-")
+                       : graph.tensor(node.outputs[0]).shape.to_string(),
+                   params > 0 ? std::to_string(params) : std::string("-"),
+                   units::fixed(flops / 1e9, 3),
+                   units::fixed(mem.total() / 1e6, 2),
+                   std::string(op_class_name(def.op_class(ctx)))});
+  }
+
+  std::ostringstream out;
+  out << table.to_string();
+  if (max_rows > 0 && graph.num_nodes() > max_rows) {
+    out << "... (" << graph.num_nodes() - max_rows << " more nodes)\n";
+  }
+  // Weight params: count every param tensor once (shared weights included).
+  out << "total: " << graph.num_nodes() << " nodes, "
+      << units::fixed(static_cast<double>(graph.param_count()) / 1e6, 3)
+      << "M params (" << units::megabytes(graph.param_bytes()) << "), "
+      << units::gflop(total_flops) << ", "
+      << units::megabytes(total_bytes) << " unfused traffic\n";
+  return out.str();
+}
+
+}  // namespace proof::models

@@ -1,0 +1,16 @@
+// Model design summary (torchsummary-style): per-node op type, output shape,
+// parameters and analytical FLOP — the "model design" side of the full-stack
+// view, before any backend optimization.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace proof::models {
+
+/// Renders a per-node table plus totals for a shape-inferred graph.
+/// `max_rows` = 0 prints every node.
+[[nodiscard]] std::string model_summary(const Graph& graph, size_t max_rows = 0);
+
+}  // namespace proof::models

@@ -1,0 +1,84 @@
+#include "models/zoo.hpp"
+
+#include "models/builder.hpp"
+#include "models/zoo_internal.hpp"
+#include "support/error.hpp"
+
+namespace proof::models {
+
+const std::vector<ModelSpec>& model_zoo() {
+  static const std::vector<ModelSpec>* specs = new std::vector<ModelSpec>{
+      {1, "distilbert", "DistilBERT base", "Trans.", [] { return build_distilbert_base(); }},
+      {2, "sd_unet", "Stable Diffusion", "Diffu.", [] { return build_sd_unet(); }},
+      {3, "efficientnet_b0", "EfficientNet B0", "CNN", [] { return build_efficientnet("b0"); }},
+      {4, "efficientnet_b4", "EfficientNet B4", "CNN", [] { return build_efficientnet("b4"); }},
+      {5, "efficientnetv2_t", "EfficientNetV2-T", "CNN", [] { return build_efficientnet("v2t"); }},
+      {6, "efficientnetv2_s", "EfficientNetV2-S", "CNN", [] { return build_efficientnet("v2s"); }},
+      {7, "mlp_mixer_b16", "MLP-Mixer (B/16)", "MLP", [] { return build_mlp_mixer_b16(); }},
+      {8, "mobilenetv2_05", "MobileNetV2 0.5", "CNN", [] { return build_mobilenet_v2(0.5); }},
+      {9, "mobilenetv2_10", "MobileNetV2 1.0", "CNN", [] { return build_mobilenet_v2(1.0); }},
+      {10, "resnet34", "ResNet-34", "CNN", [] { return build_resnet(34); }},
+      {11, "resnet50", "ResNet-50", "CNN", [] { return build_resnet(50); }},
+      {12, "shufflenetv2_05", "ShuffleNetV2 x0.5", "CNN",
+       [] { return build_shufflenet_v2(0.5, false); }},
+      {13, "shufflenetv2_10", "ShuffleNetV2 x1.0", "CNN",
+       [] { return build_shufflenet_v2(1.0, false); }},
+      {14, "shufflenetv2_10_mod", "Shuf. v2 x1.0 mod", "CNN",
+       [] { return build_shufflenet_v2(1.0, true); }},
+      {15, "swin_tiny", "Swin tiny", "Trans.", [] { return build_swin("tiny"); }},
+      {16, "swin_small", "Swin small", "Trans.", [] { return build_swin("small"); }},
+      {17, "swin_base", "Swin base", "Trans.", [] { return build_swin("base"); }},
+      {18, "vit_tiny", "ViT tiny", "Trans.", [] { return build_vit("tiny"); }},
+      {19, "vit_small", "ViT small", "Trans.", [] { return build_vit("small"); }},
+      {20, "vit_base", "ViT base", "Trans.", [] { return build_vit("base"); }},
+  };
+  return *specs;
+}
+
+const ModelSpec& model_spec(const std::string& id) {
+  for (const ModelSpec& spec : model_zoo()) {
+    if (spec.id == id) {
+      return spec;
+    }
+  }
+  for (const ModelSpec& spec : extended_model_zoo()) {
+    if (spec.id == id) {
+      return spec;
+    }
+  }
+  throw ConfigError("unknown model '" + id + "'");
+}
+
+Graph build_model(const std::string& id) { return model_spec(id).build(); }
+
+Graph build_peak_probe() {
+  GraphBuilder b("peak_probe");
+  // Large square MatMuls probe the compute roof; same-type Casts move big
+  // contiguous buffers (pure device-to-device copies) and probe the
+  // bandwidth roof.
+  const std::vector<int64_t> gemm_sizes = {1024, 2048, 4096};
+  const std::vector<int64_t> copy_mb = {16, 64, 256};
+  std::vector<std::string> outputs;
+  for (const int64_t n : gemm_sizes) {
+    const std::string x = b.input("gemm_in_" + std::to_string(n), Shape{1, n, n});
+    std::string y = x;
+    for (int i = 0; i < 2; ++i) {
+      y = b.matmul(y, b.param("probe_w", Shape{n, n}));
+    }
+    outputs.push_back(y);
+  }
+  for (const int64_t mb : copy_mb) {
+    const int64_t elems = mb * 1024 * 1024 / 4;
+    const std::string x = b.input("copy_in_" + std::to_string(mb), Shape{1, elems});
+    std::string y = x;
+    for (int i = 0; i < 2; ++i) {
+      AttrMap attrs;
+      attrs.set("to", std::string("fp32"));
+      y = b.node("Cast", {y}, std::move(attrs));
+    }
+    outputs.push_back(y);
+  }
+  return b.finish(outputs);
+}
+
+}  // namespace proof::models

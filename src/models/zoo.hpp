@@ -1,0 +1,47 @@
+// Model zoo: in-library builders for the paper's 20 evaluation models
+// (Table 3) plus the roofline-peak probe.
+//
+// The paper exports these models from PyTorch to ONNX; this reproduction
+// constructs the equivalent graphs directly (BN folded into convolutions, as
+// eval-mode export produces).  All CV models use 224x224 inputs; DistilBERT
+// uses sequence length 512; the Stable-Diffusion UNet runs one step at a
+// 128x128 latent.  Node counts differ from Table 3 where PyTorch's export
+// ceremony (Shape/Constant/Gather chains) would add bookkeeping nodes;
+// parameters and GFLOP match (see EXPERIMENTS.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace proof::models {
+
+struct ModelSpec {
+  int table3_index = 0;        ///< "#" column of Table 3 (0 = not in table)
+  std::string id;              ///< zoo key, e.g. "resnet50"
+  std::string display;         ///< "ResNet-50"
+  std::string type;            ///< "CNN" / "Trans." / "MLP" / "Diffu."
+  std::function<Graph()> build;
+};
+
+/// All Table 3 models in table order (indices 1..20).
+[[nodiscard]] const std::vector<ModelSpec>& model_zoo();
+
+/// Additional common architectures beyond the paper's set (table3_index 0):
+/// ResNet-18/101, VGG-16, BERT base.  `build_model`/`model_spec` search both
+/// registries.
+[[nodiscard]] const std::vector<ModelSpec>& extended_model_zoo();
+
+/// Builds a model by zoo id; throws ConfigError for unknown ids.
+[[nodiscard]] Graph build_model(const std::string& id);
+
+/// Spec lookup by id; throws ConfigError for unknown ids.
+[[nodiscard]] const ModelSpec& model_spec(const std::string& id);
+
+/// The pseudo model used by the achieved-peak test (Table 6): a chain of
+/// large MatMuls and memory-copy operators of several sizes.
+[[nodiscard]] Graph build_peak_probe();
+
+}  // namespace proof::models

@@ -1,0 +1,297 @@
+// CNN model builders: ResNet, MobileNetV2, ShuffleNetV2 (incl. the §4.5
+// modified variant), EfficientNet B0/B4 and EfficientNetV2 T/S.
+//
+// All graphs mirror eval-mode PyTorch ONNX exports with BatchNorm folded into
+// the convolutions (bias present), at 224x224 input resolution.
+#include <algorithm>
+#include <cmath>
+
+#include "models/builder.hpp"
+#include "models/zoo_internal.hpp"
+#include "support/error.hpp"
+
+namespace proof::models {
+
+namespace {
+
+/// Rounds channel counts to multiples of `divisor`, never dropping more than
+/// 10 % (the standard make_divisible used by the MobileNet/EfficientNet
+/// families).
+int64_t make_divisible(double value, int64_t divisor = 8) {
+  int64_t rounded =
+      std::max<int64_t>(divisor, static_cast<int64_t>(value + divisor / 2.0) /
+                                     divisor * divisor);
+  if (static_cast<double>(rounded) < 0.9 * value) {
+    rounded += divisor;
+  }
+  return rounded;
+}
+
+std::string classifier_head(GraphBuilder& b, const std::string& x, int64_t classes) {
+  std::string y = b.global_avgpool(x);
+  y = b.flatten(y);
+  return b.linear(y, classes);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResNet-34 / ResNet-50
+// ---------------------------------------------------------------------------
+
+Graph build_resnet(int depth) {
+  PROOF_CHECK(depth == 34 || depth == 50, "unsupported ResNet depth " << depth);
+  const bool bottleneck = depth == 50;
+  GraphBuilder b(bottleneck ? "resnet50" : "resnet34");
+  std::string x = b.input("input", Shape{1, 3, 224, 224});
+  x = b.conv_act(x, 64, 7, 2, "Relu");
+  x = b.maxpool(x, 3, 2);
+
+  const std::vector<int> blocks = {3, 4, 6, 3};
+  const std::vector<int64_t> planes = {64, 128, 256, 512};
+  for (size_t stage = 0; stage < blocks.size(); ++stage) {
+    for (int block = 0; block < blocks[stage]; ++block) {
+      const int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      const int64_t p = planes[stage];
+      const int64_t out_ch = bottleneck ? p * 4 : p;
+      const std::string identity = x;
+      std::string y;
+      if (bottleneck) {
+        y = b.conv_act(x, p, 1, 1, "Relu");
+        y = b.conv_act(y, p, 3, stride, "Relu");
+        y = b.conv(y, out_ch, 1, 1);
+      } else {
+        y = b.conv_act(x, p, 3, stride, "Relu");
+        y = b.conv(y, p, 3, 1);
+      }
+      std::string skip = identity;
+      if (stride != 1 || b.channels(identity) != out_ch) {
+        skip = b.conv(identity, out_ch, 1, stride);
+      }
+      x = b.act(b.add(y, skip), "Relu");
+    }
+  }
+  return b.finish({classifier_head(b, x, 1000)});
+}
+
+// ---------------------------------------------------------------------------
+// MobileNetV2
+// ---------------------------------------------------------------------------
+
+Graph build_mobilenet_v2(double width_mult) {
+  GraphBuilder b(width_mult == 1.0 ? "mobilenetv2_10" : "mobilenetv2_05");
+  std::string x = b.input("input", Shape{1, 3, 224, 224});
+
+  const auto scaled = [&](int64_t c) { return make_divisible(c * width_mult); };
+  const auto relu6 = [&](const std::string& t) { return b.clip(t, 0.0, 6.0); };
+
+  x = relu6(b.conv(x, scaled(32), 3, 2));
+
+  // (expand t, out channels c, repeats n, stride s)
+  struct Stage {
+    int64_t t, c;
+    int n, s;
+  };
+  const std::vector<Stage> stages = {{1, 16, 1, 1}, {6, 24, 2, 2},  {6, 32, 3, 2},
+                                     {6, 64, 4, 2}, {6, 96, 3, 1},  {6, 160, 3, 2},
+                                     {6, 320, 1, 1}};
+  for (const Stage& stage : stages) {
+    for (int i = 0; i < stage.n; ++i) {
+      const int64_t stride = i == 0 ? stage.s : 1;
+      const int64_t in_ch = b.channels(x);
+      const int64_t out_ch = scaled(stage.c);
+      std::string y = x;
+      if (stage.t != 1) {
+        y = relu6(b.conv(y, in_ch * stage.t, 1, 1));
+      }
+      y = relu6(b.dwconv(y, 3, stride));
+      y = b.conv(y, out_ch, 1, 1);  // linear projection
+      if (stride == 1 && in_ch == out_ch) {
+        y = b.add(y, x);
+      }
+      x = y;
+    }
+  }
+  const int64_t last = std::max<int64_t>(1280, scaled(1280));
+  x = relu6(b.conv(x, last, 1, 1));
+  return b.finish({classifier_head(b, x, 1000)});
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleNetV2 (original + the paper's §4.5 modified variant)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Channel shuffle with 2 groups: view + transpose + view (the Transpose and
+/// the copies it implies are exactly what §4.5 identifies as the bottleneck).
+std::string channel_shuffle(GraphBuilder& b, const std::string& x) {
+  const int64_t c = b.channels(x);
+  const int64_t h = b.dim(x, 2);
+  const int64_t w = b.dim(x, 3);
+  std::string y = b.reshape(x, {0, 2, c / 2, h, w});
+  y = b.transpose(y, {0, 2, 1, 3, 4});
+  return b.reshape(y, {0, c, h, w});
+}
+
+}  // namespace
+
+Graph build_shufflenet_v2(double width_mult, bool modified) {
+  std::string name = width_mult == 1.0 ? "shufflenetv2_10" : "shufflenetv2_05";
+  if (modified) {
+    name += "_mod";
+  }
+  GraphBuilder b(name);
+  std::string x = b.input("input", Shape{1, 3, 224, 224});
+
+  std::vector<int64_t> stage_ch;
+  if (width_mult == 0.5) {
+    stage_ch = {48, 96, 192};
+  } else {
+    PROOF_CHECK(width_mult == 1.0, "unsupported ShuffleNetV2 width " << width_mult);
+    stage_ch = {116, 232, 464};
+  }
+
+  x = b.conv_act(x, 24, 3, 2, "Relu");
+  x = b.maxpool(x, 3, 2);
+
+  const std::vector<int> repeats = {4, 8, 4};
+  for (size_t stage = 0; stage < repeats.size(); ++stage) {
+    const int64_t out_ch = stage_ch[stage];
+    const int64_t branch = out_ch / 2;
+    for (int block = 0; block < repeats[stage]; ++block) {
+      if (block == 0) {
+        // Downsampling block (kept unchanged in the modified model).
+        const int64_t in_ch = b.channels(x);
+        std::string b1 = b.dwconv(x, 3, 2);
+        b1 = b.conv_act(b1, branch, 1, 1, "Relu");
+        std::string b2 = b.conv_act(x, branch, 1, 1, "Relu");
+        b2 = b.dwconv(b2, 3, 2);
+        b2 = b.conv_act(b2, branch, 1, 1, "Relu");
+        (void)in_ch;
+        x = channel_shuffle(b, b.concat({b1, b2}, 1));
+      } else if (!modified) {
+        // Original non-downsampling block: split / branch / concat / shuffle.
+        const auto halves = b.split(x, 1, 2);
+        std::string y = b.conv_act(halves[1], branch, 1, 1, "Relu");
+        y = b.dwconv(y, 3, 1);
+        y = b.conv_act(y, branch, 1, 1, "Relu");
+        x = channel_shuffle(b, b.concat({halves[0], y}, 1));
+      } else {
+        // §4.5 modification (Figure 7): drop the Shuffle; the first pw conv
+        // reads all channels (C -> C/2), the last writes all channels
+        // (C/2 -> C), and an explicit residual Add replaces the implicit
+        // identity branch.
+        std::string y = b.conv_act(x, branch, 1, 1, "Relu");
+        y = b.dwconv(y, 3, 1);
+        y = b.conv_act(y, out_ch, 1, 1, "Relu");
+        x = b.add(y, x);
+      }
+    }
+  }
+  x = b.conv_act(x, 1024, 1, 1, "Relu");
+  return b.finish({classifier_head(b, x, 1000)});
+}
+
+// ---------------------------------------------------------------------------
+// EfficientNet B0/B4 and EfficientNetV2 T/S
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct EffStage {
+  bool fused;      ///< FusedMBConv (V2 early stages) vs MBConv
+  int64_t expand;  ///< expansion ratio
+  int64_t ch;      ///< output channels
+  int repeats;
+  int64_t stride;
+  int64_t kernel;
+  bool se;         ///< squeeze-excitation present
+};
+
+std::string squeeze_excite(GraphBuilder& b, const std::string& x, int64_t se_ch) {
+  std::string s = b.global_avgpool(x);
+  s = b.act(b.conv(s, se_ch, 1, 1), "Silu");
+  s = b.act(b.conv(s, b.channels(x), 1, 1), "Sigmoid");
+  return b.mul(x, s);
+}
+
+std::string mbconv(GraphBuilder& b, const std::string& x, const EffStage& cfg,
+                   int64_t stride) {
+  const int64_t in_ch = b.channels(x);
+  const int64_t exp_ch = in_ch * cfg.expand;
+  std::string y = x;
+  if (cfg.fused) {
+    if (cfg.expand != 1) {
+      y = b.act(b.conv(y, exp_ch, cfg.kernel, stride), "Silu");
+      y = b.conv(y, cfg.ch, 1, 1);
+    } else {
+      y = b.act(b.conv(y, cfg.ch, cfg.kernel, stride), "Silu");
+    }
+  } else {
+    if (cfg.expand != 1) {
+      y = b.act(b.conv(y, exp_ch, 1, 1), "Silu");
+    }
+    y = b.act(b.dwconv(y, cfg.kernel, stride), "Silu");
+    if (cfg.se) {
+      y = squeeze_excite(b, y, std::max<int64_t>(8, in_ch / 4));
+    }
+    y = b.conv(y, cfg.ch, 1, 1);
+  }
+  if (stride == 1 && in_ch == cfg.ch) {
+    y = b.add(y, x);
+  }
+  return y;
+}
+
+Graph build_efficientnet_impl(const std::string& name, int64_t stem_ch,
+                              const std::vector<EffStage>& stages,
+                              int64_t head_ch) {
+  GraphBuilder b(name);
+  std::string x = b.input("input", Shape{1, 3, 224, 224});
+  x = b.act(b.conv(x, stem_ch, 3, 2), "Silu");
+  for (const EffStage& stage : stages) {
+    for (int i = 0; i < stage.repeats; ++i) {
+      x = mbconv(b, x, stage, i == 0 ? stage.stride : 1);
+    }
+  }
+  x = b.act(b.conv(x, head_ch, 1, 1), "Silu");
+  return b.finish({classifier_head(b, x, 1000)});
+}
+
+}  // namespace
+
+Graph build_efficientnet(const std::string& variant) {
+  if (variant == "b0" || variant == "b4") {
+    const double width = variant == "b0" ? 1.0 : 1.4;
+    const double depth = variant == "b0" ? 1.0 : 1.8;
+    const auto w = [&](int64_t c) { return make_divisible(c * width); };
+    const auto d = [&](int repeats) {
+      return static_cast<int>(std::ceil(repeats * depth));
+    };
+    const std::vector<EffStage> stages = {
+        {false, 1, w(16), d(1), 1, 3, true},  {false, 6, w(24), d(2), 2, 3, true},
+        {false, 6, w(40), d(2), 2, 5, true},  {false, 6, w(80), d(3), 2, 3, true},
+        {false, 6, w(112), d(3), 1, 5, true}, {false, 6, w(192), d(4), 2, 5, true},
+        {false, 6, w(320), d(1), 1, 3, true}};
+    return build_efficientnet_impl("efficientnet_" + variant, w(32), stages,
+                                   std::max<int64_t>(1280, w(1280)));
+  }
+  if (variant == "v2t") {
+    const std::vector<EffStage> stages = {
+        {true, 1, 24, 2, 1, 3, false},  {true, 4, 40, 4, 2, 3, false},
+        {true, 4, 48, 4, 2, 3, false},  {false, 4, 104, 6, 2, 3, true},
+        {false, 6, 128, 9, 1, 3, true}, {false, 6, 208, 14, 2, 3, true}};
+    return build_efficientnet_impl("efficientnetv2_t", 24, stages, 1024);
+  }
+  if (variant == "v2s") {
+    const std::vector<EffStage> stages = {
+        {true, 1, 24, 2, 1, 3, false},  {true, 4, 48, 4, 2, 3, false},
+        {true, 4, 64, 4, 2, 3, false},  {false, 4, 128, 6, 2, 3, true},
+        {false, 6, 160, 9, 1, 3, true}, {false, 6, 256, 15, 2, 3, true}};
+    return build_efficientnet_impl("efficientnetv2_s", 24, stages, 1280);
+  }
+  PROOF_FAIL("unknown EfficientNet variant '" << variant << "'");
+}
+
+}  // namespace proof::models

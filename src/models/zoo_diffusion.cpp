@@ -1,0 +1,170 @@
+// Stable Diffusion UNet (v1.x architecture, one denoising step).
+//
+// Inputs: a 4-channel latent (128x128, matching the paper's Figure-4
+// footnote), a precomputed 320-wide sinusoidal timestep embedding and the
+// 77x768 text-encoder context.  Structure: channel multipliers [1,2,4,4] on
+// 320 base channels, 2 ResBlocks per level, spatial transformers (self +
+// cross attention + GEGLU FF) on the first three levels, symmetric decoder
+// with skip concatenations.
+#include "models/builder.hpp"
+#include "models/zoo_internal.hpp"
+
+#include <vector>
+
+namespace proof::models {
+
+namespace {
+
+constexpr int64_t kBase = 320;
+constexpr int64_t kTembDim = 1280;
+constexpr int64_t kContextDim = 768;
+constexpr int64_t kHeads = 8;
+
+struct UNetCtx {
+  GraphBuilder* b;
+  std::string temb;     ///< [N, 1280]
+  std::string context;  ///< [N, 77, 768]
+};
+
+std::string res_block(UNetCtx& u, const std::string& x, int64_t out_ch) {
+  GraphBuilder& b = *u.b;
+  const int64_t in_ch = b.channels(x);
+  std::string h = b.groupnorm(x, 32);
+  h = b.act(h, "Silu");
+  h = b.conv(h, out_ch, 3, 1);
+  // Timestep conditioning: per-channel bias from the embedding.
+  std::string t = b.act(u.temb, "Silu");
+  t = b.linear(t, out_ch);
+  t = b.reshape(t, {0, out_ch, 1, 1});
+  h = b.add(h, t);
+  h = b.groupnorm(h, 32);
+  h = b.act(h, "Silu");
+  h = b.conv(h, out_ch, 3, 1);
+  std::string skip = x;
+  if (in_ch != out_ch) {
+    skip = b.conv(x, out_ch, 1, 1);
+  }
+  return b.add(h, skip);
+}
+
+std::string cross_attention(UNetCtx& u, const std::string& x,
+                            const std::string& kv_source) {
+  GraphBuilder& b = *u.b;
+  const int64_t t = b.dim(x, 1);
+  const int64_t d = b.dim(x, 2);
+  const int64_t tk = b.dim(kv_source, 1);
+  const int64_t dh = d / kHeads;
+  std::string q = b.linear(x, d, /*bias=*/false);
+  std::string k = b.linear(kv_source, d, /*bias=*/false);
+  std::string v = b.linear(kv_source, d, /*bias=*/false);
+  q = b.transpose(b.reshape(q, {-1, t, kHeads, dh}), {0, 2, 1, 3});
+  k = b.transpose(b.reshape(k, {-1, tk, kHeads, dh}), {0, 2, 3, 1});
+  v = b.transpose(b.reshape(v, {-1, tk, kHeads, dh}), {0, 2, 1, 3});
+  std::string attn = b.binary_param("Mul", b.matmul(q, k), Shape{1});
+  attn = b.softmax(attn);
+  std::string out = b.matmul(attn, v);
+  out = b.reshape(b.transpose(out, {0, 2, 1, 3}), {-1, t, d});
+  return b.linear(out, d);
+}
+
+std::string spatial_transformer(UNetCtx& u, const std::string& x) {
+  GraphBuilder& b = *u.b;
+  const int64_t c = b.channels(x);
+  const int64_t h = b.dim(x, 2);
+  const int64_t w = b.dim(x, 3);
+  std::string y = b.groupnorm(x, 32);
+  y = b.conv(y, c, 1, 1);  // proj_in
+  y = b.transpose(b.reshape(y, {0, c, h * w}), {0, 2, 1});  // [N, HW, C]
+
+  // Basic transformer block: self-attn, cross-attn, GEGLU feed-forward.
+  std::string n = b.layernorm(y);
+  y = b.add(y, cross_attention(u, n, n));
+  n = b.layernorm(y);
+  y = b.add(y, cross_attention(u, n, u.context));
+  n = b.layernorm(y);
+  std::string ff = b.linear(n, 8 * c);
+  const auto gates = b.split(ff, 2, 2);
+  ff = b.mul(gates[0], b.act(gates[1], "Gelu"));
+  ff = b.linear(ff, c);
+  y = b.add(y, ff);
+
+  y = b.reshape(b.transpose(y, {0, 2, 1}), {0, c, h, w});
+  y = b.conv(y, c, 1, 1);  // proj_out
+  return b.add(y, x);
+}
+
+std::string upsample(UNetCtx& u, const std::string& x) {
+  GraphBuilder& b = *u.b;
+  AttrMap attrs;
+  attrs.set("scales", std::vector<double>{1.0, 1.0, 2.0, 2.0});
+  attrs.set("mode", std::string("nearest"));
+  std::string y = b.node("Resize", {x}, std::move(attrs));
+  return b.conv(y, b.channels(x), 3, 1);
+}
+
+}  // namespace
+
+Graph build_sd_unet() {
+  GraphBuilder b("sd_unet");
+  UNetCtx u{&b, "", ""};
+  std::string x = b.input("latent", Shape{1, 4, 128, 128});
+  const std::string temb_in = b.input("t_emb", Shape{1, kBase});
+  u.context = b.input("context", Shape{1, 77, kContextDim});
+
+  // Timestep MLP: 320 -> 1280 -> 1280.
+  std::string temb = b.linear(temb_in, kTembDim);
+  temb = b.act(temb, "Silu");
+  u.temb = b.linear(temb, kTembDim);
+
+  const std::vector<int64_t> mult = {1, 2, 4, 4};
+  const std::vector<bool> with_attn = {true, true, true, false};
+  constexpr int kResPerLevel = 2;
+
+  x = b.conv(x, kBase, 3, 1);
+  std::vector<std::string> skips = {x};
+
+  // Encoder.
+  for (size_t level = 0; level < mult.size(); ++level) {
+    const int64_t ch = kBase * mult[level];
+    for (int i = 0; i < kResPerLevel; ++i) {
+      x = res_block(u, x, ch);
+      if (with_attn[level]) {
+        x = spatial_transformer(u, x);
+      }
+      skips.push_back(x);
+    }
+    if (level + 1 < mult.size()) {
+      x = b.conv(x, ch, 3, 2);  // downsample
+      skips.push_back(x);
+    }
+  }
+
+  // Middle.
+  x = res_block(u, x, kBase * mult.back());
+  x = spatial_transformer(u, x);
+  x = res_block(u, x, kBase * mult.back());
+
+  // Decoder.
+  for (size_t idx = 0; idx < mult.size(); ++idx) {
+    const size_t level = mult.size() - 1 - idx;
+    const int64_t ch = kBase * mult[level];
+    for (int i = 0; i < kResPerLevel + 1; ++i) {
+      x = b.concat({x, skips.back()}, 1);
+      skips.pop_back();
+      x = res_block(u, x, ch);
+      if (with_attn[level]) {
+        x = spatial_transformer(u, x);
+      }
+    }
+    if (level > 0) {
+      x = upsample(u, x);
+    }
+  }
+
+  x = b.groupnorm(x, 32);
+  x = b.act(x, "Silu");
+  x = b.conv(x, 4, 3, 1);
+  return b.finish({x});
+}
+
+}  // namespace proof::models

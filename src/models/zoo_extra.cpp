@@ -1,0 +1,121 @@
+// Extended model zoo: common architectures beyond the paper's Table-3 set,
+// for downstream users of the library (and for exercising the framework on
+// structurally different networks: plain VGG stacks, deep bottleneck ResNets,
+// full BERT with pooler).
+#include "models/builder.hpp"
+#include "models/zoo.hpp"
+#include "models/zoo_internal.hpp"
+#include "support/error.hpp"
+
+namespace proof::models {
+
+namespace {
+
+Graph build_resnet_generic(const std::string& name, bool bottleneck,
+                           const std::vector<int>& blocks) {
+  GraphBuilder b(name);
+  std::string x = b.input("input", Shape{1, 3, 224, 224});
+  x = b.conv_act(x, 64, 7, 2, "Relu");
+  x = b.maxpool(x, 3, 2);
+  const std::vector<int64_t> planes = {64, 128, 256, 512};
+  for (size_t stage = 0; stage < blocks.size(); ++stage) {
+    for (int block = 0; block < blocks[stage]; ++block) {
+      const int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      const int64_t p = planes[stage];
+      const int64_t out_ch = bottleneck ? p * 4 : p;
+      const std::string identity = x;
+      std::string y;
+      if (bottleneck) {
+        y = b.conv_act(x, p, 1, 1, "Relu");
+        y = b.conv_act(y, p, 3, stride, "Relu");
+        y = b.conv(y, out_ch, 1, 1);
+      } else {
+        y = b.conv_act(x, p, 3, stride, "Relu");
+        y = b.conv(y, p, 3, 1);
+      }
+      std::string skip = identity;
+      if (stride != 1 || b.channels(identity) != out_ch) {
+        skip = b.conv(identity, out_ch, 1, stride);
+      }
+      x = b.act(b.add(y, skip), "Relu");
+    }
+  }
+  std::string head = b.global_avgpool(x);
+  head = b.flatten(head);
+  return b.finish({b.linear(head, 1000)});
+}
+
+Graph build_vgg16() {
+  GraphBuilder b("vgg16");
+  std::string x = b.input("input", Shape{1, 3, 224, 224});
+  const std::vector<std::vector<int64_t>> stages = {
+      {64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}};
+  for (const auto& stage : stages) {
+    for (const int64_t ch : stage) {
+      x = b.conv_act(x, ch, 3, 1, "Relu");
+    }
+    x = b.maxpool(x, 2, 2, 0);
+  }
+  x = b.flatten(x);
+  x = b.act(b.linear(x, 4096), "Relu");
+  x = b.act(b.linear(x, 4096), "Relu");
+  return b.finish({b.linear(x, 1000)});
+}
+
+/// BERT-base encoder (12 layers, hidden 768, seq 128) with the [CLS] pooler.
+Graph build_bert_base() {
+  constexpr int64_t kDim = 768;
+  constexpr int64_t kHeads = 12;
+  constexpr int64_t kFfn = 3072;
+  constexpr int64_t kSeq = 128;
+  constexpr int64_t kVocab = 30522;
+  GraphBuilder b("bert_base");
+  const std::string ids = b.input("input_ids", Shape{1, kSeq}, DType::kI64);
+  const std::string type_ids =
+      b.input("token_type_ids", Shape{1, kSeq}, DType::kI64);
+  std::string x = b.embedding(ids, kVocab, kDim);
+  x = b.add(x, b.embedding(type_ids, 2, kDim));
+  x = b.binary_param("Add", x, Shape{1, kSeq, kDim});  // position embeddings
+  x = b.layernorm(x);
+  for (int layer = 0; layer < 12; ++layer) {
+    // Post-LN, separate q/k/v projections (BERT export style).
+    const int64_t dh = kDim / kHeads;
+    std::string q = b.linear(x, kDim);
+    std::string k = b.linear(x, kDim);
+    std::string v = b.linear(x, kDim);
+    q = b.transpose(b.reshape(q, {-1, kSeq, kHeads, dh}), {0, 2, 1, 3});
+    k = b.transpose(b.reshape(k, {-1, kSeq, kHeads, dh}), {0, 2, 3, 1});
+    v = b.transpose(b.reshape(v, {-1, kSeq, kHeads, dh}), {0, 2, 1, 3});
+    std::string attn = b.binary_param("Mul", b.matmul(q, k), Shape{1});
+    attn = b.softmax(attn);
+    std::string ctx = b.matmul(attn, v);
+    ctx = b.reshape(b.transpose(ctx, {0, 2, 1, 3}), {-1, kSeq, kDim});
+    ctx = b.linear(ctx, kDim);
+    x = b.layernorm(b.add(x, ctx));
+    std::string h = b.linear(x, kFfn);
+    h = b.act(h, "Gelu");
+    h = b.linear(h, kDim);
+    x = b.layernorm(b.add(x, h));
+  }
+  // Pooler: Tanh(W * hidden[CLS]).
+  std::string cls = b.slice(x, {1}, {0}, {1});
+  cls = b.reshape(cls, {0, kDim});
+  cls = b.act(b.linear(cls, kDim), "Tanh");
+  return b.finish({x, cls});
+}
+
+}  // namespace
+
+const std::vector<ModelSpec>& extended_model_zoo() {
+  static const std::vector<ModelSpec>* specs = new std::vector<ModelSpec>{
+      {0, "resnet18", "ResNet-18", "CNN",
+       [] { return build_resnet_generic("resnet18", false, {2, 2, 2, 2}); }},
+      {0, "resnet101", "ResNet-101", "CNN",
+       [] { return build_resnet_generic("resnet101", true, {3, 4, 23, 3}); }},
+      {0, "vgg16", "VGG-16", "CNN", [] { return build_vgg16(); }},
+      {0, "bert_base", "BERT base", "Trans.", [] { return build_bert_base(); }},
+  };
+  return *specs;
+}
+
+}  // namespace proof::models

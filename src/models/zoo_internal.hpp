@@ -1,0 +1,23 @@
+// Internal: per-family model builder declarations.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace proof::models {
+
+// zoo_cnn.cpp
+Graph build_resnet(int depth);                      // 34 / 50
+Graph build_mobilenet_v2(double width_mult);        // 0.5 / 1.0
+Graph build_shufflenet_v2(double width_mult, bool modified);
+Graph build_efficientnet(const std::string& variant);  // "b0" "b4" "v2t" "v2s"
+
+// zoo_transformer.cpp
+Graph build_vit(const std::string& size);           // "tiny" "small" "base"
+Graph build_swin(const std::string& size);          // "tiny" "small" "base"
+Graph build_mlp_mixer_b16();
+Graph build_distilbert_base();
+
+// zoo_diffusion.cpp
+Graph build_sd_unet();
+
+}  // namespace proof::models

@@ -1,0 +1,257 @@
+// Transformer / MLP model builders: ViT, Swin, MLP-Mixer, DistilBERT.
+#include <string>
+
+#include "models/builder.hpp"
+#include "models/zoo_internal.hpp"
+#include "support/error.hpp"
+
+namespace proof::models {
+
+namespace {
+
+/// Multi-head self-attention on a [B, T, D] tensor (already normalized).
+/// `fused_qkv` emits one 3D-wide projection (ViT/Swin export style);
+/// otherwise three separate projections (BERT style).  `bias_shape` adds a
+/// relative-position bias parameter to the logits (Swin).
+std::string attention(GraphBuilder& b, const std::string& x, int64_t heads,
+                      bool fused_qkv, const Shape* bias_shape = nullptr) {
+  const int64_t t = b.dim(x, 1);
+  const int64_t d = b.dim(x, 2);
+  const int64_t dh = d / heads;
+  std::string q, k, v;
+  if (fused_qkv) {
+    const std::string qkv = b.linear(x, 3 * d);
+    const auto parts = b.split(qkv, 2, 3);
+    q = parts[0];
+    k = parts[1];
+    v = parts[2];
+  } else {
+    q = b.linear(x, d);
+    k = b.linear(x, d);
+    v = b.linear(x, d);
+  }
+  q = b.transpose(b.reshape(q, {-1, t, heads, dh}), {0, 2, 1, 3});
+  k = b.transpose(b.reshape(k, {-1, t, heads, dh}), {0, 2, 3, 1});
+  v = b.transpose(b.reshape(v, {-1, t, heads, dh}), {0, 2, 1, 3});
+  std::string attn = b.matmul(q, k);                      // [B, H, T, T]
+  attn = b.binary_param("Mul", attn, Shape{1});           // 1/sqrt(dh) scale
+  if (bias_shape != nullptr) {
+    attn = b.binary_param("Add", attn, *bias_shape);      // rel. pos. bias
+  }
+  attn = b.softmax(attn);
+  std::string out = b.matmul(attn, v);                    // [B, H, T, dh]
+  out = b.reshape(b.transpose(out, {0, 2, 1, 3}), {-1, t, d});
+  return b.linear(out, d);                                 // output projection
+}
+
+std::string mlp_block(GraphBuilder& b, const std::string& x, int64_t hidden,
+                      int64_t out) {
+  std::string y = b.linear(x, hidden);
+  y = b.act(y, "Gelu");
+  return b.linear(y, out);
+}
+
+/// Conv patch embedding: [N,3,S,S] -> [N, T, D].
+std::string patch_embed(GraphBuilder& b, const std::string& image, int64_t dim,
+                        int64_t patch) {
+  std::string x = b.conv(image, dim, patch, patch, /*pad=*/0);
+  const int64_t hw = b.dim(x, 2) * b.dim(x, 3);
+  x = b.reshape(x, {0, dim, hw});
+  return b.transpose(x, {0, 2, 1});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ViT tiny/small/base (patch 16, 224x224, 12 blocks)
+// ---------------------------------------------------------------------------
+
+Graph build_vit(const std::string& size) {
+  int64_t dim = 0;
+  int64_t heads = 0;
+  if (size == "tiny") {
+    dim = 192;
+    heads = 3;
+  } else if (size == "small") {
+    dim = 384;
+    heads = 6;
+  } else if (size == "base") {
+    dim = 768;
+    heads = 12;
+  } else {
+    PROOF_FAIL("unknown ViT size '" << size << "'");
+  }
+  GraphBuilder b("vit_" + size);
+  std::string x = b.input("input", Shape{1, 3, 224, 224});
+  x = patch_embed(b, x, dim, 16);  // [N, 196, D]
+
+  // Class token: parameter broadcast over the batch, then prepended.
+  const std::string cls = b.param("cls_token", Shape{1, 1, dim});
+  AttrMap expand_attrs;
+  expand_attrs.set("shape", std::vector<int64_t>{1, 1, dim});
+  const std::string cls_b = b.node("Expand", {cls}, std::move(expand_attrs));
+  x = b.concat({cls_b, x}, 1);                          // [N, 197, D]
+  x = b.binary_param("Add", x, Shape{1, 197, dim});     // position embedding
+
+  for (int block = 0; block < 12; ++block) {
+    std::string h = b.layernorm(x);
+    h = attention(b, h, heads, /*fused_qkv=*/true);
+    x = b.add(x, h);
+    h = b.layernorm(x);
+    h = mlp_block(b, h, 4 * dim, dim);
+    x = b.add(x, h);
+  }
+  x = b.layernorm(x);
+  x = b.slice(x, {1}, {0}, {1});        // class token
+  x = b.reshape(x, {0, dim});
+  return b.finish({b.linear(x, 1000)});
+}
+
+// ---------------------------------------------------------------------------
+// Swin tiny/small/base (patch 4, window 7, 224x224)
+// ---------------------------------------------------------------------------
+
+Graph build_swin(const std::string& size) {
+  int64_t embed = 0;
+  std::vector<int> depths;
+  std::vector<int64_t> heads;
+  if (size == "tiny") {
+    embed = 96;
+    depths = {2, 2, 6, 2};
+    heads = {3, 6, 12, 24};
+  } else if (size == "small") {
+    embed = 96;
+    depths = {2, 2, 18, 2};
+    heads = {3, 6, 12, 24};
+  } else if (size == "base") {
+    embed = 128;
+    depths = {2, 2, 18, 2};
+    heads = {4, 8, 16, 32};
+  } else {
+    PROOF_FAIL("unknown Swin size '" << size << "'");
+  }
+  constexpr int64_t kWindow = 7;
+  GraphBuilder b("swin_" + size);
+  std::string image = b.input("input", Shape{1, 3, 224, 224});
+  std::string x = b.layernorm(patch_embed(b, image, embed, 4));  // [N, 3136, C]
+
+  int64_t res = 56;
+  int64_t dim = embed;
+  for (size_t stage = 0; stage < depths.size(); ++stage) {
+    for (int block = 0; block < depths[stage]; ++block) {
+      const bool shifted = block % 2 == 1;
+      std::string h = b.layernorm(x);
+      h = b.reshape(h, {0, res, res, dim});
+      if (shifted) {
+        // Cyclic shift (torch.roll): split + re-concat along both spatial
+        // axes, the data movement the runtime actually performs.
+        const int64_t s = kWindow / 2;
+        std::string top = b.slice(h, {1}, {0}, {s});
+        std::string bottom = b.slice(h, {1}, {s}, {res});
+        h = b.concat({bottom, top}, 1);
+        std::string left = b.slice(h, {2}, {0}, {s});
+        std::string right = b.slice(h, {2}, {s}, {res});
+        h = b.concat({right, left}, 2);
+      }
+      // Window partition: [N, R, R, C] -> [N*nW, 49, C].
+      const int64_t nw = res / kWindow;
+      h = b.reshape(h, {0, nw, kWindow, nw, kWindow, dim});
+      h = b.transpose(h, {0, 1, 3, 2, 4, 5});
+      h = b.reshape(h, {-1, kWindow * kWindow, dim});
+      const Shape bias_shape{heads[stage], kWindow * kWindow, kWindow * kWindow};
+      h = attention(b, h, heads[stage], /*fused_qkv=*/true, &bias_shape);
+      // Window merge: back to [N, R*R, C].
+      h = b.reshape(h, {-1, nw, nw, kWindow, kWindow, dim});
+      h = b.transpose(h, {0, 1, 3, 2, 4, 5});
+      if (shifted) {
+        h = b.reshape(h, {-1, res, res, dim});
+        const int64_t s = kWindow - kWindow / 2;
+        std::string top = b.slice(h, {1}, {0}, {s});
+        std::string bottom = b.slice(h, {1}, {s}, {res});
+        h = b.concat({bottom, top}, 1);
+        std::string left = b.slice(h, {2}, {0}, {s});
+        std::string right = b.slice(h, {2}, {s}, {res});
+        h = b.concat({right, left}, 2);
+      }
+      h = b.reshape(h, {-1, res * res, dim});
+      x = b.add(x, h);
+      h = b.layernorm(x);
+      h = mlp_block(b, h, 4 * dim, dim);
+      x = b.add(x, h);
+    }
+    if (stage + 1 < depths.size()) {
+      // PatchMerging: 2x2 neighborhood concat + linear reduction.
+      std::string h = b.reshape(x, {0, res, res, dim});
+      std::vector<std::string> quads;
+      for (int64_t dy = 0; dy < 2; ++dy) {
+        for (int64_t dx = 0; dx < 2; ++dx) {
+          quads.push_back(b.slice(h, {1, 2}, {dy, dx}, {res, res}, {2, 2}));
+        }
+      }
+      h = b.concat(quads, 3);                       // [N, R/2, R/2, 4C]
+      res /= 2;
+      h = b.reshape(h, {0, res * res, 4 * dim});
+      h = b.layernorm(h);
+      x = b.linear(h, 2 * dim, /*bias=*/false);
+      dim *= 2;
+    }
+  }
+  x = b.layernorm(x);
+  x = b.reduce_mean(x, {1}, /*keepdims=*/false);
+  return b.finish({b.linear(x, 1000)});
+}
+
+// ---------------------------------------------------------------------------
+// MLP-Mixer B/16
+// ---------------------------------------------------------------------------
+
+Graph build_mlp_mixer_b16() {
+  constexpr int64_t kDim = 768;
+  constexpr int64_t kTokens = 196;
+  constexpr int64_t kTokenHidden = 384;
+  constexpr int64_t kChannelHidden = 3072;
+  GraphBuilder b("mlp_mixer_b16");
+  std::string image = b.input("input", Shape{1, 3, 224, 224});
+  std::string x = patch_embed(b, image, kDim, 16);  // [N, 196, 768]
+  for (int block = 0; block < 12; ++block) {
+    // Token mixing operates across patches: transpose, MLP, transpose back.
+    std::string h = b.layernorm(x);
+    h = b.transpose(h, {0, 2, 1});                  // [N, 768, 196]
+    h = mlp_block(b, h, kTokenHidden, kTokens);
+    h = b.transpose(h, {0, 2, 1});
+    x = b.add(x, h);
+    h = b.layernorm(x);
+    h = mlp_block(b, h, kChannelHidden, kDim);
+    x = b.add(x, h);
+  }
+  x = b.layernorm(x);
+  x = b.reduce_mean(x, {1}, /*keepdims=*/false);
+  return b.finish({b.linear(x, 1000)});
+}
+
+// ---------------------------------------------------------------------------
+// DistilBERT base (6 layers, hidden 768, sequence length 512)
+// ---------------------------------------------------------------------------
+
+Graph build_distilbert_base() {
+  constexpr int64_t kDim = 768;
+  constexpr int64_t kHeads = 12;
+  constexpr int64_t kFfn = 3072;
+  constexpr int64_t kSeq = 512;
+  constexpr int64_t kVocab = 30522;
+  GraphBuilder b("distilbert");
+  const std::string ids = b.input("input_ids", Shape{1, kSeq}, DType::kI64);
+  std::string x = b.embedding(ids, kVocab, kDim);        // [N, 512, 768]
+  x = b.binary_param("Add", x, Shape{1, kSeq, kDim});    // position embeddings
+  x = b.layernorm(x);
+  for (int layer = 0; layer < 6; ++layer) {
+    // Post-LN encoder: x = LN(x + attn(x)); x = LN(x + ffn(x)).
+    std::string h = attention(b, x, kHeads, /*fused_qkv=*/false);
+    x = b.layernorm(b.add(x, h));
+    h = mlp_block(b, x, kFfn, kDim);
+    x = b.layernorm(b.add(x, h));
+  }
+  return b.finish({x});
+}
+
+}  // namespace proof::models

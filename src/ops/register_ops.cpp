@@ -1,0 +1,27 @@
+#include "ops/registry_init.hpp"
+
+#include "ops/op_def.hpp"
+
+namespace proof {
+
+namespace ops {
+void register_elementwise_ops(OpRegistry& r);
+void register_conv_ops(OpRegistry& r);
+void register_gemm_ops(OpRegistry& r);
+void register_norm_ops(OpRegistry& r);
+void register_shape_ops(OpRegistry& r);
+void register_extended_ops(OpRegistry& r);
+void register_quant_ops(OpRegistry& r);
+}  // namespace ops
+
+void register_builtin_ops(OpRegistry& registry) {
+  ops::register_elementwise_ops(registry);
+  ops::register_conv_ops(registry);
+  ops::register_gemm_ops(registry);
+  ops::register_norm_ops(registry);
+  ops::register_shape_ops(registry);
+  ops::register_extended_ops(registry);
+  ops::register_quant_ops(registry);
+}
+
+}  // namespace proof

@@ -1,0 +1,11 @@
+// Internal: one-time registration of all built-in operator defines.
+#pragma once
+
+namespace proof {
+
+class OpRegistry;
+
+/// Registers every built-in OpDef into `registry` (register_ops.cpp).
+void register_builtin_ops(OpRegistry& registry);
+
+}  // namespace proof

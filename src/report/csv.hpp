@@ -1,0 +1,25 @@
+// Minimal CSV export for profiled data (dataviewer interchange format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace proof::report {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// RFC-4180-style rendering (quotes fields containing separators).
+  [[nodiscard]] std::string to_string() const;
+
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace proof::report

@@ -1,0 +1,210 @@
+#include "report/svg_roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace proof::report {
+
+namespace {
+
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 50;
+
+const char* class_color(OpClass cls) {
+  switch (cls) {
+    case OpClass::kGemm:
+      return "#2e7d32";  // green: matrix multiply
+    case OpClass::kConv:
+      return "#c62828";  // red: regular conv
+    case OpClass::kConvPointwise:
+      return "#e65100";  // orange-red: pointwise conv
+    case OpClass::kConvDepthwise:
+      return "#1565c0";  // blue: depthwise conv
+    case OpClass::kElementwise:
+      return "#6a1b9a";
+    case OpClass::kReduction:
+    case OpClass::kNormalization:
+    case OpClass::kSoftmax:
+      return "#8e24aa";  // purple family: pointwise/reduce ops
+    case OpClass::kDataMovement:
+      return "#0277bd";  // blue: transpose
+    case OpClass::kCopy:
+      return "#2e8b57";  // sea green: data copy
+    case OpClass::kNoOp:
+      return "#9e9e9e";
+  }
+  return "#000000";
+}
+
+struct LogScale {
+  double lo_log, hi_log;
+  double px_lo, px_hi;
+  [[nodiscard]] double map(double value) const {
+    const double t = (std::log10(value) - lo_log) / (hi_log - lo_log);
+    return px_lo + t * (px_hi - px_lo);
+  }
+};
+
+std::string fmt_pow10(int exp, const char* unit) {
+  std::ostringstream out;
+  if (exp >= 9 && exp < 19 && exp % 3 == 0) {
+    static const char* kPrefix[] = {"G", "", "", "T", "", "", "P", "", "", "E"};
+    out << kPrefix[exp - 9] << unit;
+    return out.str();
+  }
+  out << "1e" << exp << ' ' << unit;
+  return out.str();
+}
+
+void draw_frame(std::ostringstream& svg, const SvgOptions& opt, const LogScale& xs,
+                const LogScale& ys, const std::string& title) {
+  svg << "<rect width='" << opt.width << "' height='" << opt.height
+      << "' fill='white'/>\n";
+  svg << "<text x='" << opt.width / 2 << "' y='22' text-anchor='middle' "
+      << "font-size='15' font-family='sans-serif'>" << title << "</text>\n";
+  // Decade gridlines.
+  for (int e = static_cast<int>(std::ceil(xs.lo_log));
+       e <= static_cast<int>(std::floor(xs.hi_log)); ++e) {
+    const double x = xs.map(std::pow(10.0, e));
+    svg << "<line x1='" << x << "' y1='" << kMarginTop << "' x2='" << x << "' y2='"
+        << opt.height - kMarginBottom << "' stroke='#eeeeee'/>\n";
+    svg << "<text x='" << x << "' y='" << opt.height - kMarginBottom + 16
+        << "' text-anchor='middle' font-size='10' font-family='sans-serif'>1e" << e
+        << "</text>\n";
+  }
+  for (int e = static_cast<int>(std::ceil(ys.lo_log));
+       e <= static_cast<int>(std::floor(ys.hi_log)); ++e) {
+    const double y = ys.map(std::pow(10.0, e));
+    svg << "<line x1='" << kMarginLeft << "' y1='" << y << "' x2='"
+        << opt.width - kMarginRight << "' y2='" << y << "' stroke='#eeeeee'/>\n";
+    svg << "<text x='" << kMarginLeft - 6 << "' y='" << y + 3
+        << "' text-anchor='end' font-size='10' font-family='sans-serif'>"
+        << fmt_pow10(e, "FLOP/s") << "</text>\n";
+  }
+  svg << "<rect x='" << kMarginLeft << "' y='" << kMarginTop << "' width='"
+      << opt.width - kMarginLeft - kMarginRight << "' height='"
+      << opt.height - kMarginTop - kMarginBottom
+      << "' fill='none' stroke='#444444'/>\n";
+  svg << "<text x='" << (kMarginLeft + opt.width - kMarginRight) / 2 << "' y='"
+      << opt.height - 12
+      << "' text-anchor='middle' font-size='12' font-family='sans-serif'>"
+      << "Arithmetic intensity (FLOP/byte)</text>\n";
+}
+
+void draw_roof(std::ostringstream& svg, const roofline::Ceilings& c,
+               const SvgOptions& opt, const LogScale& xs, const LogScale& ys) {
+  const auto clamp_y = [&](double v) {
+    return std::min(std::max(v, kMarginTop * 1.0),
+                    opt.height - kMarginBottom * 1.0);
+  };
+  // Main bandwidth roof + compute roof as a polyline over x samples.
+  const auto draw_bw_line = [&](double bw, const char* color, const char* dash) {
+    const double ai0 = std::pow(10.0, xs.lo_log);
+    const double ridge = c.peak_flops / bw;
+    const double ai1 = std::min(ridge, std::pow(10.0, xs.hi_log));
+    svg << "<line x1='" << xs.map(ai0) << "' y1='" << clamp_y(ys.map(ai0 * bw))
+        << "' x2='" << xs.map(ai1) << "' y2='" << clamp_y(ys.map(ai1 * bw))
+        << "' stroke='" << color << "' stroke-width='1.5'" << dash << "/>\n";
+  };
+  draw_bw_line(c.peak_bw, "#333333", "");
+  static const char* kExtraColors[] = {"#d4a017", "#c0392b", "#7f8c8d"};
+  for (size_t i = 0; i < c.extra_bw_lines.size(); ++i) {
+    draw_bw_line(c.extra_bw_lines[i].second,
+                 kExtraColors[i % 3], " stroke-dasharray='6,3'");
+    const double label_ai = std::pow(10.0, xs.lo_log) * 3.0;
+    svg << "<text x='" << xs.map(label_ai) + 4 << "' y='"
+        << clamp_y(ys.map(label_ai * c.extra_bw_lines[i].second)) - 5
+        << "' font-size='10' fill='" << kExtraColors[i % 3]
+        << "' font-family='sans-serif'>" << c.extra_bw_lines[i].first << "</text>\n";
+  }
+  const double ridge = c.ridge_ai();
+  svg << "<line x1='" << xs.map(std::max(ridge, std::pow(10.0, xs.lo_log)))
+      << "' y1='" << ys.map(c.peak_flops) << "' x2='" << xs.map(std::pow(10.0, xs.hi_log))
+      << "' y2='" << ys.map(c.peak_flops)
+      << "' stroke='#333333' stroke-width='1.5'/>\n";
+  svg << "<text x='" << opt.width - kMarginRight - 4 << "' y='"
+      << ys.map(c.peak_flops) - 5
+      << "' text-anchor='end' font-size='10' font-family='sans-serif'>"
+      << units::tflops(c.peak_flops) << " peak</text>\n";
+}
+
+void draw_points(std::ostringstream& svg, const std::vector<roofline::Point>& points,
+                 const LogScale& xs, const LogScale& ys, bool label) {
+  for (const roofline::Point& p : points) {
+    const double ai = p.arithmetic_intensity();
+    const double perf = p.attained_flops();
+    if (ai <= 0.0 || perf <= 0.0) {
+      continue;
+    }
+    const double opacity =
+        0.25 + 0.75 * std::min(1.0, p.latency_share > 0 ? p.latency_share * 8.0 : 1.0);
+    svg << "<circle cx='" << xs.map(ai) << "' cy='" << ys.map(perf)
+        << "' r='5' fill='" << class_color(p.cls) << "' fill-opacity='" << opacity
+        << "'/>\n";
+    if (label) {
+      svg << "<text x='" << xs.map(ai) + 7 << "' y='" << ys.map(perf) + 3
+          << "' font-size='9' font-family='sans-serif'>" << p.name << "</text>\n";
+    }
+  }
+}
+
+std::string render(const roofline::Ceilings& ceilings,
+                   const std::vector<roofline::Point>& points,
+                   const SvgOptions& opt) {
+  double min_f = opt.min_flops;
+  double max_f = opt.max_flops;
+  if (max_f <= 0.0) {
+    max_f = ceilings.peak_flops * 3.0;
+  }
+  if (min_f <= 0.0) {
+    min_f = max_f / 1e7;
+    for (const roofline::Point& p : points) {
+      const double perf = p.attained_flops();
+      if (perf > 0.0) {
+        min_f = std::min(min_f, perf / 3.0);
+      }
+    }
+  }
+  const LogScale xs{std::log10(opt.min_ai), std::log10(opt.max_ai),
+                    static_cast<double>(kMarginLeft),
+                    static_cast<double>(opt.width - kMarginRight)};
+  const LogScale ys{std::log10(min_f), std::log10(max_f),
+                    static_cast<double>(opt.height - kMarginBottom),
+                    static_cast<double>(kMarginTop)};
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << opt.width
+      << "' height='" << opt.height << "'>\n";
+  draw_frame(svg, opt, xs, ys, opt.title);
+  draw_roof(svg, ceilings, opt, xs, ys);
+  draw_points(svg, points, xs, ys, opt.label_points);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace
+
+std::string render_roofline_svg(const roofline::Analysis& analysis,
+                                const SvgOptions& options) {
+  return render(analysis.ceilings, analysis.layers, options);
+}
+
+std::string render_points_svg(const roofline::Ceilings& ceilings,
+                              const std::vector<roofline::Point>& points,
+                              const SvgOptions& options) {
+  return render(ceilings, points, options);
+}
+
+void save_svg(const std::string& svg, const std::string& path) {
+  std::ofstream out(path);
+  PROOF_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << svg;
+}
+
+}  // namespace proof::report

@@ -1,0 +1,38 @@
+// SVG roofline charts (the dataviewer's visual report).
+//
+// Renders a log-log roofline: bandwidth roof(s), compute roof, and one point
+// per backend layer whose opacity encodes its latency share — the visual
+// convention of the paper's Figures 4-6 and 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "roofline/roofline.hpp"
+
+namespace proof::report {
+
+struct SvgOptions {
+  int width = 760;
+  int height = 520;
+  std::string title;
+  double min_ai = 0.1;        ///< x-axis lower bound (FLOP/byte)
+  double max_ai = 10000.0;
+  double min_flops = 0.0;     ///< 0 = auto from ceilings/points
+  double max_flops = 0.0;
+  bool label_points = false;  ///< annotate each point with its layer name
+};
+
+/// Renders one analysis (ceilings + layer points) as a standalone SVG.
+[[nodiscard]] std::string render_roofline_svg(const roofline::Analysis& analysis,
+                                              const SvgOptions& options);
+
+/// Renders several end-to-end points (one per model) on shared ceilings —
+/// the Figure-4 style chart.
+[[nodiscard]] std::string render_points_svg(const roofline::Ceilings& ceilings,
+                                            const std::vector<roofline::Point>& points,
+                                            const SvgOptions& options);
+
+void save_svg(const std::string& svg, const std::string& path);
+
+}  // namespace proof::report

@@ -1,0 +1,100 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace proof::report {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  size_t digits = 0;
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      ++digits;
+    }
+  }
+  return digits * 2 >= cell.size();
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PROOF_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PROOF_CHECK(cells.size() == headers_.size(),
+              "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  // Right-align a column when most of its cells look numeric.
+  std::vector<bool> right(headers_.size(), false);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    size_t numeric = 0;
+    size_t filled = 0;
+    for (const auto& row : rows_) {
+      if (row.empty()) {
+        continue;
+      }
+      ++filled;
+      if (looks_numeric(row[c])) {
+        ++numeric;
+      }
+    }
+    right[c] = filled > 0 && numeric * 2 >= filled;
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const size_t pad = widths[c] - cell.size();
+      out << (c == 0 ? "| " : " ");
+      if (right[c]) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell << std::string(pad, ' ');
+      }
+      out << " |";
+    }
+    out << "\n";
+  };
+  const auto emit_rule = [&] {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace proof::report

@@ -1,0 +1,30 @@
+// Aligned text tables for CLI reports (the dataviewer's terminal output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace proof::report {
+
+class TextTable {
+ public:
+  /// Column headers define the column count.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with column alignment (numbers right-aligned heuristically).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+}  // namespace proof::report

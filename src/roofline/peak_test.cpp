@@ -1,0 +1,29 @@
+#include "roofline/peak_test.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace proof::roofline {
+
+AchievedPeaks achieved_peaks(const backends::Engine& engine,
+                             const hw::PlatformState& state) {
+  const hw::LatencyModel model(state);
+  AchievedPeaks peaks;
+  for (const hw::KernelWork& k : engine.all_kernels()) {
+    const hw::KernelTiming t = model.time_kernel(k);
+    if (t.latency_s <= 0.0) {
+      continue;
+    }
+    if (k.cls == OpClass::kGemm || k.cls == OpClass::kConv ||
+        k.cls == OpClass::kConvPointwise) {
+      peaks.flops = std::max(peaks.flops, k.hw_flops / t.latency_s);
+    }
+    if (k.cls == OpClass::kCopy || k.cls == OpClass::kDataMovement) {
+      peaks.bw = std::max(peaks.bw, k.bytes / t.latency_s);
+    }
+  }
+  return peaks;
+}
+
+}  // namespace proof::roofline

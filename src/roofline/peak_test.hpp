@@ -1,0 +1,24 @@
+// Achieved-peak measurement (Table 6).
+//
+// The paper assembles a pseudo ONNX model of large MatMuls and memory-copy
+// operators, runs it through the backend and reads the best attained FLOP/s
+// and bandwidth.  This header implements the read-out half: given the built
+// probe engine and its profile, extract the achieved peaks.
+#pragma once
+
+#include "backends/backend.hpp"
+
+namespace proof::roofline {
+
+struct AchievedPeaks {
+  double flops = 0.0;  ///< best attained FLOP/s across GEMM probe layers
+  double bw = 0.0;     ///< best attained bytes/s across copy probe layers
+};
+
+/// Scans an engine's kernels under a clock state for the best compute and
+/// bandwidth attainments.  Works on any engine but is intended for the
+/// peak-probe pseudo model (`models::build_peak_probe`).
+[[nodiscard]] AchievedPeaks achieved_peaks(const backends::Engine& engine,
+                                           const hw::PlatformState& state);
+
+}  // namespace proof::roofline

@@ -1,0 +1,28 @@
+#include "roofline/roofline.hpp"
+
+#include "support/error.hpp"
+
+namespace proof::roofline {
+
+double Analysis::roofline_efficiency() const {
+  const double attainable = ceilings.attainable(end_to_end.arithmetic_intensity());
+  return attainable > 0.0 ? end_to_end.attained_flops() / attainable : 0.0;
+}
+
+Point aggregate(std::vector<Point>& layers, const std::string& name) {
+  Point total;
+  total.name = name;
+  for (const Point& p : layers) {
+    total.flops += p.flops;
+    total.bytes += p.bytes;
+    total.latency_s += p.latency_s;
+  }
+  if (total.latency_s > 0.0) {
+    for (Point& p : layers) {
+      p.latency_share = p.latency_s / total.latency_s;
+    }
+  }
+  return total;
+}
+
+}  // namespace proof::roofline

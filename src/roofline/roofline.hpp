@@ -1,0 +1,71 @@
+// Roofline math and analysis containers (Williams et al., adapted for DNN
+// profiling as in the paper's §1/§4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ops/op_def.hpp"
+#include "tensor/dtype.hpp"
+
+namespace proof::roofline {
+
+/// One point on a roofline chart: a backend layer or a whole model.
+struct Point {
+  std::string name;
+  double flops = 0.0;      ///< work performed (Model FLOP unless noted)
+  double bytes = 0.0;      ///< DRAM traffic
+  double latency_s = 0.0;
+  double latency_share = 0.0;  ///< fraction of total model latency
+  OpClass cls = OpClass::kElementwise;
+
+  /// Arithmetic intensity (FLOP/byte); 0 when no traffic.
+  [[nodiscard]] double arithmetic_intensity() const {
+    return bytes > 0.0 ? flops / bytes : 0.0;
+  }
+  /// Attained performance (FLOP/s); 0 when latency unknown.
+  [[nodiscard]] double attained_flops() const {
+    return latency_s > 0.0 ? flops / latency_s : 0.0;
+  }
+  /// Attained DRAM bandwidth (bytes/s).
+  [[nodiscard]] double attained_bandwidth() const {
+    return latency_s > 0.0 ? bytes / latency_s : 0.0;
+  }
+};
+
+/// Chart ceilings: a compute roof and one or more bandwidth roofs.
+struct Ceilings {
+  double peak_flops = 0.0;  ///< compute roof (theoretical or achieved)
+  double peak_bw = 0.0;     ///< main bandwidth roof
+  std::vector<std::pair<std::string, double>> extra_bw_lines;  ///< e.g. Fig. 8
+
+  /// AI where the bandwidth roof meets the compute roof.
+  [[nodiscard]] double ridge_ai() const {
+    return peak_bw > 0.0 ? peak_flops / peak_bw : 0.0;
+  }
+  /// Attainable FLOP/s at a given arithmetic intensity.
+  [[nodiscard]] double attainable(double ai) const {
+    const double mem_limited = ai * peak_bw;
+    return mem_limited < peak_flops ? mem_limited : peak_flops;
+  }
+  /// True when a point sits left of the ridge (memory-bound region).
+  [[nodiscard]] bool memory_bound(const Point& p) const {
+    return p.arithmetic_intensity() < ridge_ai();
+  }
+};
+
+/// Complete roofline analysis of one model on one platform configuration.
+struct Analysis {
+  Ceilings ceilings;
+  Point end_to_end;            ///< whole-model aggregate
+  std::vector<Point> layers;   ///< per backend layer
+
+  /// Efficiency of the end-to-end point vs the roofline at its AI.
+  [[nodiscard]] double roofline_efficiency() const;
+};
+
+/// Fills latency_share on every layer point and builds the end-to-end
+/// aggregate (sum of FLOP/bytes/latency).
+[[nodiscard]] Point aggregate(std::vector<Point>& layers, const std::string& name);
+
+}  // namespace proof::roofline

@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+namespace proof::detail {
+
+void throw_check_failure(const char* file, int line, const char* expr,
+                         const std::string& message) {
+  std::ostringstream out;
+  out << "check failed at " << file << ':' << line << " (" << expr << ")";
+  if (!message.empty()) {
+    out << ": " << message;
+  }
+  throw Error(out.str());
+}
+
+}  // namespace proof::detail

@@ -1,0 +1,67 @@
+// Error handling primitives for PRoof.
+//
+// The framework uses exceptions for unrecoverable contract violations
+// (malformed graphs, unknown operators, bad configurations).  Every throw
+// goes through proof::Error so callers can catch one type at the API
+// boundary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace proof {
+
+/// Base exception for all PRoof failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Thrown when an input model or serialized file is structurally invalid.
+class ModelError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a configuration (platform, backend, dtype, batch) is invalid.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(const char* file, int line, const char* expr,
+                                      const std::string& message);
+
+/// Stream-style message builder used by PROOF_CHECK.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace proof
+
+/// Contract check: throws proof::Error with file/line context when `cond` is
+/// false.  Usage: PROOF_CHECK(a == b, "mismatch: " << a << " vs " << b);
+#define PROOF_CHECK(cond, msg)                                                  \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::proof::detail::throw_check_failure(__FILE__, __LINE__, #cond,           \
+                                           (::proof::detail::MessageStream{} << msg).str()); \
+    }                                                                           \
+  } while (false)
+
+/// Unconditional failure with message.
+#define PROOF_FAIL(msg) PROOF_CHECK(false, msg)

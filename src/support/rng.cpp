@@ -1,0 +1,46 @@
+#include "support/rng.hpp"
+
+#include "support/error.hpp"
+
+namespace proof {
+
+Rng Rng::from_string(std::string_view key, uint64_t salt) {
+  // FNV-1a 64-bit over the key bytes, mixed with the salt.
+  uint64_t hash = 1469598103934665603ULL;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  hash ^= salt + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+  return Rng(hash);
+}
+
+uint64_t Rng::next_u64() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+double Rng::next_gaussian() {
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    sum += next_double();
+  }
+  return sum - 6.0;
+}
+
+uint64_t Rng::next_below(uint64_t n) {
+  PROOF_CHECK(n > 0, "next_below: n must be positive");
+  return next_u64() % n;
+}
+
+}  // namespace proof

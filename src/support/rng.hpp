@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the framework (measurement jitter, synthetic
+// weights) must be reproducible run-to-run, so everything draws from this
+// SplitMix64 generator seeded explicitly by the caller.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace proof {
+
+/// SplitMix64: tiny, fast, good-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Derives a seed deterministically from a string (FNV-1a) and a salt so
+  /// that e.g. per-kernel jitter depends only on the kernel identity.
+  static Rng from_string(std::string_view key, uint64_t salt = 0);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Approximately normal(0, 1) via sum of uniforms (Irwin-Hall, 12 draws).
+  double next_gaussian();
+
+  /// Uniform integer in [0, n).
+  uint64_t next_below(uint64_t n);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace proof

@@ -1,0 +1,110 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "support/error.hpp"
+
+namespace proof::strings {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_trimmed(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  for (const auto& field : split(text, sep)) {
+    const std::string_view trimmed = trim(field);
+    if (!trimmed.empty()) {
+      out.emplace_back(trimmed);
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to) {
+  PROOF_CHECK(!from.empty(), "replace_all: empty pattern");
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+long long parse_int(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  PROOF_CHECK(ec == std::errc{} && ptr == trimmed.data() + trimmed.size(),
+              "malformed integer: '" << std::string(text) << "'");
+  return value;
+}
+
+double parse_double(std::string_view text) {
+  const std::string trimmed{trim(text)};
+  PROOF_CHECK(!trimmed.empty(), "malformed double: empty string");
+  size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(trimmed, &consumed);
+  } catch (const std::exception&) {
+    PROOF_FAIL("malformed double: '" << trimmed << "'");
+  }
+  PROOF_CHECK(consumed == trimmed.size(), "malformed double: '" << trimmed << "'");
+  return value;
+}
+
+}  // namespace proof::strings

@@ -1,0 +1,36 @@
+// Small string utilities shared across the framework.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proof::strings {
+
+/// Splits `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits and drops empty fields after trimming whitespace from each field.
+[[nodiscard]] std::vector<std::string> split_trimmed(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+[[nodiscard]] bool contains(std::string_view text, std::string_view needle);
+
+/// Replaces every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view text, std::string_view from,
+                                      std::string_view to);
+
+/// Parses a signed integer; throws proof::Error on malformed input.
+[[nodiscard]] long long parse_int(std::string_view text);
+
+/// Parses a double; throws proof::Error on malformed input.
+[[nodiscard]] double parse_double(std::string_view text);
+
+}  // namespace proof::strings

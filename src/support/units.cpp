@@ -1,0 +1,42 @@
+#include "support/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace proof::units {
+
+std::string fixed(double value, int decimals) {
+  std::array<char, 64> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), "%.*f", decimals, value);
+  return std::string(buffer.data());
+}
+
+std::string si(double value, const std::string& unit) {
+  static constexpr std::array<const char*, 7> kPrefixes = {"", "K", "M", "G", "T", "P", "E"};
+  size_t idx = 0;
+  double scaled = value;
+  while (std::abs(scaled) >= 1000.0 && idx + 1 < kPrefixes.size()) {
+    scaled /= 1000.0;
+    ++idx;
+  }
+  return fixed(scaled, 3) + " " + kPrefixes[idx] + unit;
+}
+
+std::string megabytes(double bytes) { return fixed(bytes / 1e6, 3) + " MB"; }
+
+std::string gflop(double flops) { return fixed(flops / 1e9, 3) + " GFLOP"; }
+
+std::string tflops(double flops_per_s) { return fixed(flops_per_s / 1e12, 3) + " TFLOP/s"; }
+
+std::string gbps(double bytes_per_s) { return fixed(bytes_per_s / 1e9, 3) + " GB/s"; }
+
+std::string ms(double seconds) { return fixed(seconds * 1e3, 3) + " ms"; }
+
+std::string percent(double fraction) {
+  const double pct = fraction * 100.0;
+  const std::string body = fixed(pct, 2) + "%";
+  return pct >= 0.0 ? "+" + body : body;
+}
+
+}  // namespace proof::units

@@ -1,0 +1,33 @@
+// Human-readable unit formatting used by the dataviewer and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace proof::units {
+
+/// "1.234 G" style SI scaling (powers of 1000) with 3 decimals.
+[[nodiscard]] std::string si(double value, const std::string& unit);
+
+/// Bytes with binary prefixes ("11669.419 MB" uses MB = 1e6 like the paper).
+[[nodiscard]] std::string megabytes(double bytes);
+
+/// FLOP count in GFLOP with 3 decimals, matching Table 3/4 formatting.
+[[nodiscard]] std::string gflop(double flops);
+
+/// Rate in TFLOP/s with 3 decimals.
+[[nodiscard]] std::string tflops(double flops_per_s);
+
+/// Rate in GB/s with 3 decimals.
+[[nodiscard]] std::string gbps(double bytes_per_s);
+
+/// Milliseconds with 3 decimals.
+[[nodiscard]] std::string ms(double seconds);
+
+/// Fixed-precision helper.
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Signed percentage with 2 decimals ("-19.82%").
+[[nodiscard]] std::string percent(double fraction);
+
+}  // namespace proof::units

@@ -1,0 +1,98 @@
+#include "tensor/shape.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace proof {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (const int64_t d : dims_) {
+    PROOF_CHECK(d >= 0, "negative extent in shape " << to_string());
+  }
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (const int64_t d : dims_) {
+    PROOF_CHECK(d >= 0, "negative extent in shape " << to_string());
+  }
+}
+
+int64_t Shape::dim(int axis) const {
+  return dims_.at(static_cast<size_t>(normalize_axis(axis)));
+}
+
+void Shape::set_dim(int axis, int64_t value) {
+  PROOF_CHECK(value >= 0, "negative extent " << value);
+  dims_.at(static_cast<size_t>(normalize_axis(axis))) = value;
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (const int64_t d : dims_) {
+    n *= d;
+  }
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+int Shape::normalize_axis(int axis) const {
+  const int r = static_cast<int>(rank());
+  const int normalized = axis < 0 ? axis + r : axis;
+  PROOF_CHECK(normalized >= 0 && normalized < r,
+              "axis " << axis << " out of range for rank " << r);
+  return normalized;
+}
+
+Shape Shape::broadcast(const Shape& a, const Shape& b) {
+  const size_t out_rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> out(out_rank, 1);
+  for (size_t i = 0; i < out_rank; ++i) {
+    const int64_t da =
+        i < a.rank() ? a.dims()[a.rank() - 1 - i] : 1;
+    const int64_t db =
+        i < b.rank() ? b.dims()[b.rank() - 1 - i] : 1;
+    PROOF_CHECK(da == db || da == 1 || db == 1,
+                "shapes not broadcastable: " << a.to_string() << " vs " << b.to_string());
+    out[out_rank - 1 - i] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+bool Shape::broadcastable(const Shape& a, const Shape& b) {
+  const size_t out_rank = std::max(a.rank(), b.rank());
+  for (size_t i = 0; i < out_rank; ++i) {
+    const int64_t da = i < a.rank() ? a.dims()[a.rank() - 1 - i] : 1;
+    const int64_t db = i < b.rank() ? b.dims()[b.rank() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Shape::insert_dim(int axis, int64_t dim) {
+  PROOF_CHECK(dim >= 0, "negative extent " << dim);
+  const int r = static_cast<int>(rank());
+  const int normalized = axis < 0 ? axis + r + 1 : axis;
+  PROOF_CHECK(normalized >= 0 && normalized <= r,
+              "insert axis " << axis << " out of range for rank " << r);
+  dims_.insert(dims_.begin() + normalized, dim);
+}
+
+void Shape::erase_dim(int axis) {
+  dims_.erase(dims_.begin() + normalize_axis(axis));
+}
+
+}  // namespace proof

@@ -1,0 +1,58 @@
+// Tensor shapes.
+//
+// Shapes are fully static during inference (the paper's analytical model
+// relies on DNNs having static control flow), so a shape is simply an ordered
+// list of non-negative extents.  A scalar is rank-0.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace proof {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  [[nodiscard]] size_t rank() const { return dims_.size(); }
+  [[nodiscard]] bool empty() const { return dims_.empty(); }
+
+  /// Extent of dimension `axis`; negative axes count from the back.
+  [[nodiscard]] int64_t dim(int axis) const;
+
+  /// Mutable access (positive axis only).
+  void set_dim(int axis, int64_t value);
+
+  [[nodiscard]] const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total element count (1 for scalars).
+  [[nodiscard]] int64_t numel() const;
+
+  /// "[1, 3, 224, 224]" rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Normalizes a possibly-negative axis against this shape's rank;
+  /// throws on out-of-range.
+  [[nodiscard]] int normalize_axis(int axis) const;
+
+  /// NumPy-style broadcast of two shapes; throws when incompatible.
+  [[nodiscard]] static Shape broadcast(const Shape& a, const Shape& b);
+
+  /// True when `a` can broadcast against `b`.
+  [[nodiscard]] static bool broadcastable(const Shape& a, const Shape& b);
+
+  bool operator==(const Shape& other) const = default;
+
+  void push_back(int64_t dim) { dims_.push_back(dim); }
+  void insert_dim(int axis, int64_t dim);
+  void erase_dim(int axis);
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace proof

@@ -1,0 +1,35 @@
+#include "tensor/tensor.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace proof {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), values_(static_cast<size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), values_(std::move(values)) {
+  PROOF_CHECK(static_cast<int64_t>(values_.size()) == shape_.numel(),
+              "value count " << values_.size() << " does not match shape "
+                             << shape_.to_string());
+}
+
+Tensor Tensor::random(const Shape& shape, const std::string& seed_key) {
+  Tensor out(shape);
+  Rng rng = Rng::from_string(seed_key);
+  for (float& v : out.values_) {
+    v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return out;
+}
+
+Tensor Tensor::full(const Shape& shape, float value) {
+  Tensor out(shape);
+  for (float& v : out.values_) {
+    v = value;
+  }
+  return out;
+}
+
+}  // namespace proof

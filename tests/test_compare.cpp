@@ -1,0 +1,64 @@
+// Unit tests: report comparison (the §4.5/§4.6 A/B workflow API).
+#include <gtest/gtest.h>
+
+#include "core/compare.hpp"
+#include "support/error.hpp"
+
+namespace proof {
+namespace {
+
+ProfileReport run(const std::string& model, int64_t batch) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = batch;
+  opt.mode = MetricMode::kPredicted;
+  return Profiler(opt).run_zoo(model);
+}
+
+TEST(Compare, IdentityDeltaIsNeutral) {
+  const ProfileReport r = run("resnet34", 8);
+  const ReportDelta d = compare_reports(r, r);
+  EXPECT_DOUBLE_EQ(d.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(d.throughput_ratio, 1.0);
+  EXPECT_NEAR(d.flop_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(d.power_delta_w, 0.0, 1e-9);
+  for (const auto& [cls, delta] : d.class_latency_delta_s) {
+    EXPECT_NEAR(delta, 0.0, 1e-12) << op_class_name(cls);
+  }
+}
+
+TEST(Compare, ShuffleNetCaseStudyDelta) {
+  ReportDelta d =
+      compare_reports(run("shufflenetv2_10", 2048), run("shufflenetv2_10_mod", 2048));
+  // §4.5: more FLOP, less traffic, faster.
+  EXPECT_GT(d.speedup, 1.3);
+  EXPECT_GT(d.flop_ratio, 1.3);
+  EXPECT_LT(d.bytes_ratio, 1.0);
+  // The win comes from data movement disappearing.
+  EXPECT_LT(d.class_latency_delta_s[OpClass::kDataMovement], 0.0);
+}
+
+TEST(Compare, SpeedupAndThroughputConsistent) {
+  const ReportDelta d = compare_reports(run("resnet50", 32), run("resnet34", 32));
+  // Same batch -> throughput ratio equals speedup.
+  EXPECT_NEAR(d.throughput_ratio, d.speedup, 1e-9);
+  EXPECT_GT(d.speedup, 1.0);  // ResNet-34 is lighter
+}
+
+TEST(Compare, DeltaTextMentionsKeyNumbers) {
+  const ReportDelta d =
+      compare_reports(run("shufflenetv2_10", 128), run("shufflenetv2_10_mod", 128));
+  const std::string text = delta_text(d);
+  EXPECT_NE(text.find("speedup:"), std::string::npos);
+  EXPECT_NE(text.find("perf/W:"), std::string::npos);
+  EXPECT_NE(text.find("data_movement"), std::string::npos);
+}
+
+TEST(Compare, RejectsEmptyReports) {
+  const ProfileReport empty;
+  EXPECT_THROW((void)compare_reports(empty, empty), Error);
+}
+
+}  // namespace
+}  // namespace proof

@@ -1,0 +1,158 @@
+// Unit tests: distributed-inference estimation (pipeline + tensor parallel),
+// the paper's §5 future-work extension.
+#include <gtest/gtest.h>
+
+#include "analysis/memory_footprint.hpp"
+#include "distributed/parallel.hpp"
+#include "analysis/shape_inference.hpp"
+#include "models/builder.hpp"
+#include "models/zoo.hpp"
+#include "support/error.hpp"
+
+namespace proof::distributed {
+namespace {
+
+ProfileOptions a100_opts(int64_t batch = 32) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = batch;
+  opt.mode = MetricMode::kPredicted;
+  return opt;
+}
+
+TEST(Pipeline, SingleStageMatchesSingleDevice) {
+  const Graph model = models::build_model("resnet50");
+  const PipelineReport r =
+      profile_pipeline(model, a100_opts(), 1, nvlink4(), 8);
+  ASSERT_EQ(r.stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.stages[0].send_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(r.bubble_fraction, 0.0);
+  EXPECT_NEAR(r.speedup_vs_single, 1.0, 1e-6);
+}
+
+TEST(Pipeline, StagesPartitionAllLayers) {
+  const Graph model = models::build_model("resnet50");
+  const PipelineReport r =
+      profile_pipeline(model, a100_opts(), 4, nvlink4(), 8);
+  ASSERT_EQ(r.stages.size(), 4u);
+  // Contiguous, complete coverage.
+  EXPECT_EQ(r.stages.front().first_layer, 0u);
+  for (size_t s = 1; s < r.stages.size(); ++s) {
+    EXPECT_EQ(r.stages[s].first_layer, r.stages[s - 1].last_layer + 1);
+  }
+  // Internal cuts carry activations; the final stage sends nothing.
+  for (size_t s = 0; s + 1 < r.stages.size(); ++s) {
+    EXPECT_GT(r.stages[s].send_bytes, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(r.stages.back().send_bytes, 0.0);
+}
+
+TEST(Pipeline, ThroughputImprovesWithStagesOnFastLink) {
+  const Graph model = models::build_model("resnet50");
+  const PipelineReport p1 = profile_pipeline(model, a100_opts(), 1, nvlink4(), 16);
+  const PipelineReport p4 = profile_pipeline(model, a100_opts(), 4, nvlink4(), 16);
+  EXPECT_GT(p4.steady_throughput_per_s, 1.8 * p1.steady_throughput_per_s);
+  EXPECT_LE(p4.speedup_vs_single, 4.05);
+}
+
+TEST(Pipeline, SlowLinkHurts) {
+  const Graph model = models::build_model("resnet50");
+  const PipelineReport fast = profile_pipeline(model, a100_opts(), 4, nvlink4(), 16);
+  const PipelineReport slow =
+      profile_pipeline(model, a100_opts(), 4, ethernet_100g(), 16);
+  EXPECT_LT(slow.steady_throughput_per_s, fast.steady_throughput_per_s);
+  EXPECT_GT(slow.single_batch_latency_s, fast.single_batch_latency_s);
+}
+
+TEST(Pipeline, MoreMicrobatchesShrinkBubble) {
+  const Graph model = models::build_model("resnet34");
+  const PipelineReport m2 = profile_pipeline(model, a100_opts(), 4, nvlink4(), 2);
+  const PipelineReport m32 = profile_pipeline(model, a100_opts(), 4, nvlink4(), 32);
+  EXPECT_GT(m2.bubble_fraction, m32.bubble_fraction);
+  EXPECT_LT(m2.steady_throughput_per_s, m32.steady_throughput_per_s);
+}
+
+TEST(Pipeline, RejectsBadArgs) {
+  const Graph model = models::build_model("mobilenetv2_05");
+  EXPECT_THROW((void)profile_pipeline(model, a100_opts(), 0, nvlink4()), Error);
+  EXPECT_THROW((void)profile_pipeline(model, a100_opts(), 2, nvlink4(), 0), Error);
+}
+
+TEST(TensorParallel, OneWayIsIdentity) {
+  const Graph model = models::build_model("vit_tiny");
+  const TensorParallelReport r =
+      profile_tensor_parallel(model, a100_opts(), 1, nvlink4());
+  EXPECT_NEAR(r.speedup_vs_single, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.allreduce_s, 0.0);
+  EXPECT_EQ(r.sharded_layers, 0u);
+}
+
+TEST(TensorParallel, ShardsMatrixLayersWithCommCost) {
+  const Graph model = models::build_model("vit_base");
+  const TensorParallelReport r =
+      profile_tensor_parallel(model, a100_opts(), 4, nvlink4());
+  EXPECT_GT(r.sharded_layers, 10u);
+  EXPECT_GT(r.allreduce_s, 0.0);
+  EXPECT_GT(r.speedup_vs_single, 1.5);
+  EXPECT_LT(r.speedup_vs_single, 4.0);  // allreduce prevents ideal scaling
+}
+
+TEST(TensorParallel, SlowLinkErasesTheWin) {
+  const Graph model = models::build_model("vit_base");
+  const TensorParallelReport fast =
+      profile_tensor_parallel(model, a100_opts(), 4, nvlink4());
+  const TensorParallelReport slow =
+      profile_tensor_parallel(model, a100_opts(), 4, ethernet_100g());
+  EXPECT_LT(slow.speedup_vs_single, fast.speedup_vs_single);
+}
+
+TEST(TensorParallel, TextRendering) {
+  const Graph model = models::build_model("vit_tiny");
+  const auto r = profile_tensor_parallel(model, a100_opts(), 2, nvlink4());
+  const std::string text = tensor_parallel_text(r);
+  EXPECT_NE(text.find("2-way"), std::string::npos);
+  EXPECT_NE(text.find("allreduce"), std::string::npos);
+  const auto p = profile_pipeline(model, a100_opts(), 2, nvlink4());
+  EXPECT_NE(pipeline_text(p).find("bubble"), std::string::npos);
+}
+
+TEST(MemoryFootprint, WeightsAndPeakActivations) {
+  const Graph g = models::build_model("resnet50");
+  const MemoryFootprint fp = memory_footprint(g);
+  // 25.5 M fp32 params = ~102 MB.
+  EXPECT_NEAR(fp.weight_bytes / 1e6, 102.0, 5.0);
+  EXPECT_GT(fp.peak_activation_bytes, 0);
+  // Peak activations far below total traffic — liveness frees tensors.
+  EXPECT_LT(fp.peak_activation_bytes, 100e6);
+  EXPECT_FALSE(fp.peak_at_node.empty());
+}
+
+TEST(MemoryFootprint, ScalesWithBatch) {
+  Graph g1 = models::build_model("mobilenetv2_10");
+  Graph g8 = models::build_model("mobilenetv2_10");
+  set_batch_size(g8, 8);
+  const MemoryFootprint f1 = memory_footprint(g1);
+  const MemoryFootprint f8 = memory_footprint(g8);
+  EXPECT_EQ(f1.weight_bytes, f8.weight_bytes);
+  EXPECT_NEAR(static_cast<double>(f8.peak_activation_bytes),
+              8.0 * static_cast<double>(f1.peak_activation_bytes),
+              0.05 * 8.0 * static_cast<double>(f1.peak_activation_bytes));
+}
+
+TEST(MemoryFootprint, ViewsDoNotDoubleCount) {
+  models::GraphBuilder b("views");
+  std::string x = b.input("x", Shape{1, 1024});
+  // A chain of reshapes must not accumulate storage.
+  for (int i = 0; i < 10; ++i) {
+    x = b.reshape(x, {1, 1024});
+  }
+  x = b.act(x, "Relu");
+  const Graph g = b.finish({x});
+  const MemoryFootprint fp = memory_footprint(g);
+  // Input (4 KB) + relu output (4 KB), not 12 tensors.
+  EXPECT_LE(fp.peak_activation_bytes, 2 * 4096 + 64);
+}
+
+}  // namespace
+}  // namespace proof::distributed

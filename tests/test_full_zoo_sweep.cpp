@@ -1,0 +1,94 @@
+// Property sweep: every Table-3 model builds, fuses, lowers, maps and
+// profiles correctly on every simulated runtime — the heaviest invariant
+// suite, guarding the whole pipeline at once.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/profiler.hpp"
+#include "mapping/layer_mapping.hpp"
+#include "analysis/shape_inference.hpp"
+#include "models/zoo.hpp"
+
+namespace proof {
+namespace {
+
+struct SweepCase {
+  std::string model;
+  std::string backend;
+};
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  for (const models::ModelSpec& spec : models::model_zoo()) {
+    for (const char* backend : {"trt_sim", "ov_sim", "ort_sim"}) {
+      cases.push_back({spec.id, backend});
+    }
+  }
+  return cases;
+}
+
+class FullZooSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FullZooSweep, PipelineInvariants) {
+  const auto& [model_id, backend_id] = GetParam();
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.backend_id = backend_id;
+  opt.dtype = DType::kF16;
+  // DistilBERT ids are integer tensors; SD runs batch 2 to keep shapes small.
+  opt.batch = model_id == "sd_unet" ? 2 : 4;
+  opt.mode = MetricMode::kPredicted;
+  const ProfileReport r = Profiler(opt).run_zoo(model_id);
+
+  // 1. Everything mapped, nothing double-claimed.
+  EXPECT_DOUBLE_EQ(r.mapping_coverage, 1.0);
+  EXPECT_EQ(r.unmapped_layers, 0u);
+  std::set<std::string> seen;
+  for (const LayerReport& layer : r.layers) {
+    for (const std::string& node : layer.model_nodes) {
+      EXPECT_TRUE(seen.insert(node).second) << node << " claimed twice";
+    }
+  }
+
+  // 2. FLOP conservation: fused-layer FLOP sums to the analytical total.
+  Graph g = models::build_model(model_id);
+  set_batch_size(g, opt.batch);
+  convert_float_dtype(g, opt.dtype);
+  const AnalyzeRepresentation ar(std::move(g));
+  EXPECT_NEAR(r.roofline.end_to_end.flops, ar.total_flops(),
+              1e-6 * ar.total_flops())
+      << "fusion must preserve FLOP";
+
+  // 3. Fusion-aware traffic of the MODEL layers never exceeds the naive
+  // unfused sum (backend-inserted reorder layers add extra traffic on top).
+  double model_bytes = 0.0;
+  for (const LayerReport& layer : r.layers) {
+    if (!layer.is_reorder) {
+      model_bytes += layer.bytes;
+    }
+  }
+  EXPECT_LE(model_bytes, ar.total_memory().total() * 1.001);
+
+  // 4. Latency positive, attained below the theoretical roof.
+  EXPECT_GT(r.total_latency_s, 0.0);
+  EXPECT_LE(r.roofline.end_to_end.attained_flops(),
+            r.roofline.ceilings.peak_flops * 1.001);
+
+  // 5. Shares sum to 1.
+  double share = 0.0;
+  for (const roofline::Point& p : r.roofline.layers) {
+    share += p.latency_share;
+  }
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  return info.param.model + "_" + info.param.backend;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModelsAllBackends, FullZooSweep,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace proof

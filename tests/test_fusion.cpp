@@ -1,0 +1,176 @@
+// Unit + property tests: the fusion pass framework used by the simulated
+// runtimes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "backends/fusion.hpp"
+#include "models/zoo.hpp"
+#include "test_util.hpp"
+
+namespace proof::backends {
+namespace {
+
+TEST(FusionState, SingletonsInitially) {
+  const Graph g = proof::testing::small_cnn();
+  const FusionState state(g);
+  const auto groups = state.groups();
+  EXPECT_EQ(groups.size(), g.num_nodes());
+}
+
+TEST(FusionState, MergeIsTransitive) {
+  const Graph g = proof::testing::small_cnn();
+  FusionState state(g);
+  state.merge(0, 1);
+  state.merge(1, 2);
+  EXPECT_TRUE(state.same_group(0, 2));
+  EXPECT_EQ(state.groups().size(), g.num_nodes() - 2);
+}
+
+TEST(FusionState, SingleUseDetectsGraphOutputsAndForks) {
+  const Graph g = proof::testing::small_cnn();
+  const FusionState state(g);
+  // Relu_0's output feeds both Conv_1 and Add (residual fork).
+  const NodeId relu = g.find_node("Relu_0");
+  EXPECT_FALSE(state.single_use(g.node(relu).outputs[0]));
+  // Graph output tensor is never single-use.
+  EXPECT_FALSE(state.single_use(g.outputs()[0]));
+}
+
+TEST(FuseConvEpilogues, ConvBnReluChainFuses) {
+  const Graph g = proof::testing::small_cnn();
+  FusionState state(g);
+  EpilogueOptions opt;
+  fuse_conv_epilogues(state, opt);
+  EXPECT_TRUE(state.same_group(g.find_node("Conv_0"),
+                               g.find_node("BatchNormalization_0")));
+  EXPECT_TRUE(state.same_group(g.find_node("Conv_0"), g.find_node("Relu_0")));
+}
+
+TEST(FuseConvEpilogues, ResidualAddOnlyWithFlag) {
+  const Graph g = proof::testing::small_cnn();
+  {
+    FusionState state(g);
+    EpilogueOptions opt;
+    opt.fuse_residual_add = false;
+    fuse_conv_epilogues(state, opt);
+    EXPECT_FALSE(state.same_group(g.find_node("Conv_1"), g.find_node("Add_0")));
+  }
+  {
+    FusionState state(g);
+    EpilogueOptions opt;
+    opt.fuse_residual_add = true;
+    fuse_conv_epilogues(state, opt);
+    EXPECT_TRUE(state.same_group(g.find_node("Conv_1"), g.find_node("Add_0")));
+    EXPECT_TRUE(state.same_group(g.find_node("Conv_1"), g.find_node("Relu_1")));
+  }
+}
+
+TEST(FusePointwiseChains, RespectsMaxLength) {
+  models::GraphBuilder b("g");
+  std::string x = b.input("x", Shape{16});
+  for (int i = 0; i < 6; ++i) {
+    x = b.act(x, "Relu");
+  }
+  const Graph g = b.finish({x});
+  FusionState state(g);
+  fuse_pointwise_chains(state, 3);
+  const auto groups = state.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 3u);
+  EXPECT_EQ(groups[1].size(), 3u);
+}
+
+TEST(AbsorbViewOps, ViewJoinsProducer) {
+  models::GraphBuilder b("g");
+  std::string x = b.input("x", Shape{1, 8, 4, 4});
+  const std::string c = b.conv(x, 8, 3, 1);
+  const std::string r = b.reshape(c, {1, 128});
+  const Graph g = b.finish({r});
+  FusionState state(g);
+  absorb_view_ops(state);
+  EXPECT_TRUE(state.same_group(g.producer(c), g.producer(r)));
+}
+
+TEST(AbsorbViewOps, ViewOnInputJoinsConsumer) {
+  models::GraphBuilder b("g");
+  std::string x = b.input("x", Shape{1, 128});
+  const std::string r = b.reshape(x, {1, 8, 4, 4});
+  const std::string c = b.conv(r, 8, 3, 1);
+  const Graph g = b.finish({c});
+  FusionState state(g);
+  absorb_view_ops(state);
+  EXPECT_TRUE(state.same_group(g.producer(r), g.producer(c)));
+}
+
+TEST(FuseAttentionRegions, TransformerBlocksBecomeRegions) {
+  const Graph g = proof::testing::small_transformer();
+  FusionState state(g);
+  const auto reps = fuse_attention_regions(state, 2);
+  // Two blocks, each bounded by its LayerNormalization.
+  EXPECT_EQ(reps.size(), 2u);
+  // Every matmul ended up inside a region.
+  for (const NodeId id : g.nodes_of_type("MatMul")) {
+    EXPECT_NE(state.group_of(id), id);
+  }
+}
+
+TEST(FuseAttentionRegions, ConvBlocksIneligible) {
+  const Graph g = proof::testing::small_cnn();
+  FusionState state(g);
+  const auto reps = fuse_attention_regions(state, 2);
+  EXPECT_TRUE(reps.empty());
+}
+
+TEST(FuseAttentionRegions, MinMatmulsThreshold) {
+  models::GraphBuilder b("g");
+  std::string x = b.input("x", Shape{4, 8});
+  x = b.matmul(x, b.param("w", Shape{8, 8}));
+  x = b.act(x, "Relu");
+  const Graph g = b.finish({x});
+  FusionState state(g);
+  EXPECT_TRUE(fuse_attention_regions(state, 2).empty());
+  EXPECT_EQ(fuse_attention_regions(state, 1).size(), 1u);
+}
+
+TEST(OpPredicates, Classification) {
+  EXPECT_TRUE(is_fusable_activation("Relu"));
+  EXPECT_TRUE(is_fusable_activation("HardSwish"));
+  EXPECT_FALSE(is_fusable_activation("Conv"));
+  EXPECT_TRUE(is_view_op("Reshape"));
+  EXPECT_FALSE(is_view_op("Transpose"));
+  EXPECT_TRUE(is_pointwise_op("LayerNormalization"));
+  EXPECT_FALSE(is_pointwise_op("MatMul"));
+}
+
+// Property: on every zoo model, the three passes produce a partition —
+// every node in exactly one group, groups cover the graph.
+class FusionPartition : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FusionPartition, GroupsPartitionNodes) {
+  const Graph g = models::build_model(GetParam());
+  FusionState state(g);
+  fuse_conv_epilogues(state, EpilogueOptions{true, true, true});
+  (void)fuse_attention_regions(state, 2);
+  fuse_pointwise_chains(state, 8);
+  absorb_view_ops(state);
+  const auto groups = state.groups();
+  std::set<NodeId> seen;
+  for (const auto& group : groups) {
+    EXPECT_FALSE(group.empty());
+    for (const NodeId id : group) {
+      EXPECT_TRUE(seen.insert(id).second) << "node in two groups";
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_nodes());
+  EXPECT_LT(groups.size(), g.num_nodes());  // some fusion happened
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, FusionPartition,
+                         ::testing::Values("resnet50", "mobilenetv2_10",
+                                           "shufflenetv2_10", "vit_tiny",
+                                           "swin_tiny", "efficientnet_b0",
+                                           "mlp_mixer_b16", "distilbert"));
+
+}  // namespace
+}  // namespace proof::backends

@@ -1,0 +1,86 @@
+// Unit tests: the HTML dataviewer output.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/html_report.hpp"
+#include "core/profiler.hpp"
+
+namespace proof {
+namespace {
+
+ProfileReport sample_report() {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = 8;
+  opt.mode = MetricMode::kPredicted;
+  return Profiler(opt).run_zoo("resnet34");
+}
+
+TEST(HtmlReport, ContainsStructureAndData) {
+  const ProfileReport r = sample_report();
+  const std::string html = report::render_html_report(r);
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("resnet34"), std::string::npos);
+  EXPECT_NE(html.find("NVIDIA A100"), std::string::npos);
+  // Inline SVG chart embedded.
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  // One table row per backend layer.
+  size_t rows = 0;
+  size_t pos = 0;
+  while ((pos = html.find("<tr>", pos)) != std::string::npos) {
+    ++rows;
+    pos += 4;
+  }
+  EXPECT_GE(rows, r.layers.size());
+  // Summary tiles present.
+  EXPECT_NE(html.find("mapping coverage"), std::string::npos);
+  EXPECT_NE(html.find("roofline bound"), std::string::npos);
+}
+
+TEST(HtmlReport, MultiSectionPage) {
+  const ProfileReport a = sample_report();
+  const ProfileReport b = sample_report();
+  const std::string html = report::render_html_report(
+      "two runs", {{"first", &a}, {"second", &b}});
+  EXPECT_NE(html.find("two runs"), std::string::npos);
+  EXPECT_NE(html.find("<h2>first</h2>"), std::string::npos);
+  EXPECT_NE(html.find("<h2>second</h2>"), std::string::npos);
+}
+
+TEST(HtmlReport, EscapesMarkup) {
+  const ProfileReport r = sample_report();
+  const std::string html =
+      report::render_html_report("<script>alert(1)</script>", {{"s", &r}});
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(HtmlReport, TruncatesLongNodeLists) {
+  // Opaque transformer regions map to dozens of nodes; the table shows
+  // "first ... last (N nodes)" instead of the full list.
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = 1;
+  opt.mode = MetricMode::kPredicted;
+  const ProfileReport r = Profiler(opt).run_zoo("vit_tiny");
+  const std::string html = report::render_html_report(r);
+  EXPECT_NE(html.find("nodes)"), std::string::npos);
+}
+
+TEST(HtmlReport, SaveToDisk) {
+  const ProfileReport r = sample_report();
+  const std::string path = ::testing::TempDir() + "/proof_report.html";
+  report::save_html(report::render_html_report(r), path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "<!doctype html>");
+}
+
+}  // namespace
+}  // namespace proof

@@ -1,0 +1,218 @@
+// Unit tests: platform registry, latency model, DVFS state and power model.
+#include <gtest/gtest.h>
+
+#include "hw/latency_model.hpp"
+#include "hw/platform.hpp"
+#include "hw/power.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace proof::hw {
+namespace {
+
+TEST(PlatformRegistry, SevenPaperPlatforms) {
+  auto& reg = PlatformRegistry::instance();
+  EXPECT_EQ(paper_platform_ids().size(), 7u);
+  for (const std::string& id : paper_platform_ids()) {
+    EXPECT_TRUE(reg.contains(id)) << id;
+    const PlatformDesc& p = reg.get(id);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.dram_bw, 0.0);
+    EXPECT_GT(p.gpu_clock.nominal_mhz, 0.0);
+  }
+  EXPECT_THROW((void)reg.get("h100"), ConfigError);
+}
+
+TEST(PlatformDesc, A100PeaksMatchDatasheet) {
+  const PlatformDesc& a100 = PlatformRegistry::instance().get("a100");
+  EXPECT_DOUBLE_EQ(a100.matrix_peak(DType::kF16), 312e12);
+  EXPECT_DOUBLE_EQ(a100.matrix_peak(DType::kI8), 624e12);
+  EXPECT_DOUBLE_EQ(a100.dram_bw, 1555e9);
+  EXPECT_TRUE(a100.has_counter_profiler);
+}
+
+TEST(PlatformDesc, CpuFallsBackToVectorPipeline) {
+  const PlatformDesc& xeon = PlatformRegistry::instance().get("xeon6330");
+  // No matrix engine: matrix_peak falls back to the vector pipeline.
+  EXPECT_DOUBLE_EQ(xeon.matrix_peak(DType::kF32), xeon.vector_peak(DType::kF32));
+  EXPECT_FALSE(xeon.supports(DType::kBF16));
+  EXPECT_THROW((void)xeon.vector_peak(DType::kBF16), Error);
+}
+
+TEST(PlatformState, ClocksSnapToAvailableSteps) {
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  ClockSetting clocks;
+  clocks.gpu_mhz = 600.0;  // nearest available step is 612
+  clocks.mem_mhz = 2200.0;  // nearest is 2133
+  const PlatformState state(orin, clocks);
+  EXPECT_DOUBLE_EQ(state.gpu_mhz(), 612.0);
+  EXPECT_DOUBLE_EQ(state.mem_mhz(), 2133.0);
+}
+
+TEST(PlatformState, DefaultsToNominal) {
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  const PlatformState state(orin);
+  EXPECT_DOUBLE_EQ(state.gpu_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(state.mem_scale(), 1.0);
+  EXPECT_EQ(state.active_cpu_clusters(), 2);
+}
+
+TEST(PlatformState, CpuClusterOff) {
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  ClockSetting clocks;
+  clocks.cpu_cluster_mhz = {729.0, 0.0};
+  EXPECT_EQ(PlatformState(orin, clocks).active_cpu_clusters(), 1);
+  ClockSetting bad;
+  bad.cpu_cluster_mhz = {729.0};  // wrong cluster count
+  EXPECT_THROW(PlatformState(orin, bad), Error);
+}
+
+KernelWork gemm_kernel(double flops, double bytes) {
+  KernelWork k;
+  k.name = "k";
+  k.cls = OpClass::kGemm;
+  k.dtype = DType::kF16;
+  k.hw_flops = flops;
+  k.matrix_flops = flops;
+  k.bytes = bytes;
+  return k;
+}
+
+TEST(LatencyModel, RooflineMaxForm) {
+  const PlatformDesc& a100 = PlatformRegistry::instance().get("a100");
+  const LatencyModel model{PlatformState(a100)};
+  // Huge compute-bound kernel.
+  const KernelTiming tc = model.time_kernel(gemm_kernel(1e13, 1e6));
+  EXPECT_FALSE(tc.memory_bound);
+  EXPECT_GT(tc.compute_s, tc.memory_s);
+  // Huge memory-bound kernel.
+  const KernelTiming tm = model.time_kernel(gemm_kernel(1e6, 1e10));
+  EXPECT_TRUE(tm.memory_bound);
+  EXPECT_NEAR(tm.latency_s, a100.kernel_overhead_s + tm.memory_s, 1e-12);
+}
+
+TEST(LatencyModel, MonotonicInWork) {
+  const PlatformDesc& a100 = PlatformRegistry::instance().get("a100");
+  const LatencyModel model{PlatformState(a100)};
+  double prev = 0.0;
+  for (const double flops : {1e6, 1e8, 1e10, 1e12}) {
+    const double t = model.time_kernel(gemm_kernel(flops, 1e6)).latency_s;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LatencyModel, TinyKernelsDominatedByOverhead) {
+  const PlatformDesc& a100 = PlatformRegistry::instance().get("a100");
+  const LatencyModel model{PlatformState(a100)};
+  const KernelTiming t = model.time_kernel(gemm_kernel(1e3, 1e3));
+  EXPECT_LT(t.latency_s, 3.0 * a100.kernel_overhead_s);
+  EXPECT_GE(t.latency_s, a100.kernel_overhead_s);
+}
+
+TEST(LatencyModel, GpuClockScalesCompute) {
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  ClockSetting half;
+  half.gpu_mhz = 510.0;
+  const LatencyModel full{PlatformState(orin)};
+  const LatencyModel slow{PlatformState(orin, half)};
+  const KernelWork k = gemm_kernel(1e12, 1e6);
+  const double ratio =
+      slow.time_kernel(k).compute_s / full.time_kernel(k).compute_s;
+  EXPECT_NEAR(ratio, 918.0 / 510.0, 1e-9);
+}
+
+TEST(LatencyModel, MemClockScalesBandwidth) {
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  ClockSetting low;
+  low.mem_mhz = 2133.0;
+  const LatencyModel full{PlatformState(orin)};
+  const LatencyModel slow{PlatformState(orin, low)};
+  EXPECT_NEAR(slow.achieved_bandwidth() / full.achieved_bandwidth(),
+              2133.0 / 3199.0, 1e-9);
+}
+
+TEST(LatencyModel, CopyEngineCapCouplesBwToGpuClock) {
+  // Table 6's #1 vs #3: dropping the GPU clock at full memory clock drops
+  // the achieved bandwidth too (copy kernels run on the SMs).
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  ClockSetting slow_gpu;
+  slow_gpu.gpu_mhz = 510.0;
+  const LatencyModel full{PlatformState(orin)};
+  const LatencyModel slow{PlatformState(orin, slow_gpu)};
+  EXPECT_LT(slow.achieved_bandwidth(), full.achieved_bandwidth());
+  // Calibration anchors from Table 6 (GB/s): 87.9 at 918/3199, ~54 at 510.
+  EXPECT_NEAR(full.achieved_bandwidth() / 1e9, 87.9, 1.5);
+  EXPECT_NEAR(slow.achieved_bandwidth() / 1e9, 54.0, 1.5);
+}
+
+TEST(LatencyModel, AchievedComputePeakMatchesTable6) {
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  const LatencyModel full{PlatformState(orin)};
+  EXPECT_NEAR(full.achieved_compute_peak(DType::kF16) / 1e12, 13.62, 0.4);
+  ClockSetting slow;
+  slow.gpu_mhz = 510.0;
+  const LatencyModel half{PlatformState(orin, slow)};
+  EXPECT_NEAR(half.achieved_compute_peak(DType::kF16) / 1e12, 7.43, 0.4);
+}
+
+TEST(LatencyModel, DepthwiseLessEfficientThanGemm) {
+  EXPECT_LT(LatencyModel::class_compute_eff(OpClass::kConvDepthwise),
+            LatencyModel::class_compute_eff(OpClass::kGemm));
+  EXPECT_LT(LatencyModel::class_memory_eff(OpClass::kDataMovement),
+            LatencyModel::class_memory_eff(OpClass::kCopy));
+  EXPECT_FALSE(LatencyModel::uses_matrix_pipeline(OpClass::kConvDepthwise));
+  EXPECT_TRUE(LatencyModel::uses_matrix_pipeline(OpClass::kGemm));
+}
+
+TEST(PowerModel, Fv2ScalesSuperlinearly) {
+  // Halving the clock saves more than half the dynamic power (V drops too).
+  const double full = PowerModel::fv2(1.0, 0.7);
+  const double half = PowerModel::fv2(0.5, 0.7);
+  EXPECT_DOUBLE_EQ(full, 1.0);
+  EXPECT_LT(half, 0.5);
+  EXPECT_GT(half, 0.0);
+}
+
+TEST(PowerModel, MonotonicInUtilizationAndClocks) {
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  const PowerModel full{PlatformState(orin)};
+  EXPECT_LT(full.power_w({0.2, 0.2}), full.power_w({0.9, 0.9}));
+  ClockSetting slow;
+  slow.gpu_mhz = 510.0;
+  slow.mem_mhz = 2133.0;
+  const PowerModel low{PlatformState(orin, slow)};
+  EXPECT_LT(low.power_w({1.0, 1.0}), full.power_w({1.0, 1.0}));
+}
+
+TEST(PowerModel, CalibratedAgainstTable6) {
+  // Peak-test power anchors (W): full-load runs at five clock pairs.
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  const Utilization busy{1.0, 1.0};
+  const auto power_at = [&](double gpu, double mem) {
+    ClockSetting clocks;
+    clocks.gpu_mhz = gpu;
+    clocks.mem_mhz = mem;
+    clocks.cpu_cluster_mhz = {729.0, 729.0};
+    return PowerModel(PlatformState(orin, clocks)).power_w(busy);
+  };
+  EXPECT_NEAR(power_at(918, 3199), 23.6, 1.5);
+  EXPECT_NEAR(power_at(918, 2133), 21.3, 1.5);
+  EXPECT_NEAR(power_at(510, 3199), 15.7, 1.5);
+  EXPECT_NEAR(power_at(510, 2133), 13.6, 1.5);
+  EXPECT_NEAR(power_at(510, 665), 11.5, 1.5);
+}
+
+TEST(PowerModel, CpuClusterOffSavesPower) {
+  const PlatformDesc& orin = PlatformRegistry::instance().get("orin_nx16");
+  ClockSetting on;
+  on.cpu_cluster_mhz = {729.0, 729.0};
+  ClockSetting off;
+  off.cpu_cluster_mhz = {729.0, 0.0};
+  const Utilization u{0.5, 0.5};
+  EXPECT_GT(PowerModel(PlatformState(orin, on)).power_w(u),
+            PowerModel(PlatformState(orin, off)).power_w(u));
+}
+
+}  // namespace
+}  // namespace proof::hw

@@ -1,0 +1,150 @@
+// Unit + integration tests: layer mapping (the paper's first contribution).
+//
+// The key property — verified against the engines' hidden ground truth —
+// is that the mapping ladder reconstructs the exact backend-layer -> model-
+// node correspondence from public information only, across all three
+// simulated runtimes' information regimes.
+#include <gtest/gtest.h>
+
+#include "backends/backend.hpp"
+#include "hw/platform.hpp"
+#include "mapping/layer_mapping.hpp"
+#include "mapping/stack_mapping.hpp"
+#include "models/zoo.hpp"
+#include "test_util.hpp"
+
+namespace proof::mapping {
+namespace {
+
+struct MapCase {
+  std::string backend;
+  std::string model;
+};
+
+backends::Engine build(const MapCase& c) {
+  const Graph model = models::build_model(c.model);
+  backends::BuildConfig config;
+  config.dtype = DType::kF16;
+  config.batch = 4;
+  const auto& platform = hw::PlatformRegistry::instance().get("a100");
+  return backends::BackendRegistry::instance().get(c.backend).build(model, config,
+                                                                    platform);
+}
+
+class MappingMatrix : public ::testing::TestWithParam<MapCase> {};
+
+TEST_P(MappingMatrix, ReconstructsGroundTruthExactly) {
+  const backends::Engine engine = build(GetParam());
+  const AnalyzeRepresentation ar(engine.analysis_graph());
+  OptimizedAnalyzeRepresentation oar(ar);
+  const LayerMapping mapping = map_layers(engine, oar);
+
+  EXPECT_EQ(mapping.entries.size(), engine.layers().size());
+  EXPECT_EQ(verify_against_truth(mapping, engine), 0u)
+      << GetParam().backend << "/" << GetParam().model;
+  EXPECT_DOUBLE_EQ(mapping.node_coverage(ar.num_nodes()), 1.0);
+  EXPECT_EQ(mapping.count(MapMethod::kUnmapped), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MappingMatrix,
+    ::testing::Values(MapCase{"trt_sim", "resnet50"},
+                      MapCase{"trt_sim", "vit_tiny"},
+                      MapCase{"trt_sim", "swin_tiny"},
+                      MapCase{"trt_sim", "shufflenetv2_10"},
+                      MapCase{"trt_sim", "efficientnetv2_t"},
+                      MapCase{"ov_sim", "resnet50"},
+                      MapCase{"ov_sim", "mobilenetv2_10"},
+                      MapCase{"ov_sim", "mlp_mixer_b16"},
+                      MapCase{"ort_sim", "resnet50"},
+                      MapCase{"ort_sim", "shufflenetv2_10"},
+                      MapCase{"ort_sim", "distilbert"}));
+
+TEST(Mapping, TrtRegionsResolveViaIoSearch) {
+  const backends::Engine engine = build({"trt_sim", "vit_tiny"});
+  const AnalyzeRepresentation ar(engine.analysis_graph());
+  OptimizedAnalyzeRepresentation oar(ar);
+  const LayerMapping mapping = map_layers(engine, oar);
+  // Opaque regions carry no name info; they must be recovered structurally.
+  size_t region_io = 0;
+  for (size_t i = 0; i < engine.layers().size(); ++i) {
+    if (engine.layers()[i].is_opaque) {
+      EXPECT_TRUE(mapping.entries[i].method == MapMethod::kIoSearch ||
+                  mapping.entries[i].method == MapMethod::kDependencyInference);
+      ++region_io;
+    }
+  }
+  EXPECT_GT(region_io, 0u);
+}
+
+TEST(Mapping, OvUsesNameListMetadata) {
+  const backends::Engine engine = build({"ov_sim", "resnet50"});
+  const AnalyzeRepresentation ar(engine.analysis_graph());
+  OptimizedAnalyzeRepresentation oar(ar);
+  const LayerMapping mapping = map_layers(engine, oar);
+  EXPECT_GT(mapping.count(MapMethod::kNameList) + mapping.count(MapMethod::kExactName),
+            0u);
+  EXPECT_EQ(mapping.count(MapMethod::kIoSearch), 0u);
+}
+
+TEST(Mapping, OrtReordersRegisterAliases) {
+  const backends::Engine engine = build({"ort_sim", "resnet50"});
+  const AnalyzeRepresentation ar(engine.analysis_graph());
+  OptimizedAnalyzeRepresentation oar(ar);
+  const LayerMapping mapping = map_layers(engine, oar);
+  size_t inserted = 0;
+  for (const LayerMapEntry& e : mapping.entries) {
+    if (e.method == MapMethod::kBackendInserted) {
+      ++inserted;
+      EXPECT_TRUE(e.model_nodes.empty());
+    }
+  }
+  EXPECT_GT(inserted, 0u);
+  // The renamed tensor resolves back to the model tensor.
+  EXPECT_EQ(oar.resolve("input_r"), "input");
+}
+
+TEST(Mapping, FusedLayersRegisteredOnOar) {
+  const backends::Engine engine = build({"trt_sim", "resnet50"});
+  const AnalyzeRepresentation ar(engine.analysis_graph());
+  OptimizedAnalyzeRepresentation oar(ar);
+  (void)map_layers(engine, oar);
+  // After mapping, the OAR's layer view matches the backend layer count
+  // (excluding backend-inserted conversion layers).
+  size_t non_reorder = 0;
+  for (const auto& layer : engine.layers()) {
+    if (!layer.is_reorder) {
+      ++non_reorder;
+    }
+  }
+  EXPECT_EQ(oar.layers().size(), non_reorder);
+}
+
+TEST(StackMapping, BidirectionalNavigation) {
+  const backends::Engine engine = build({"trt_sim", "resnet50"});
+  const AnalyzeRepresentation ar(engine.analysis_graph());
+  OptimizedAnalyzeRepresentation oar(ar);
+  const LayerMapping mapping = map_layers(engine, oar);
+  const StackMapping stack(engine, mapping);
+
+  ASSERT_EQ(stack.num_layers(), engine.layers().size());
+  // model node -> backend layer -> kernels -> backend layer round trip.
+  for (size_t i = 0; i < engine.layers().size(); ++i) {
+    for (const std::string& node : stack.model_nodes_of(i)) {
+      EXPECT_EQ(stack.backend_layer_of(node), static_cast<int>(i));
+    }
+    for (const std::string& kernel : stack.kernels_of(i)) {
+      EXPECT_EQ(stack.backend_layer_of_kernel(kernel), static_cast<int>(i));
+    }
+  }
+  EXPECT_EQ(stack.backend_layer_of("not_a_node"), -1);
+  EXPECT_EQ(stack.backend_layer_of_kernel("not_a_kernel"), -1);
+}
+
+TEST(Mapping, MethodNamesRender) {
+  EXPECT_EQ(map_method_name(MapMethod::kIoSearch), "io_search");
+  EXPECT_EQ(map_method_name(MapMethod::kUnmapped), "unmapped");
+}
+
+}  // namespace
+}  // namespace proof::mapping

@@ -1,0 +1,115 @@
+// Integration tests: the model zoo against Table 3's published numbers.
+#include <gtest/gtest.h>
+
+#include "analysis/analyze_representation.hpp"
+#include "models/zoo.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace proof::models {
+namespace {
+
+struct Table3Row {
+  std::string id;
+  double params_m;  ///< paper's Params (M)
+  double gflop;     ///< paper's GFLOP at bs=1
+  double tolerance; ///< acceptable relative deviation
+};
+
+class Table3Test : public ::testing::TestWithParam<Table3Row> {};
+
+TEST_P(Table3Test, ParamsAndGflopMatchPaper) {
+  const Table3Row& row = GetParam();
+  const AnalyzeRepresentation ar(build_model(row.id));
+  const double params_m = static_cast<double>(ar.param_count()) / 1e6;
+  const double gflop = ar.total_flops() / 1e9;
+  EXPECT_LT(proof::testing::rel_diff(params_m, row.params_m), row.tolerance)
+      << row.id << ": params " << params_m << "M vs paper " << row.params_m;
+  EXPECT_LT(proof::testing::rel_diff(gflop, row.gflop), row.tolerance)
+      << row.id << ": " << gflop << " GFLOP vs paper " << row.gflop;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperNumbers, Table3Test,
+    ::testing::Values(
+        Table3Row{"distilbert", 67.0, 48.718, 0.03},
+        Table3Row{"sd_unet", 859.5, 4747.726, 0.05},
+        Table3Row{"efficientnet_b0", 5.3, 0.851, 0.05},
+        Table3Row{"efficientnet_b4", 19.3, 3.209, 0.05},
+        Table3Row{"efficientnetv2_t", 13.6, 3.939, 0.05},
+        Table3Row{"efficientnetv2_s", 23.9, 6.030, 0.12},
+        Table3Row{"mlp_mixer_b16", 59.9, 25.403, 0.03},
+        Table3Row{"mobilenetv2_05", 2.0, 0.205, 0.05},
+        Table3Row{"mobilenetv2_10", 3.5, 0.621, 0.05},
+        Table3Row{"resnet34", 21.8, 7.338, 0.02},
+        Table3Row{"resnet50", 25.5, 8.207, 0.02},
+        Table3Row{"shufflenetv2_05", 1.4, 0.084, 0.05},
+        Table3Row{"shufflenetv2_10", 2.3, 0.294, 0.05},
+        Table3Row{"shufflenetv2_10_mod", 2.8, 0.434, 0.05},
+        Table3Row{"swin_tiny", 28.8, 9.133, 0.03},
+        Table3Row{"swin_small", 50.5, 17.723, 0.03},
+        Table3Row{"swin_base", 88.9, 31.183, 0.03},
+        Table3Row{"vit_tiny", 5.7, 2.558, 0.03},
+        Table3Row{"vit_small", 22.1, 9.298, 0.03},
+        Table3Row{"vit_base", 86.6, 35.329, 0.03}));
+
+TEST(Zoo, TwentyModelsInTableOrder) {
+  const auto& zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 20u);
+  for (size_t i = 0; i < zoo.size(); ++i) {
+    EXPECT_EQ(zoo[i].table3_index, static_cast<int>(i) + 1);
+    EXPECT_FALSE(zoo[i].display.empty());
+  }
+}
+
+TEST(Zoo, UnknownModelThrows) {
+  EXPECT_THROW((void)build_model("resnet999"), ConfigError);
+  EXPECT_THROW((void)model_spec(""), ConfigError);
+}
+
+TEST(Zoo, AllModelsValidateAndAnalyze) {
+  for (const ModelSpec& spec : model_zoo()) {
+    const Graph g = spec.build();
+    EXPECT_NO_THROW(g.validate()) << spec.id;
+    const AnalyzeRepresentation ar(g);
+    EXPECT_GT(ar.total_flops(), 0.0) << spec.id;
+    EXPECT_GT(ar.total_memory().total(), 0.0) << spec.id;
+  }
+}
+
+TEST(Zoo, ModifiedShuffleNetHasNoShuffleTranspose) {
+  // Figure 7: the §4.5 modification removes the Shuffle from regular blocks;
+  // only the 3 downsampling blocks keep their Transpose.
+  const Graph original = build_model("shufflenetv2_10");
+  const Graph modified = build_model("shufflenetv2_10_mod");
+  EXPECT_EQ(original.nodes_of_type("Transpose").size(), 16u);
+  EXPECT_EQ(modified.nodes_of_type("Transpose").size(), 3u);
+  EXPECT_TRUE(modified.nodes_of_type("Split").empty());
+  // Residual adds appear instead.
+  EXPECT_EQ(modified.nodes_of_type("Add").size(), 13u);
+  EXPECT_LT(modified.num_nodes(), original.num_nodes());
+}
+
+TEST(Zoo, ShuffleNetModifiedFlopRatioMatchesTable5) {
+  // Table 5: 0.294 -> 0.434 GFLOP (x1.48) while params rise 2.27 -> 2.80 M.
+  const AnalyzeRepresentation orig(build_model("shufflenetv2_10"));
+  const AnalyzeRepresentation mod(build_model("shufflenetv2_10_mod"));
+  const double flop_ratio = mod.total_flops() / orig.total_flops();
+  EXPECT_NEAR(flop_ratio, 0.434 / 0.294, 0.08);
+  EXPECT_GT(mod.param_count(), orig.param_count());
+}
+
+TEST(Zoo, PeakProbeStructure) {
+  const Graph probe = build_peak_probe();
+  EXPECT_NO_THROW(probe.validate());
+  EXPECT_GE(probe.nodes_of_type("MatMul").size(), 6u);
+  EXPECT_GE(probe.nodes_of_type("Cast").size(), 6u);
+}
+
+TEST(Zoo, SwinDeeperThanTiny) {
+  EXPECT_GT(build_model("swin_small").num_nodes(),
+            build_model("swin_tiny").num_nodes());
+}
+
+}  // namespace
+}  // namespace proof::models

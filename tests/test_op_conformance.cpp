@@ -1,0 +1,236 @@
+// Conformance harness: for a curated configuration of every operator type,
+// check the analysis contracts hold together —
+//   * shape inference produces the shape the reference execution fills,
+//   * FLOP and memory predictions are finite and non-negative,
+//   * memory never exceeds the naive bound (all inputs + outputs + params),
+//   * the op class is stable across calls.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/reference_executor.hpp"
+#include "models/builder.hpp"
+#include "ops/op_def.hpp"
+
+namespace proof {
+namespace {
+
+using models::GraphBuilder;
+
+/// One conformance case: builds a single-op (or tiny) graph and returns the
+/// tensor whose producer is the op under test.
+struct OpCase {
+  std::string label;
+  std::function<std::string(GraphBuilder&)> build;
+};
+
+std::vector<OpCase> conformance_cases() {
+  std::vector<OpCase> cases;
+  const auto add = [&](const std::string& label,
+                       std::function<std::string(GraphBuilder&)> fn) {
+    cases.push_back({label, std::move(fn)});
+  };
+
+  add("Conv", [](GraphBuilder& b) {
+    return b.conv(b.input("x", Shape{2, 3, 9, 9}), 4, 3, 2);
+  });
+  add("ConvDepthwise", [](GraphBuilder& b) {
+    return b.dwconv(b.input("x", Shape{1, 6, 8, 8}), 3, 1);
+  });
+  add("ConvTranspose", [](GraphBuilder& b) {
+    const std::string x = b.input("x", Shape{1, 4, 5, 5});
+    AttrMap attrs;
+    attrs.set("strides", std::vector<int64_t>{2, 2});
+    attrs.set("pads", std::vector<int64_t>{0, 0, 0, 0});
+    attrs.set("group", static_cast<int64_t>(1));
+    return b.node("ConvTranspose", {x, b.param("w", Shape{4, 8, 2, 2})},
+                  std::move(attrs));
+  });
+  add("Gemm", [](GraphBuilder& b) {
+    return b.linear(b.input("x", Shape{3, 16}), 8);
+  });
+  add("MatMul", [](GraphBuilder& b) {
+    return b.matmul(b.input("a", Shape{2, 4, 8}), b.input("c", Shape{8, 6}));
+  });
+  add("Einsum", [](GraphBuilder& b) {
+    AttrMap attrs;
+    attrs.set("equation", std::string("bij,bjk->bik"));
+    return b.node("Einsum",
+                  {b.input("a", Shape{2, 3, 4}), b.input("c", Shape{2, 4, 5})},
+                  std::move(attrs));
+  });
+  add("BatchNormalization", [](GraphBuilder& b) {
+    return b.batchnorm(b.input("x", Shape{2, 4, 5, 5}));
+  });
+  add("LayerNormalization", [](GraphBuilder& b) {
+    return b.layernorm(b.input("x", Shape{2, 7, 12}));
+  });
+  add("GroupNormalization", [](GraphBuilder& b) {
+    return b.groupnorm(b.input("x", Shape{1, 8, 4, 4}), 4);
+  });
+  add("Softmax", [](GraphBuilder& b) {
+    return b.softmax(b.input("x", Shape{3, 9}));
+  });
+  add("LogSoftmax", [](GraphBuilder& b) {
+    return b.node("LogSoftmax", {b.input("x", Shape{3, 9})});
+  });
+  add("ReduceMean", [](GraphBuilder& b) {
+    return b.reduce_mean(b.input("x", Shape{2, 6, 4}), {1}, true);
+  });
+  add("ReduceMax", [](GraphBuilder& b) {
+    AttrMap attrs;
+    attrs.set("axes", std::vector<int64_t>{2});
+    return b.node("ReduceMax", {b.input("x", Shape{2, 3, 5})}, std::move(attrs));
+  });
+  add("ArgMax", [](GraphBuilder& b) {
+    AttrMap attrs;
+    attrs.set("axis", static_cast<int64_t>(1));
+    return b.node("ArgMax", {b.input("x", Shape{2, 10})}, std::move(attrs));
+  });
+  add("MaxPool", [](GraphBuilder& b) {
+    return b.maxpool(b.input("x", Shape{1, 3, 8, 8}), 3, 2);
+  });
+  add("AveragePool", [](GraphBuilder& b) {
+    return b.avgpool(b.input("x", Shape{1, 3, 8, 8}), 2, 2, 0);
+  });
+  add("GlobalAveragePool", [](GraphBuilder& b) {
+    return b.global_avgpool(b.input("x", Shape{2, 5, 6, 6}));
+  });
+  add("GlobalMaxPool", [](GraphBuilder& b) {
+    return b.node("GlobalMaxPool", {b.input("x", Shape{2, 5, 6, 6})});
+  });
+  add("Transpose", [](GraphBuilder& b) {
+    return b.transpose(b.input("x", Shape{2, 3, 4, 5}), {0, 2, 3, 1});
+  });
+  add("Reshape", [](GraphBuilder& b) {
+    return b.reshape(b.input("x", Shape{2, 12}), {0, 3, 4});
+  });
+  add("Flatten", [](GraphBuilder& b) {
+    return b.flatten(b.input("x", Shape{2, 3, 4}));
+  });
+  add("Concat", [](GraphBuilder& b) {
+    return b.concat({b.input("a", Shape{1, 2, 4}), b.input("c", Shape{1, 3, 4})}, 1);
+  });
+  add("Split", [](GraphBuilder& b) {
+    return b.split(b.input("x", Shape{1, 6, 4}), 1, 2)[0];
+  });
+  add("Slice", [](GraphBuilder& b) {
+    return b.slice(b.input("x", Shape{1, 10, 4}), {1}, {2}, {7});
+  });
+  add("Gather", [](GraphBuilder& b) {
+    return b.embedding(b.input("ids", Shape{2, 3}, DType::kI64), 50, 8);
+  });
+  add("Pad", [](GraphBuilder& b) {
+    AttrMap attrs;
+    attrs.set("pads", std::vector<int64_t>{0, 0, 1, 1, 0, 0, 1, 1});
+    return b.node("Pad", {b.input("x", Shape{1, 2, 4, 4})}, std::move(attrs));
+  });
+  add("Resize", [](GraphBuilder& b) {
+    AttrMap attrs;
+    attrs.set("scales", std::vector<double>{1.0, 1.0, 2.0, 2.0});
+    attrs.set("mode", std::string("nearest"));
+    return b.node("Resize", {b.input("x", Shape{1, 2, 4, 4})}, std::move(attrs));
+  });
+  add("Expand", [](GraphBuilder& b) {
+    AttrMap attrs;
+    attrs.set("shape", std::vector<int64_t>{4, 3, 8});
+    return b.node("Expand", {b.input("x", Shape{1, 1, 8})}, std::move(attrs));
+  });
+  add("Cast", [](GraphBuilder& b) {
+    AttrMap attrs;
+    attrs.set("to", std::string("fp16"));
+    return b.node("Cast", {b.input("x", Shape{5})}, std::move(attrs));
+  });
+  add("Where", [](GraphBuilder& b) {
+    return b.node("Where", {b.input("c", Shape{4}, DType::kBool),
+                            b.input("a", Shape{4}), b.input("d", Shape{4})});
+  });
+  add("DepthToSpace", [](GraphBuilder& b) {
+    AttrMap attrs;
+    attrs.set("blocksize", static_cast<int64_t>(2));
+    return b.node("DepthToSpace", {b.input("x", Shape{1, 8, 3, 3})},
+                  std::move(attrs));
+  });
+  add("InstanceNormalization", [](GraphBuilder& b) {
+    const std::string x = b.input("x", Shape{2, 3, 4, 4});
+    return b.node("InstanceNormalization",
+                  {x, b.param("s", Shape{3}), b.param("bias", Shape{3})});
+  });
+  add("PRelu", [](GraphBuilder& b) {
+    return b.node("PRelu", {b.input("x", Shape{1, 3, 4, 4}),
+                            b.param("slope", Shape{3, 1, 1})});
+  });
+  add("QuantizeDequantize", [](GraphBuilder& b) {
+    const std::string x = b.input("x", Shape{6});
+    const std::string s = b.param("s", Shape{1});
+    return b.node("DequantizeLinear", {b.node("QuantizeLinear", {x, s}), s});
+  });
+  // A representative sample of unary activations.
+  for (const char* act : {"Relu", "Sigmoid", "Tanh", "Gelu", "Silu", "HardSwish",
+                          "Erf", "Elu", "Softplus", "Mish", "Abs"}) {
+    add(act, [act](GraphBuilder& b) {
+      return b.act(b.input("x", Shape{2, 7}), act);
+    });
+  }
+  return cases;
+}
+
+class OpConformance : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(OpConformance, AnalysisContractsHold) {
+  GraphBuilder b("conformance");
+  const std::string out = GetParam().build(b);
+  const Graph g = b.finish({out});
+  const NodeId id = g.producer(out);
+  ASSERT_NE(id, kInvalidNode);
+  const Node& node = g.node(id);
+  const OpDef& def = op_def_for(node);
+  const OpContext ctx(g, node);
+
+  // FLOP / memory predictions: finite, non-negative, within the naive bound.
+  const double flops = def.flops(ctx);
+  EXPECT_TRUE(std::isfinite(flops));
+  EXPECT_GE(flops, 0.0);
+  const MemoryEstimate mem = def.memory(ctx);
+  EXPECT_GE(mem.read_bytes, 0.0);
+  EXPECT_GE(mem.write_bytes, 0.0);
+  EXPECT_GE(mem.param_bytes, 0.0);
+  double naive = 0.0;
+  for (size_t i = 0; i < ctx.num_inputs(); ++i) {
+    naive += static_cast<double>(ctx.input(i).size_bytes());
+  }
+  for (size_t i = 0; i < ctx.num_outputs(); ++i) {
+    naive += static_cast<double>(ctx.output(i).size_bytes());
+  }
+  EXPECT_LE(mem.total(), naive + 1.0);
+
+  // Class stability.
+  EXPECT_EQ(def.op_class(ctx), def.op_class(ctx));
+
+  // Shape inference idempotence.
+  const auto descs1 = def.infer(ctx);
+  const auto descs2 = def.infer(ctx);
+  ASSERT_EQ(descs1.size(), descs2.size());
+  for (size_t i = 0; i < descs1.size(); ++i) {
+    EXPECT_EQ(descs1[i].shape, descs2[i].shape);
+  }
+
+  // If the op has a reference implementation, execution must succeed with
+  // the inferred shapes and produce only finite values.
+  if (def.has_reference()) {
+    const ReferenceExecutor exec(g);
+    const auto values = exec.run_random();
+    const Tensor& result = values.at(out);
+    EXPECT_EQ(result.shape(), g.tensor(out).shape);
+    for (int64_t i = 0; i < result.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(result.at(i))) << GetParam().label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpConformance,
+                         ::testing::ValuesIn(conformance_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace proof

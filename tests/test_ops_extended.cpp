@@ -1,0 +1,162 @@
+// Unit tests: the extended operator set (beyond the Table-3 models).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/reference_executor.hpp"
+#include "models/builder.hpp"
+#include "ops/op_def.hpp"
+#include "support/error.hpp"
+
+namespace proof {
+namespace {
+
+using models::GraphBuilder;
+
+double flops_of(const Graph& g, const std::string& out) {
+  const NodeId id = g.producer(out);
+  const Node& node = g.node(id);
+  return op_def_for(node).flops(OpContext(g, node));
+}
+
+TEST(ExtendedOps, InstanceNormShapeAndClass) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{2, 8, 16, 16});
+  const std::string y =
+      b.node("InstanceNormalization",
+             {x, b.param("s", Shape{8}), b.param("b", Shape{8})});
+  EXPECT_EQ(b.shape_of(y), b.shape_of(x));
+}
+
+TEST(ExtendedOps, PReluPreservesShape) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{1, 8, 4, 4});
+  const std::string y = b.node("PRelu", {x, b.param("slope", Shape{8, 1, 1})});
+  EXPECT_EQ(b.shape_of(y), b.shape_of(x));
+}
+
+TEST(ExtendedOps, DepthToSpaceAndBack) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{1, 16, 8, 8});
+  AttrMap d2s;
+  d2s.set("blocksize", static_cast<int64_t>(2));
+  const std::string up = b.node("DepthToSpace", {x}, std::move(d2s));
+  EXPECT_EQ(b.shape_of(up), (Shape{1, 4, 16, 16}));
+  AttrMap s2d;
+  s2d.set("blocksize", static_cast<int64_t>(2));
+  const std::string back = b.node("SpaceToDepth", {up}, std::move(s2d));
+  EXPECT_EQ(b.shape_of(back), b.shape_of(x));
+  // Pure data movement: zero FLOP.
+  const Graph g = b.finish({back});
+  EXPECT_DOUBLE_EQ(flops_of(g, up), 0.0);
+}
+
+TEST(ExtendedOps, DepthToSpaceRejectsBadChannels) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{1, 6, 8, 8});
+  AttrMap attrs;
+  attrs.set("blocksize", static_cast<int64_t>(2));
+  EXPECT_THROW((void)b.node("DepthToSpace", {x}, std::move(attrs)), Error);
+}
+
+TEST(ExtendedOps, GlobalMaxPoolShape) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{2, 8, 7, 7});
+  EXPECT_EQ(b.shape_of(b.node("GlobalMaxPool", {x})), (Shape{2, 8, 1, 1}));
+}
+
+TEST(ExtendedOps, ReduceMaxAndArgMax) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{2, 10, 5});
+  AttrMap rm;
+  rm.set("axes", std::vector<int64_t>{1});
+  rm.set("keepdims", static_cast<int64_t>(0));
+  EXPECT_EQ(b.shape_of(b.node("ReduceMax", {x}, std::move(rm))), (Shape{2, 5}));
+  AttrMap am;
+  am.set("axis", static_cast<int64_t>(-1));
+  am.set("keepdims", static_cast<int64_t>(0));
+  const std::string idx = b.node("ArgMax", {x}, std::move(am));
+  EXPECT_EQ(b.shape_of(idx), (Shape{2, 10}));
+}
+
+TEST(ExtendedOps, EinsumMatmulEquivalence) {
+  // "ij,jk->ik" must match MatMul's FLOP and shape exactly.
+  GraphBuilder b("g");
+  const std::string a = b.input("a", Shape{32, 64});
+  const std::string c = b.input("c", Shape{64, 16});
+  AttrMap attrs;
+  attrs.set("equation", std::string("ij,jk->ik"));
+  const std::string e = b.node("Einsum", {a, c}, std::move(attrs));
+  const std::string m = b.matmul(a, c);
+  const Graph g = b.finish({e, m});
+  EXPECT_EQ(g.tensor(e).shape, g.tensor(m).shape);
+  EXPECT_DOUBLE_EQ(flops_of(g, e), flops_of(g, m));
+}
+
+TEST(ExtendedOps, EinsumAttentionPattern) {
+  // "bhid,bhjd->bhij": the QK^T contraction as transformers export it.
+  GraphBuilder b("g");
+  const std::string q = b.input("q", Shape{2, 4, 16, 8});
+  const std::string k = b.input("k", Shape{2, 4, 16, 8});
+  AttrMap attrs;
+  attrs.set("equation", std::string("bhid,bhjd->bhij"));
+  const std::string e = b.node("Einsum", {q, k}, std::move(attrs));
+  EXPECT_EQ(b.shape_of(e), (Shape{2, 4, 16, 16}));
+  const Graph g = b.finish({e});
+  EXPECT_DOUBLE_EQ(flops_of(g, e), 2.0 * 2 * 4 * 16 * 16 * 8);
+}
+
+TEST(ExtendedOps, EinsumRejectsMalformedEquations) {
+  GraphBuilder b("g");
+  const std::string a = b.input("a", Shape{4, 4});
+  const std::string c = b.input("c", Shape{4, 4});
+  AttrMap no_arrow;
+  no_arrow.set("equation", std::string("ij,jk"));
+  EXPECT_THROW((void)b.node("Einsum", {a, c}, std::move(no_arrow)), Error);
+  AttrMap bad_label;
+  bad_label.set("equation", std::string("ij,jk->iz"));
+  EXPECT_THROW((void)b.node("Einsum", {a, c}, std::move(bad_label)), Error);
+  AttrMap mismatch;
+  mismatch.set("equation", std::string("ij,kl->il"));
+  const std::string d = b.input("d", Shape{5, 4});
+  (void)d;
+  AttrMap rank_mismatch;
+  rank_mismatch.set("equation", std::string("ijq,jk->ik"));
+  EXPECT_THROW((void)b.node("Einsum", {a, c}, std::move(rank_mismatch)), Error);
+}
+
+TEST(ExtendedOps, ActivationReferenceValues) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{3});
+  const std::string elu = b.act(x, "Elu");
+  const std::string softplus = b.act(x, "Softplus");
+  const std::string mish = b.act(x, "Mish");
+  const std::string abs = b.act(x, "Abs");
+  const Graph g = b.finish({elu, softplus, mish, abs});
+  const ReferenceExecutor exec(g);
+  auto values = exec.run({{"x", Tensor(Shape{3}, {-1.0f, 0.0f, 2.0f})}});
+  EXPECT_NEAR(values.at(elu).at(0), std::exp(-1.0) - 1.0, 1e-6);
+  EXPECT_FLOAT_EQ(values.at(elu).at(2), 2.0f);
+  EXPECT_NEAR(values.at(softplus).at(1), std::log(2.0), 1e-6);
+  EXPECT_NEAR(values.at(mish).at(2), 2.0 * std::tanh(std::log1p(std::exp(2.0))),
+              1e-5);
+  EXPECT_FLOAT_EQ(values.at(abs).at(0), 1.0f);
+}
+
+TEST(ExtendedOps, LogSoftmaxShape) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{4, 10});
+  EXPECT_EQ(b.shape_of(b.node("LogSoftmax", {x})), (Shape{4, 10}));
+}
+
+TEST(ExtendedOps, RegisteredInRegistry) {
+  for (const char* op : {"InstanceNormalization", "PRelu", "DepthToSpace",
+                         "SpaceToDepth", "GlobalMaxPool", "ReduceMax", "ReduceMin",
+                         "ArgMax", "LogSoftmax", "Einsum", "Elu", "Softplus",
+                         "Mish", "Abs", "Floor", "Ceil"}) {
+    EXPECT_TRUE(OpRegistry::instance().contains(op)) << op;
+  }
+}
+
+}  // namespace
+}  // namespace proof

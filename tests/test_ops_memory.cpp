@@ -1,0 +1,144 @@
+// Unit tests: the analytical memory-access model (Equation 1 + the per-type
+// special rules of paper §3.2.1).
+#include <gtest/gtest.h>
+
+#include "models/builder.hpp"
+#include "ops/op_def.hpp"
+
+namespace proof {
+namespace {
+
+using models::GraphBuilder;
+
+MemoryEstimate memory_of(const Graph& g, const std::string& out) {
+  const NodeId id = g.producer(out);
+  const Node& node = g.node(id);
+  return op_def_for(node).memory(OpContext(g, node));
+}
+
+TEST(OpMemory, Equation1ForConv) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{2, 16, 8, 8});  // fp32: 8192 B
+  const std::string y = b.conv(x, 32, 3, 1, -1, 1, /*bias=*/true);
+  const Graph g = b.finish({y});
+  const MemoryEstimate m = memory_of(g, y);
+  EXPECT_DOUBLE_EQ(m.read_bytes, 2.0 * 16 * 8 * 8 * 4);
+  EXPECT_DOUBLE_EQ(m.write_bytes, 2.0 * 32 * 8 * 8 * 4);
+  EXPECT_DOUBLE_EQ(m.param_bytes, (32.0 * 16 * 9 + 32.0) * 4);
+}
+
+TEST(OpMemory, StridedConvReadsFraction) {
+  // kernel 1, stride 2: only 1/4 of input rows/cols are touched.
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{1, 8, 16, 16});
+  const std::string y = b.conv(x, 8, 1, 2, 0, 1, false);
+  const Graph g = b.finish({y});
+  const MemoryEstimate m = memory_of(g, y);
+  EXPECT_DOUBLE_EQ(m.read_bytes, 8.0 * 16 * 16 * 4 * 0.25);
+}
+
+TEST(OpMemory, StridedConvWithCoveringKernelReadsAll) {
+  // kernel 3, stride 2: receptive fields overlap, full input read.
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{1, 8, 16, 16});
+  const std::string y = b.conv(x, 8, 3, 2, 1, 1, false);
+  const Graph g = b.finish({y});
+  EXPECT_DOUBLE_EQ(memory_of(g, y).read_bytes, 8.0 * 16 * 16 * 4);
+}
+
+TEST(OpMemory, ViewOpsMoveNothing) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{4, 256});
+  const std::string r = b.reshape(x, {2, 512});
+  const std::string f = b.flatten(x, 0);
+  const Graph g = b.finish({r, f});
+  EXPECT_DOUBLE_EQ(memory_of(g, r).total(), 0.0);
+  EXPECT_DOUBLE_EQ(memory_of(g, f).total(), 0.0);
+}
+
+TEST(OpMemory, ShapeOpWritesOnlyMetadata) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{4, 256, 7, 7});
+  const std::string s = b.node("Shape", {x});
+  const Graph g = b.finish({s});
+  const MemoryEstimate m = memory_of(g, s);
+  EXPECT_DOUBLE_EQ(m.read_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(m.write_bytes, 4.0 * sizeof(int64_t));
+}
+
+TEST(OpMemory, TransposeMovesFullTensor) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{8, 64, 28, 28});
+  const std::string t = b.transpose(x, {0, 2, 1, 3});
+  const Graph g = b.finish({t});
+  const MemoryEstimate m = memory_of(g, t);
+  const double bytes = 8.0 * 64 * 28 * 28 * 4;
+  EXPECT_DOUBLE_EQ(m.read_bytes, bytes);
+  EXPECT_DOUBLE_EQ(m.write_bytes, bytes);
+}
+
+TEST(OpMemory, SliceReadsOnlyTheWindow) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{1, 100, 64});
+  const std::string s = b.slice(x, {1}, {0}, {10});
+  const Graph g = b.finish({s});
+  const MemoryEstimate m = memory_of(g, s);
+  EXPECT_DOUBLE_EQ(m.read_bytes, 10.0 * 64 * 4);
+  EXPECT_DOUBLE_EQ(m.write_bytes, 10.0 * 64 * 4);
+}
+
+TEST(OpMemory, GatherReadsSelectedRowsPlusIndices) {
+  GraphBuilder b("g");
+  const std::string ids = b.input("ids", Shape{1, 16}, DType::kI64);
+  const std::string e = b.embedding(ids, 30522, 768);
+  const Graph g = b.finish({e});
+  const MemoryEstimate m = memory_of(g, e);
+  const double out_bytes = 16.0 * 768 * 4;
+  EXPECT_DOUBLE_EQ(m.read_bytes, out_bytes + 16.0 * 8);
+  EXPECT_DOUBLE_EQ(m.write_bytes, out_bytes);
+  // Crucially NOT the whole 30522x768 table.
+  EXPECT_LT(m.total(), 30522.0 * 768 * 4);
+}
+
+TEST(OpMemory, DtypeHalvesTrafficForF16) {
+  GraphBuilder b32("g32");
+  const std::string x32 = b32.input("x", Shape{1, 64, 16, 16});
+  const std::string y32 = b32.act(x32, "Relu");
+  const Graph g32 = b32.finish({y32});
+
+  GraphBuilder b16("g16");
+  const std::string x16 = b16.input("x", Shape{1, 64, 16, 16}, DType::kF16);
+  const std::string y16 = b16.act(x16, "Relu");
+  const Graph g16 = b16.finish({y16});
+
+  EXPECT_DOUBLE_EQ(memory_of(g32, y32).total(), 2.0 * memory_of(g16, y16).total());
+}
+
+TEST(OpMemory, ParamsNotScaledByBatchActivationsAre) {
+  // Equation 1's structure: params counted once, activations per sample.
+  const auto traffic_at = [&](int64_t batch) {
+    GraphBuilder b("g");
+    const std::string x = b.input("x", Shape{batch, 64, 14, 14});
+    const std::string y = b.conv(x, 64, 3, 1, -1, 1, false);
+    const Graph g = b.finish({y});
+    return memory_of(g, y);
+  };
+  const MemoryEstimate m1 = traffic_at(1);
+  const MemoryEstimate m4 = traffic_at(4);
+  EXPECT_DOUBLE_EQ(m4.param_bytes, m1.param_bytes);
+  EXPECT_DOUBLE_EQ(m4.read_bytes, 4.0 * m1.read_bytes);
+  EXPECT_DOUBLE_EQ(m4.write_bytes, 4.0 * m1.write_bytes);
+}
+
+TEST(OpMemory, ConstantContributesNothing) {
+  GraphBuilder b("g");
+  AttrMap attrs;
+  attrs.set("value_shape", std::vector<int64_t>{8});
+  attrs.set("dtype", std::string("fp32"));
+  const std::string c = b.node("Constant", {}, std::move(attrs));
+  const Graph g = b.finish({c});
+  EXPECT_DOUBLE_EQ(memory_of(g, c).total(), 0.0);
+}
+
+}  // namespace
+}  // namespace proof

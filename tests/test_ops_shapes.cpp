@@ -1,0 +1,188 @@
+// Unit + property tests: operator shape inference.
+#include <gtest/gtest.h>
+
+#include "models/builder.hpp"
+#include "ops/op_def.hpp"
+#include "support/error.hpp"
+
+namespace proof {
+namespace {
+
+using models::GraphBuilder;
+
+TEST(OpShapes, ConvBasic) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{2, 3, 224, 224});
+  const std::string y = b.conv(x, 64, 7, 2);
+  EXPECT_EQ(b.shape_of(y), (Shape{2, 64, 112, 112}));
+}
+
+struct ConvCase {
+  int64_t h, k, s, p, d;
+  int64_t expected;
+};
+
+class ConvShapeTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvShapeTest, SpatialFormula) {
+  const auto& c = GetParam();
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{1, 4, c.h, c.h});
+  const std::string y = b.conv(x, 8, c.k, c.s, c.p, 1, true, c.d);
+  EXPECT_EQ(b.dim(y, 2), c.expected) << "h=" << c.h << " k=" << c.k;
+  EXPECT_EQ(b.dim(y, 3), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ConvShapeTest,
+    ::testing::Values(ConvCase{224, 3, 1, 1, 1, 224}, ConvCase{224, 3, 2, 1, 1, 112},
+                      ConvCase{224, 7, 2, 3, 1, 112}, ConvCase{56, 1, 1, 0, 1, 56},
+                      ConvCase{56, 1, 2, 0, 1, 28}, ConvCase{28, 5, 1, 2, 1, 28},
+                      ConvCase{32, 3, 1, 2, 2, 32}, ConvCase{14, 3, 2, 1, 1, 7}));
+
+TEST(OpShapes, GroupedConvChecksChannels) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{1, 8, 16, 16});
+  const std::string y = b.conv(x, 8, 3, 1, -1, /*groups=*/8);
+  EXPECT_EQ(b.shape_of(y), (Shape{1, 8, 16, 16}));
+  EXPECT_THROW((void)b.conv(x, 8, 3, 1, -1, /*groups=*/3), Error);
+}
+
+TEST(OpShapes, PoolingShapes) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{1, 64, 112, 112});
+  EXPECT_EQ(b.shape_of(b.maxpool(x, 3, 2)), (Shape{1, 64, 56, 56}));
+  EXPECT_EQ(b.shape_of(b.avgpool(x, 2, 2, 0)), (Shape{1, 64, 56, 56}));
+  EXPECT_EQ(b.shape_of(b.global_avgpool(x)), (Shape{1, 64, 1, 1}));
+}
+
+TEST(OpShapes, GemmWithTranspose) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{4, 128});
+  EXPECT_EQ(b.shape_of(b.linear(x, 10)), (Shape{4, 10}));
+}
+
+TEST(OpShapes, MatMulBatchBroadcast) {
+  GraphBuilder b("g");
+  const std::string a = b.input("a", Shape{2, 8, 16, 32});
+  const std::string c = b.input("c", Shape{32, 64});
+  EXPECT_EQ(b.shape_of(b.matmul(a, c)), (Shape{2, 8, 16, 64}));
+}
+
+TEST(OpShapes, MatMulInnerDimMismatchThrows) {
+  GraphBuilder b("g");
+  const std::string a = b.input("a", Shape{4, 8});
+  const std::string c = b.input("c", Shape{9, 4});
+  EXPECT_THROW((void)b.matmul(a, c), Error);
+}
+
+TEST(OpShapes, ReshapeWithInferredAndCopiedDims) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{2, 12, 5});
+  EXPECT_EQ(b.shape_of(b.reshape(x, {0, 3, 4, 5})), (Shape{2, 3, 4, 5}));
+  EXPECT_EQ(b.shape_of(b.reshape(x, {-1, 10})), (Shape{12, 10}));
+  EXPECT_THROW((void)b.reshape(x, {7, -1}), Error);
+}
+
+TEST(OpShapes, TransposeAndFlatten) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{2, 3, 4, 5});
+  EXPECT_EQ(b.shape_of(b.transpose(x, {0, 2, 1, 3})), (Shape{2, 4, 3, 5}));
+  EXPECT_EQ(b.shape_of(b.flatten(x)), (Shape{2, 60}));
+}
+
+TEST(OpShapes, ConcatAndSplit) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{1, 4, 8});
+  const std::string y = b.input("y", Shape{1, 6, 8});
+  EXPECT_EQ(b.shape_of(b.concat({x, y}, 1)), (Shape{1, 10, 8}));
+  const auto halves = b.split(x, 1, 2);
+  ASSERT_EQ(halves.size(), 2u);
+  EXPECT_EQ(b.shape_of(halves[0]), (Shape{1, 2, 8}));
+  EXPECT_EQ(b.shape_of(halves[1]), (Shape{1, 2, 8}));
+}
+
+TEST(OpShapes, SliceClampingAndSteps) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{1, 10, 10});
+  EXPECT_EQ(b.shape_of(b.slice(x, {1}, {2}, {100})), (Shape{1, 8, 10}));
+  EXPECT_EQ(b.shape_of(b.slice(x, {1, 2}, {0, 0}, {10, 10}, {2, 2})),
+            (Shape{1, 5, 5}));
+  EXPECT_EQ(b.shape_of(b.slice(x, {1}, {-3}, {10})), (Shape{1, 3, 10}));
+}
+
+TEST(OpShapes, GatherEmbedding) {
+  GraphBuilder b("g");
+  const std::string ids = b.input("ids", Shape{2, 16}, DType::kI64);
+  const std::string emb = b.embedding(ids, 1000, 64);
+  EXPECT_EQ(b.shape_of(emb), (Shape{2, 16, 64}));
+}
+
+TEST(OpShapes, ReduceMeanKeepdims) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{2, 196, 768});
+  EXPECT_EQ(b.shape_of(b.reduce_mean(x, {1}, true)), (Shape{2, 1, 768}));
+  EXPECT_EQ(b.shape_of(b.reduce_mean(x, {1}, false)), (Shape{2, 768}));
+}
+
+TEST(OpShapes, NormalizationPreservesShape) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{2, 16, 8, 8});
+  EXPECT_EQ(b.shape_of(b.batchnorm(x)), b.shape_of(x));
+  EXPECT_EQ(b.shape_of(b.groupnorm(x, 4)), b.shape_of(x));
+  const std::string t = b.input("t", Shape{2, 16, 32});
+  EXPECT_EQ(b.shape_of(b.layernorm(t)), b.shape_of(t));
+  EXPECT_EQ(b.shape_of(b.softmax(t)), b.shape_of(t));
+}
+
+TEST(OpShapes, ElementwiseBroadcastOutput) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{2, 16, 32});
+  const std::string y = b.input("y", Shape{32});
+  EXPECT_EQ(b.shape_of(b.add(x, y)), (Shape{2, 16, 32}));
+}
+
+TEST(OpShapes, PadAndResize) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{1, 3, 8, 8});
+  AttrMap pad_attrs;
+  pad_attrs.set("pads", std::vector<int64_t>{0, 0, 1, 1, 0, 0, 1, 1});
+  EXPECT_EQ(b.shape_of(b.node("Pad", {x}, std::move(pad_attrs))),
+            (Shape{1, 3, 10, 10}));
+  AttrMap rs;
+  rs.set("scales", std::vector<double>{1.0, 1.0, 2.0, 2.0});
+  rs.set("mode", std::string("nearest"));
+  EXPECT_EQ(b.shape_of(b.node("Resize", {x}, std::move(rs))), (Shape{1, 3, 16, 16}));
+}
+
+TEST(OpShapes, CastChangesDtype) {
+  GraphBuilder b("g");
+  const std::string x = b.input("in", Shape{4});
+  AttrMap attrs;
+  attrs.set("to", std::string("fp16"));
+  const std::string y = b.node("Cast", {x}, std::move(attrs));
+  // dtype change visible through the graph tensor table
+  GraphBuilder* pb = &b;
+  (void)pb;
+  SUCCEED() << y;
+}
+
+TEST(OpShapes, UnknownOperatorThrows) {
+  Node n;
+  n.name = "x";
+  n.op_type = "TotallyUnknownOp";
+  EXPECT_THROW((void)op_def_for(n), ModelError);
+}
+
+TEST(OpShapes, RegistryListsCoreOps) {
+  const auto types = OpRegistry::instance().registered_types();
+  EXPECT_GE(types.size(), 40u);
+  for (const char* required :
+       {"Conv", "MatMul", "Gemm", "Softmax", "Transpose", "Reshape",
+        "LayerNormalization", "GlobalAveragePool", "Concat", "Split"}) {
+    EXPECT_TRUE(OpRegistry::instance().contains(required)) << required;
+  }
+}
+
+}  // namespace
+}  // namespace proof

@@ -1,0 +1,153 @@
+// Unit tests: Optimized Analyze Representation — aliases, _FusedOp overlay,
+// fusion-aware memory model (paper §3.2.3, Figure 2).
+#include <gtest/gtest.h>
+
+#include "analysis/optimized_representation.hpp"
+#include "models/builder.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace proof {
+namespace {
+
+using models::GraphBuilder;
+
+class OarTest : public ::testing::Test {
+ protected:
+  OarTest() : ar_(proof::testing::small_cnn()), oar_(ar_) {}
+  AnalyzeRepresentation ar_;
+  OptimizedAnalyzeRepresentation oar_;
+};
+
+TEST_F(OarTest, AliasResolution) {
+  oar_.set_tensor_alias("Conv_0_out", "t_reordered");
+  EXPECT_EQ(oar_.resolve("t_reordered"), "Conv_0_out");
+  EXPECT_EQ(oar_.resolve("Conv_0_out"), "Conv_0_out");
+  // Alias chains resolve transitively.
+  oar_.set_tensor_alias("t_reordered", "t_reordered2");
+  EXPECT_EQ(oar_.resolve("t_reordered2"), "Conv_0_out");
+}
+
+TEST_F(OarTest, IoSearchWithAliasedBoundary) {
+  const Graph& g = ar_.graph();
+  const NodeId conv = g.find_node("Conv_0");
+  const NodeId bn = g.find_node("BatchNormalization_0");
+  const NodeId relu = g.find_node("Relu_0");
+  ASSERT_NE(conv, kInvalidNode);
+  // Backend renamed the input tensor; register alias then search by it.
+  oar_.set_tensor_alias("input", "input_r");
+  const auto found =
+      oar_.get_subgraph_ops_by_io({"input_r"}, {g.node(relu).outputs[0]});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, (std::vector<NodeId>{conv, bn, relu}));
+}
+
+TEST_F(OarTest, SetFusedOpClaimsNodes) {
+  const Graph& g = ar_.graph();
+  const std::vector<NodeId> members = {g.find_node("Conv_0"),
+                                       g.find_node("BatchNormalization_0"),
+                                       g.find_node("Relu_0")};
+  const FusedOpId id = oar_.set_fused_op("fused_conv_bn_relu", members);
+  for (const NodeId m : members) {
+    EXPECT_TRUE(oar_.is_fused(m));
+  }
+  // Double-claiming throws.
+  EXPECT_THROW((void)oar_.set_fused_op("again", {members[0]}), Error);
+  // IO search refuses claimed nodes.
+  EXPECT_FALSE(
+      oar_.get_subgraph_ops_by_io({"input"}, {g.node(members[2]).outputs[0]})
+          .has_value());
+  const auto layer = oar_.layer_for_fused(id);
+  EXPECT_TRUE(layer.is_fused);
+  EXPECT_EQ(layer.members, members);
+}
+
+TEST_F(OarTest, FusedFlopsIsSumOfMembers) {
+  const Graph& g = ar_.graph();
+  const std::vector<NodeId> members = {g.find_node("Conv_0"),
+                                       g.find_node("BatchNormalization_0"),
+                                       g.find_node("Relu_0")};
+  double expected = 0.0;
+  for (const NodeId m : members) {
+    expected += ar_.analysis(m).flops;
+  }
+  EXPECT_DOUBLE_EQ(oar_.fused_flops(members), expected);
+}
+
+TEST_F(OarTest, FusedMemoryElidesIntermediates) {
+  // The paper's key accuracy improvement: fused subgraph traffic counts only
+  // boundary tensors, so it must be strictly below the naive member sum when
+  // intermediates exist.
+  const Graph& g = ar_.graph();
+  const std::vector<NodeId> members = {g.find_node("Conv_0"),
+                                       g.find_node("BatchNormalization_0"),
+                                       g.find_node("Relu_0")};
+  double naive = 0.0;
+  for (const NodeId m : members) {
+    naive += ar_.analysis(m).memory.total();
+  }
+  const double fused = oar_.fused_memory(members).total();
+  EXPECT_LT(fused, naive);
+  // Boundary accounting: exactly input + output + params of the subgraph.
+  const Graph::Boundary bd = g.boundary(members);
+  double expected = 0.0;
+  for (const auto& t : bd.inputs) expected += g.tensor(t).size_bytes();
+  for (const auto& t : bd.outputs) expected += g.tensor(t).size_bytes();
+  for (const auto& t : bd.params) expected += g.tensor(t).size_bytes();
+  EXPECT_DOUBLE_EQ(fused, expected);
+}
+
+TEST_F(OarTest, SingletonMemoryUsesPerOpRule) {
+  const Graph& g = ar_.graph();
+  const NodeId flatten = g.find_node("Flatten_0");
+  ASSERT_NE(flatten, kInvalidNode);
+  // Flatten is a zero-copy view; per-op rule says 0 traffic, while the
+  // boundary rule would charge in+out.
+  EXPECT_DOUBLE_EQ(oar_.fused_memory({flatten}).total(), 0.0);
+}
+
+TEST_F(OarTest, LayersViewPartitionsAllNodes) {
+  const Graph& g = ar_.graph();
+  (void)oar_.set_fused_op("f0", {g.find_node("Conv_0"),
+                                 g.find_node("BatchNormalization_0"),
+                                 g.find_node("Relu_0")});
+  const auto layers = oar_.layers();
+  size_t covered = 0;
+  for (const auto& layer : layers) {
+    covered += layer.members.size();
+  }
+  EXPECT_EQ(covered, g.num_nodes());
+  // Total FLOP preserved under the overlay (fusion invariant).
+  double flops = 0.0;
+  for (const auto& layer : layers) {
+    flops += layer.flops;
+  }
+  EXPECT_DOUBLE_EQ(flops, ar_.total_flops());
+}
+
+TEST_F(OarTest, DominantClassPrefersFlopHeavyMember) {
+  const Graph& g = ar_.graph();
+  const std::vector<NodeId> members = {g.find_node("Conv_0"),
+                                       g.find_node("Relu_0")};
+  EXPECT_EQ(oar_.dominant_class(members), OpClass::kConv);
+}
+
+TEST_F(OarTest, DominantClassFallsBackToBytes) {
+  GraphBuilder b("g");
+  const std::string x = b.input("x", Shape{1, 8, 4, 4});
+  const std::string t = b.transpose(x, {0, 2, 3, 1});
+  const std::string r = b.reshape(t, {1, 128});
+  const Graph g = b.finish({r});
+  const AnalyzeRepresentation ar(g);
+  const OptimizedAnalyzeRepresentation oar(ar);
+  // Transpose has 0 FLOP; class should come from traffic (data movement).
+  EXPECT_EQ(oar.dominant_class({g.producer(t), g.producer(r)}),
+            OpClass::kDataMovement);
+}
+
+TEST_F(OarTest, AliasToSelfRejected) {
+  EXPECT_THROW(oar_.set_tensor_alias("input", "input"), Error);
+}
+
+}  // namespace
+}  // namespace proof

@@ -1,0 +1,134 @@
+// Property tests: latency/power-model invariants swept over every platform
+// and workload class (parameterized).
+#include <gtest/gtest.h>
+
+#include "hw/latency_model.hpp"
+#include "hw/platform.hpp"
+#include "hw/power.hpp"
+
+namespace proof::hw {
+namespace {
+
+struct PlatformClassCase {
+  std::string platform;
+  OpClass cls;
+};
+
+std::vector<PlatformClassCase> all_cases() {
+  std::vector<PlatformClassCase> cases;
+  for (const std::string& platform : paper_platform_ids()) {
+    for (const OpClass cls :
+         {OpClass::kGemm, OpClass::kConv, OpClass::kConvPointwise,
+          OpClass::kConvDepthwise, OpClass::kElementwise, OpClass::kReduction,
+          OpClass::kNormalization, OpClass::kSoftmax, OpClass::kDataMovement,
+          OpClass::kCopy}) {
+      cases.push_back({platform, cls});
+    }
+  }
+  return cases;
+}
+
+DType supported_dtype(const PlatformDesc& desc) {
+  return desc.supports(DType::kF16) ? DType::kF16 : DType::kF32;
+}
+
+class LatencyProperties : public ::testing::TestWithParam<PlatformClassCase> {};
+
+TEST_P(LatencyProperties, MonotoneNonNegativeAndBounded) {
+  const auto& [platform_id, cls] = GetParam();
+  const PlatformDesc& desc = PlatformRegistry::instance().get(platform_id);
+  const LatencyModel model{PlatformState(desc)};
+  const DType dtype = supported_dtype(desc);
+
+  double prev_latency = 0.0;
+  for (const double scale : {1e5, 1e7, 1e9, 1e11}) {
+    KernelWork k;
+    k.name = "k";
+    k.cls = cls;
+    k.dtype = dtype;
+    k.hw_flops = cls == OpClass::kDataMovement || cls == OpClass::kCopy
+                     ? 0.0
+                     : scale;
+    k.matrix_flops = 0.0;
+    k.bytes = scale / 10.0;
+    const KernelTiming t = model.time_kernel(k);
+
+    // Latency includes the launch overhead and is strictly positive.
+    EXPECT_GE(t.latency_s, desc.kernel_overhead_s);
+    // The roofline max form: latency >= each component + overhead.
+    EXPECT_GE(t.latency_s + 1e-15, desc.kernel_overhead_s +
+                                       std::max(t.compute_s, t.memory_s) - 1e-15);
+    // Monotone in workload size.
+    EXPECT_GT(t.latency_s, prev_latency * 0.999);
+    prev_latency = t.latency_s;
+
+    // Attained rates never exceed theoretical ceilings.
+    if (k.hw_flops > 0.0 && t.compute_s > 0.0) {
+      EXPECT_LE(k.hw_flops / t.compute_s, desc.matrix_peak(dtype) * 1.001)
+          << platform_id;
+    }
+    if (t.memory_s > 0.0) {
+      EXPECT_LE(k.bytes / t.memory_s, desc.dram_bw * 1.001) << platform_id;
+    }
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<PlatformClassCase>& info) {
+  return info.param.platform + "_" +
+         std::string(op_class_name(info.param.cls));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, LatencyProperties,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+class PlatformPowerProperties : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlatformPowerProperties, PowerBoundedAndMonotone) {
+  const PlatformDesc& desc = PlatformRegistry::instance().get(GetParam());
+  const PowerModel model{PlatformState(desc)};
+  const double idle = model.power_w({0.0, 0.0});
+  const double busy = model.power_w({1.0, 1.0});
+  EXPECT_GT(idle, 0.0);
+  EXPECT_GT(busy, idle);
+  // Full-load power is bounded by the sum of the rail maxima + static parts.
+  double bound = desc.power.idle_w + desc.power.gpu_max_w + desc.power.mem_max_w;
+  for (size_t i = 0; i < desc.cpu_clusters.size(); ++i) {
+    bound += desc.power.cpu_cluster_w;
+  }
+  EXPECT_LE(busy, bound * 1.001);
+  // Monotone in each utilization independently.
+  EXPECT_LE(model.power_w({0.5, 0.5}), model.power_w({0.9, 0.5}));
+  EXPECT_LE(model.power_w({0.5, 0.5}), model.power_w({0.5, 0.9}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformPowerProperties,
+                         ::testing::ValuesIn(paper_platform_ids()),
+                         [](const auto& info) { return info.param; });
+
+class PlatformClockProperties : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlatformClockProperties, DownclockNeverSpeedsUp) {
+  const PlatformDesc& desc = PlatformRegistry::instance().get(GetParam());
+  if (desc.gpu_clock.available_mhz.size() < 2) {
+    GTEST_SKIP() << "single clock step";
+  }
+  ClockSetting slow;
+  slow.gpu_mhz = desc.gpu_clock.available_mhz.front();
+  const LatencyModel fast{PlatformState(desc)};
+  const LatencyModel slowed{PlatformState(desc, slow)};
+  KernelWork k;
+  k.name = "k";
+  k.cls = OpClass::kGemm;
+  k.dtype = supported_dtype(desc);
+  k.hw_flops = 1e10;
+  k.bytes = 1e7;
+  EXPECT_GE(slowed.time_kernel(k).latency_s, fast.time_kernel(k).latency_s);
+  EXPECT_LE(slowed.achieved_bandwidth(), fast.achieved_bandwidth() * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformClockProperties,
+                         ::testing::ValuesIn(paper_platform_ids()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace proof::hw

@@ -1,0 +1,170 @@
+// Integration tests: the end-to-end Profiler pipeline.
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+#include "core/report_text.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace proof {
+namespace {
+
+ProfileOptions a100_fp16(int64_t batch = 8) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = batch;
+  opt.mode = MetricMode::kPredicted;
+  return opt;
+}
+
+TEST(Profiler, RequiresPlatform) {
+  ProfileOptions opt;
+  EXPECT_THROW(Profiler{opt}, Error);
+  opt.platform_id = "a100";
+  opt.batch = 0;
+  EXPECT_THROW(Profiler{opt}, Error);
+}
+
+TEST(Profiler, DefaultsToPlatformRuntime) {
+  const ProfileReport r = Profiler(a100_fp16()).run_zoo("resnet34");
+  EXPECT_EQ(r.options.backend_id, "trt_sim");   // A100's Table-2 runtime
+  ProfileOptions opt = a100_fp16();
+  opt.platform_id = "xeon6330";
+  opt.dtype = DType::kF32;
+  const ProfileReport r2 = Profiler(opt).run_zoo("resnet34");
+  EXPECT_EQ(r2.options.backend_id, "ort_sim");
+}
+
+TEST(Profiler, ReportInternallyConsistent) {
+  const ProfileReport r = Profiler(a100_fp16()).run_zoo("resnet50");
+  ASSERT_EQ(r.layers.size(), r.roofline.layers.size());
+  double latency = 0.0;
+  double flops = 0.0;
+  for (const LayerReport& layer : r.layers) {
+    EXPECT_GE(layer.latency_s, 0.0);
+    latency += layer.latency_s;
+    flops += layer.flops;
+  }
+  EXPECT_NEAR(latency, r.total_latency_s, 1e-9);
+  EXPECT_NEAR(flops, r.roofline.end_to_end.flops, 1.0);
+  EXPECT_GT(r.total_latency_s, 0.0);
+  EXPECT_GT(r.power_w, 0.0);
+  EXPECT_DOUBLE_EQ(r.mapping_coverage, 1.0);
+  EXPECT_EQ(r.unmapped_layers, 0u);
+}
+
+TEST(Profiler, PredictedFlopsMatchAnalyticalTotal) {
+  // End-to-end FLOP in predicted mode equals the Analyze Representation's
+  // total (fusion preserves FLOP).
+  const ProfileReport r = Profiler(a100_fp16(1)).run_zoo("resnet50");
+  EXPECT_NEAR(r.roofline.end_to_end.flops / 1e9, 8.207, 0.2);
+}
+
+TEST(Profiler, MeasuredModeAddsOverheadAndDiffers) {
+  ProfileOptions opt = a100_fp16(8);
+  opt.mode = MetricMode::kMeasured;
+  const ProfileReport measured = Profiler(opt).run_zoo("mobilenetv2_10");
+  opt.mode = MetricMode::kPredicted;
+  const ProfileReport predicted = Profiler(opt).run_zoo("mobilenetv2_10");
+
+  EXPECT_GT(measured.counter_profiling_time_s, 10.0);
+  EXPECT_DOUBLE_EQ(predicted.counter_profiling_time_s, 0.0);
+  // Hardware FLOP exceeds Model FLOP for padding-heavy MobileNet (§4.2:
+  // prediction diff is negative).
+  EXPECT_GT(measured.roofline.end_to_end.flops,
+            predicted.roofline.end_to_end.flops);
+  // Latency identical — metrics mode does not change execution.
+  EXPECT_DOUBLE_EQ(measured.total_latency_s, predicted.total_latency_s);
+}
+
+TEST(Profiler, MeasuredModeUnavailableOffGpu) {
+  ProfileOptions opt;
+  opt.platform_id = "rpi4b";
+  opt.dtype = DType::kF32;
+  opt.batch = 1;
+  opt.mode = MetricMode::kMeasured;
+  EXPECT_THROW((void)Profiler(opt).run_zoo("mobilenetv2_05"), ConfigError);
+  // kAuto silently falls back to the analytical model.
+  opt.mode = MetricMode::kAuto;
+  const ProfileReport r = Profiler(opt).run_zoo("mobilenetv2_05");
+  EXPECT_DOUBLE_EQ(r.counter_profiling_time_s, 0.0);
+}
+
+TEST(Profiler, ThroughputImprovesWithBatch) {
+  const ProfileReport b1 = Profiler(a100_fp16(1)).run_zoo("resnet50");
+  const ProfileReport b64 = Profiler(a100_fp16(64)).run_zoo("resnet50");
+  EXPECT_GT(b64.throughput_per_s(), 2.0 * b1.throughput_per_s());
+  EXPECT_GT(b64.total_latency_s, b1.total_latency_s);
+}
+
+TEST(Profiler, AllPlatformsProfileSomething) {
+  for (const std::string& platform : hw::paper_platform_ids()) {
+    ProfileOptions opt;
+    opt.platform_id = platform;
+    const auto& desc = hw::PlatformRegistry::instance().get(platform);
+    opt.dtype = desc.supports(DType::kF16) ? DType::kF16 : DType::kF32;
+    opt.batch = 1;
+    const ProfileReport r = Profiler(opt).run_zoo("mobilenetv2_10");
+    EXPECT_GT(r.total_latency_s, 0.0) << platform;
+    EXPECT_GT(r.roofline.end_to_end.attained_flops(), 0.0) << platform;
+    // Attained never exceeds the theoretical roof.
+    EXPECT_LE(r.roofline.end_to_end.attained_flops(),
+              r.roofline.ceilings.peak_flops * 1.001)
+        << platform;
+  }
+}
+
+TEST(Profiler, EdgeSlowerThanDataCenter) {
+  ProfileOptions opt = a100_fp16(1);
+  const double a100 = Profiler(opt).run_zoo("resnet50").total_latency_s;
+  opt.platform_id = "orin_nx16";
+  const double orin = Profiler(opt).run_zoo("resnet50").total_latency_s;
+  opt.platform_id = "rpi4b";
+  opt.dtype = DType::kF32;
+  const double rpi = Profiler(opt).run_zoo("resnet50").total_latency_s;
+  EXPECT_LT(a100, orin);
+  EXPECT_LT(orin, rpi);
+}
+
+TEST(Profiler, ClockDownshiftSlowsAndSavesPower) {
+  ProfileOptions opt;
+  opt.platform_id = "orin_nx16";
+  opt.dtype = DType::kF16;
+  opt.batch = 16;
+  const ProfileReport full = Profiler(opt).run_zoo("efficientnetv2_t");
+  opt.clocks.gpu_mhz = 510.0;
+  opt.clocks.mem_mhz = 2133.0;
+  const ProfileReport low = Profiler(opt).run_zoo("efficientnetv2_t");
+  EXPECT_GT(low.total_latency_s, full.total_latency_s);
+  EXPECT_LT(low.power_w, full.power_w);
+}
+
+TEST(Profiler, AnalysisOverheadIsSmall) {
+  // §4.2: the analytical model costs "a few seconds total" even on big
+  // models; here (C++ on a small graph) it must be far under a second.
+  const ProfileReport r = Profiler(a100_fp16()).run_zoo("resnet50");
+  EXPECT_LT(r.analysis_time_s, 1.0);
+}
+
+TEST(ReportText, SummaryAndTableRender) {
+  const ProfileReport r = Profiler(a100_fp16()).run_zoo("resnet50");
+  const std::string summary = summary_text(r);
+  EXPECT_NE(summary.find("resnet50"), std::string::npos);
+  EXPECT_NE(summary.find("TFLOP/s"), std::string::npos);
+  EXPECT_NE(summary.find("mapping coverage: 100.0%"), std::string::npos);
+  const std::string table = layer_table_text(r, 5);
+  EXPECT_NE(table.find("backend layer"), std::string::npos);
+  // 5 rows + header + rule.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 7);
+}
+
+TEST(Profiler, CustomGraphSupported) {
+  const ProfileReport r =
+      Profiler(a100_fp16()).run(proof::testing::small_cnn());
+  EXPECT_EQ(r.model_name, "small_cnn");
+  EXPECT_GT(r.layers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace proof

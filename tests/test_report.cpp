@@ -1,0 +1,124 @@
+// Unit tests: dataviewer output — text tables, CSV, SVG roofline charts.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "report/csv.hpp"
+#include "report/svg_roofline.hpp"
+#include "report/table.hpp"
+#include "support/error.hpp"
+
+namespace proof::report {
+namespace {
+
+TEST(TextTable, AlignsAndRules) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_rule();
+  t.add_row({"beta_longer", "20.25"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // Numeric column right-aligned: "  1.5" ends where "20.25" ends.
+  const size_t l1 = out.find("1.5 |");
+  const size_t l2 = out.find("20.25 |");
+  ASSERT_NE(l1, std::string::npos);
+  ASSERT_NE(l2, std::string::npos);
+}
+
+TEST(TextTable, RowArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only_one"}), Error);
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(Csv, EscapesSpecials) {
+  CsvWriter w({"name", "note"});
+  w.add_row({"plain", "with,comma"});
+  w.add_row({"quote\"inside", "multi\nline"});
+  const std::string out = w.to_string();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Csv, SavesToDisk) {
+  CsvWriter w({"x"});
+  w.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/proof_test.csv";
+  w.save(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+}
+
+roofline::Analysis sample_analysis() {
+  roofline::Analysis a;
+  a.ceilings.peak_flops = 312e12;
+  a.ceilings.peak_bw = 1555e9;
+  a.ceilings.extra_bw_lines = {{"62 GB/s", 62e9}};
+  for (int i = 0; i < 5; ++i) {
+    roofline::Point p;
+    p.name = "layer_" + std::to_string(i);
+    p.flops = 1e9 * (i + 1);
+    p.bytes = 1e7;
+    p.latency_s = 1e-4;
+    p.cls = i % 2 == 0 ? OpClass::kConv : OpClass::kDataMovement;
+    a.layers.push_back(p);
+  }
+  a.end_to_end = roofline::aggregate(a.layers, "model");
+  return a;
+}
+
+TEST(Svg, RendersWellFormedChart) {
+  SvgOptions opt;
+  opt.title = "test chart";
+  const std::string svg = render_roofline_svg(sample_analysis(), opt);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("test chart"), std::string::npos);
+  // 5 layer points as circles.
+  size_t circles = 0;
+  size_t pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    pos += 7;
+  }
+  EXPECT_EQ(circles, 5u);
+  // Extra bandwidth ceiling appears with its label.
+  EXPECT_NE(svg.find("62 GB/s"), std::string::npos);
+  // Peak annotation present.
+  EXPECT_NE(svg.find("peak"), std::string::npos);
+}
+
+TEST(Svg, PointLabelsOptIn) {
+  SvgOptions opt;
+  opt.label_points = true;
+  const std::string svg = render_roofline_svg(sample_analysis(), opt);
+  EXPECT_NE(svg.find("layer_0"), std::string::npos);
+}
+
+TEST(Svg, SkipsDegeneratePoints) {
+  roofline::Analysis a = sample_analysis();
+  roofline::Point zero;
+  zero.name = "zero";
+  a.layers.push_back(zero);  // no flops/bytes/latency
+  const std::string svg = render_roofline_svg(a, SvgOptions{});
+  size_t circles = 0;
+  size_t pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    pos += 7;
+  }
+  EXPECT_EQ(circles, 5u);  // degenerate point not drawn
+}
+
+TEST(Svg, SaveToDisk) {
+  const std::string path = ::testing::TempDir() + "/proof_chart.svg";
+  save_svg(render_roofline_svg(sample_analysis(), SvgOptions{}), path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+}  // namespace
+}  // namespace proof::report

@@ -1,0 +1,90 @@
+// Unit tests: JSON report export (structure, escaping, numeric fields).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/report_json.hpp"
+
+namespace proof {
+namespace {
+
+ProfileReport sample_report() {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = 4;
+  opt.mode = MetricMode::kPredicted;
+  return Profiler(opt).run_zoo("mobilenetv2_05");
+}
+
+TEST(ReportJson, ContainsTopLevelFields) {
+  const std::string json = report_to_json(sample_report());
+  for (const char* key :
+       {"\"model\":", "\"platform\":", "\"latency_s\":", "\"layers\":[",
+        "\"mapping_coverage\":", "\"peak_flops\":", "\"memory_bound\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportJson, BalancedBracesAndQuotes) {
+  const std::string json = report_to_json(sample_report());
+  int braces = 0;
+  int brackets = 0;
+  size_t quotes = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+    }
+    if (in_string) {
+      continue;
+    }
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0u);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportJson, LayerCountMatchesReport) {
+  const ProfileReport r = sample_report();
+  const std::string json = report_to_json(r);
+  size_t names = 0;
+  size_t pos = 0;
+  while ((pos = json.find("\"name\":", pos)) != std::string::npos) {
+    ++names;
+    pos += 7;
+  }
+  EXPECT_EQ(names, r.layers.size());
+}
+
+TEST(ReportJson, EscapesSpecialCharacters) {
+  ProfileReport r = sample_report();
+  r.model_name = "quote\" backslash\\ newline\n tab\t";
+  const std::string json = report_to_json(r);
+  EXPECT_NE(json.find("quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("backslash\\\\"), std::string::npos);
+  EXPECT_NE(json.find("newline\\n"), std::string::npos);
+  EXPECT_NE(json.find("tab\\t"), std::string::npos);
+}
+
+TEST(ReportJson, SaveToDisk) {
+  const std::string path = ::testing::TempDir() + "/proof_report.json";
+  save_json(report_to_json(sample_report()), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  char first = 0;
+  in >> first;
+  EXPECT_EQ(first, '{');
+}
+
+}  // namespace
+}  // namespace proof

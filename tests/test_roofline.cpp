@@ -1,0 +1,121 @@
+// Unit tests: roofline math, ceilings, aggregation, achieved-peak probe.
+#include <gtest/gtest.h>
+
+#include "backends/backend.hpp"
+#include "hw/platform.hpp"
+#include "models/zoo.hpp"
+#include "roofline/peak_test.hpp"
+#include "roofline/roofline.hpp"
+
+namespace proof::roofline {
+namespace {
+
+TEST(Point, DerivedQuantities) {
+  Point p;
+  p.flops = 2e9;
+  p.bytes = 1e8;
+  p.latency_s = 1e-3;
+  EXPECT_DOUBLE_EQ(p.arithmetic_intensity(), 20.0);
+  EXPECT_DOUBLE_EQ(p.attained_flops(), 2e12);
+  EXPECT_DOUBLE_EQ(p.attained_bandwidth(), 1e11);
+}
+
+TEST(Point, ZeroGuards) {
+  const Point p;
+  EXPECT_DOUBLE_EQ(p.arithmetic_intensity(), 0.0);
+  EXPECT_DOUBLE_EQ(p.attained_flops(), 0.0);
+  EXPECT_DOUBLE_EQ(p.attained_bandwidth(), 0.0);
+}
+
+TEST(Ceilings, RidgeAndAttainable) {
+  Ceilings c;
+  c.peak_flops = 312e12;
+  c.peak_bw = 1555e9;
+  EXPECT_NEAR(c.ridge_ai(), 200.6, 0.1);
+  // Left of the ridge: bandwidth-limited.
+  EXPECT_DOUBLE_EQ(c.attainable(10.0), 10.0 * 1555e9);
+  // Right of the ridge: compute-limited.
+  EXPECT_DOUBLE_EQ(c.attainable(1000.0), 312e12);
+}
+
+TEST(Ceilings, BoundClassification) {
+  Ceilings c;
+  c.peak_flops = 100e12;
+  c.peak_bw = 1e12;  // ridge at AI=100
+  Point low;
+  low.flops = 10;
+  low.bytes = 1;  // AI 10
+  Point high;
+  high.flops = 1000;
+  high.bytes = 1;  // AI 1000
+  EXPECT_TRUE(c.memory_bound(low));
+  EXPECT_FALSE(c.memory_bound(high));
+}
+
+TEST(Aggregate, SumsAndShares) {
+  std::vector<Point> layers(3);
+  for (int i = 0; i < 3; ++i) {
+    layers[i].flops = 1e9;
+    layers[i].bytes = 1e6;
+    layers[i].latency_s = (i + 1) * 1e-3;
+  }
+  const Point total = aggregate(layers, "model");
+  EXPECT_DOUBLE_EQ(total.flops, 3e9);
+  EXPECT_DOUBLE_EQ(total.latency_s, 6e-3);
+  EXPECT_NEAR(layers[0].latency_share, 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(layers[2].latency_share, 3.0 / 6.0, 1e-12);
+  double share = 0.0;
+  for (const Point& p : layers) {
+    share += p.latency_share;
+  }
+  EXPECT_NEAR(share, 1.0, 1e-12);
+}
+
+TEST(Analysis, EfficiencyAgainstRoofline) {
+  Analysis a;
+  a.ceilings.peak_flops = 100e12;
+  a.ceilings.peak_bw = 1e12;
+  a.end_to_end.flops = 1e9;
+  a.end_to_end.bytes = 1e6;  // AI = 1000 -> compute region
+  a.end_to_end.latency_s = 2e-5;  // attained 50e12 of 100e12
+  EXPECT_NEAR(a.roofline_efficiency(), 0.5, 1e-9);
+}
+
+TEST(PeakProbe, ReachesAchievablePeaks) {
+  // Build the pseudo model on the Orin and verify the probe lands near the
+  // platform's achievable compute/bandwidth limits (Table 6 row 1).
+  const auto& orin = hw::PlatformRegistry::instance().get("orin_nx16");
+  backends::BuildConfig config;
+  config.dtype = DType::kF16;
+  config.batch = 1;
+  const backends::Engine engine =
+      backends::BackendRegistry::instance().get("trt_sim").build(
+          models::build_peak_probe(), config, orin);
+  const hw::PlatformState state(orin);
+  const AchievedPeaks peaks = achieved_peaks(engine, state);
+  const hw::LatencyModel model(state);
+  EXPECT_GT(peaks.flops, 0.85 * model.achieved_compute_peak(DType::kF16));
+  EXPECT_LE(peaks.flops, 1.01 * model.achieved_compute_peak(DType::kF16));
+  EXPECT_GT(peaks.bw, 0.85 * model.achieved_bandwidth());
+  EXPECT_LE(peaks.bw, 1.01 * model.achieved_bandwidth());
+}
+
+TEST(PeakProbe, PeaksScaleWithClocks) {
+  const auto& orin = hw::PlatformRegistry::instance().get("orin_nx16");
+  backends::BuildConfig config;
+  config.dtype = DType::kF16;
+  const backends::Engine engine =
+      backends::BackendRegistry::instance().get("trt_sim").build(
+          models::build_peak_probe(), config, orin);
+  hw::ClockSetting slow;
+  slow.gpu_mhz = 510.0;
+  slow.mem_mhz = 2133.0;
+  const AchievedPeaks full = achieved_peaks(engine, hw::PlatformState(orin));
+  const AchievedPeaks low =
+      achieved_peaks(engine, hw::PlatformState(orin, slow));
+  EXPECT_LT(low.flops, full.flops);
+  EXPECT_LT(low.bw, full.bw);
+}
+
+}  // namespace
+}  // namespace proof::roofline

@@ -1,0 +1,151 @@
+// Unit tests: support utilities (strings, rng, units, error macros).
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/units.hpp"
+
+namespace proof {
+namespace {
+
+using strings::join;
+using strings::split;
+using strings::split_trimmed;
+using strings::trim;
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitTrimmedDropsEmptyAndTrims) {
+  const auto parts = split_trimmed("  a , b ,, c  ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, TrimHandlesAllWhitespace) {
+  EXPECT_EQ(trim("  \t a b \n "), "a b");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(strings::starts_with("foobar", "foo"));
+  EXPECT_FALSE(strings::starts_with("fo", "foo"));
+  EXPECT_TRUE(strings::ends_with("foobar", "bar"));
+  EXPECT_TRUE(strings::contains("foobar", "oba"));
+  EXPECT_FALSE(strings::contains("foobar", "baz"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(strings::replace_all("a+b+c", "+", " + "), "a + b + c");
+  EXPECT_EQ(strings::replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, ParseIntValidAndInvalid) {
+  EXPECT_EQ(strings::parse_int(" 42 "), 42);
+  EXPECT_EQ(strings::parse_int("-7"), -7);
+  EXPECT_THROW((void)strings::parse_int("4x"), Error);
+  EXPECT_THROW((void)strings::parse_int(""), Error);
+}
+
+TEST(Strings, ParseDoubleValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(strings::parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(strings::parse_double("1e3"), 1000.0);
+  EXPECT_THROW((void)strings::parse_double("abc"), Error);
+  EXPECT_THROW((void)strings::parse_double("1.2.3"), Error);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, FromStringIsStableAndSaltSensitive) {
+  const uint64_t v1 = Rng::from_string("kernel_a").next_u64();
+  const uint64_t v2 = Rng::from_string("kernel_a").next_u64();
+  const uint64_t v3 = Rng::from_string("kernel_b").next_u64();
+  const uint64_t v4 = Rng::from_string("kernel_a", 1).next_u64();
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+  EXPECT_NE(v1, v4);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, GaussianRoughlyCentered) {
+  Rng rng(99);
+  double sum = 0.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.next_gaussian();
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_THROW((void)rng.next_below(0), Error);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(units::gflop(8.207e9), "8.207 GFLOP");
+  EXPECT_EQ(units::tflops(12.152612e12), "12.153 TFLOP/s");
+  EXPECT_EQ(units::gbps(555.062e9), "555.062 GB/s");
+  EXPECT_EQ(units::ms(0.049543), "49.543 ms");
+  EXPECT_EQ(units::megabytes(11669419000.0), "11669.419 MB");
+}
+
+TEST(Units, PercentSigned) {
+  EXPECT_EQ(units::percent(-0.1982), "-19.82%");
+  EXPECT_EQ(units::percent(0.0979), "+9.79%");
+}
+
+TEST(Units, SiScaling) {
+  EXPECT_EQ(units::si(1.5e9, "FLOP"), "1.500 GFLOP");
+  EXPECT_EQ(units::si(999.0, "B"), "999.000 B");
+}
+
+TEST(ErrorMacros, CheckThrowsWithContext) {
+  try {
+    PROOF_CHECK(1 == 2, "values " << 1 << " vs " << 2);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("values 1 vs 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, ErrorHierarchy) {
+  EXPECT_THROW(throw ModelError("m"), Error);
+  EXPECT_THROW(throw ConfigError("c"), Error);
+}
+
+}  // namespace
+}  // namespace proof

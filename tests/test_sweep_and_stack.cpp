@@ -1,0 +1,94 @@
+// Unit tests: batch sweep / optimal-batch selection and the Figure-3 stack
+// drill-down text.
+#include <gtest/gtest.h>
+
+#include "core/report_text.hpp"
+#include "core/sweep.hpp"
+#include "models/zoo.hpp"
+#include "support/error.hpp"
+
+namespace proof {
+namespace {
+
+ProfileOptions a100_opts() {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.mode = MetricMode::kPredicted;
+  return opt;
+}
+
+TEST(BatchSweep, ThroughputMonotoneAndKneeFound) {
+  const Graph model = models::build_model("resnet50");
+  const BatchSweep sweep =
+      sweep_batches(a100_opts(), model, {1, 8, 64, 256, 1024});
+  ASSERT_EQ(sweep.points.size(), 5u);
+  // Throughput non-decreasing with batch on a GPU (no memory-capacity model).
+  for (size_t i = 1; i < sweep.points.size(); ++i) {
+    EXPECT_GE(sweep.points[i].throughput_per_s,
+              sweep.points[i - 1].throughput_per_s * 0.99);
+  }
+  EXPECT_GT(sweep.optimal_batch, 1);
+  // The knee is within tolerance of the best.
+  double best = 0.0;
+  double at_knee = 0.0;
+  for (const BatchPoint& p : sweep.points) {
+    best = std::max(best, p.throughput_per_s);
+    if (p.batch == sweep.optimal_batch) {
+      at_knee = p.throughput_per_s;
+    }
+  }
+  EXPECT_GE(at_knee, 0.95 * best);
+}
+
+TEST(BatchSweep, KneePrefersSmallestSufficientBatch) {
+  // With 100% tolerance every batch qualifies; the smallest wins.
+  const Graph model = models::build_model("mobilenetv2_05");
+  const BatchSweep sweep = sweep_batches(a100_opts(), model, {1, 4, 16}, 0.999);
+  EXPECT_EQ(sweep.optimal_batch, 1);
+}
+
+TEST(BatchSweep, RejectsBadTolerance) {
+  const Graph model = models::build_model("mobilenetv2_05");
+  EXPECT_THROW((void)sweep_batches(a100_opts(), model, {1}, 1.5), Error);
+}
+
+TEST(BatchSweep, TextMarksOptimal) {
+  const Graph model = models::build_model("mobilenetv2_05");
+  const BatchSweep sweep = sweep_batches(a100_opts(), model, {1, 32});
+  const std::string text = sweep_text(sweep);
+  EXPECT_NE(text.find("*"), std::string::npos);
+  EXPECT_NE(text.find("optimal batch"), std::string::npos);
+}
+
+TEST(StackText, DrillsDownToKernels) {
+  ProfileOptions opt = a100_opts();
+  opt.batch = 4;
+  const ProfileReport r = Profiler(opt).run_zoo("vit_tiny");
+  // Opaque region layers lower to multiple kernels; the drill-down shows them.
+  const std::string all = stack_text(r);
+  EXPECT_NE(all.find("backend layer:"), std::string::npos);
+  EXPECT_NE(all.find("device kernels:"), std::string::npos);
+  EXPECT_NE(all.find("model design:"), std::string::npos);
+
+  // Filter by a model-design node name.
+  const std::string filtered = stack_text(r, "MatMul_0");
+  EXPECT_NE(filtered.find("MatMul_0"), std::string::npos);
+  EXPECT_LT(filtered.size(), all.size());
+
+  // Non-matching filter reports cleanly.
+  const std::string none = stack_text(r, "no_such_node_xyz");
+  EXPECT_NE(none.find("no backend layer matches"), std::string::npos);
+}
+
+TEST(StackText, EveryLayerHasAtLeastOneKernelUnlessView) {
+  ProfileOptions opt = a100_opts();
+  opt.batch = 8;
+  const ProfileReport r = Profiler(opt).run_zoo("resnet50");
+  for (const LayerReport& layer : r.layers) {
+    EXPECT_FALSE(layer.kernels.empty()) << layer.backend_layer;
+  }
+}
+
+}  // namespace
+}  // namespace proof

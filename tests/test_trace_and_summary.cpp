@@ -1,0 +1,86 @@
+// Unit tests: Chrome trace export and the model-design summary.
+#include <gtest/gtest.h>
+
+#include "core/chrome_trace.hpp"
+#include "models/summary.hpp"
+#include "models/zoo.hpp"
+
+namespace proof {
+namespace {
+
+ProfileReport sample_report() {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = 4;
+  opt.mode = MetricMode::kPredicted;
+  return Profiler(opt).run_zoo("mobilenetv2_05");
+}
+
+TEST(ChromeTrace, WellFormedEventStream) {
+  const ProfileReport r = sample_report();
+  const std::string trace = report_to_chrome_trace(r);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("backend layers"), std::string::npos);
+  EXPECT_NE(trace.find("device kernels"), std::string::npos);
+  // One X event per layer plus one per kernel plus 3 metadata events.
+  size_t events = 0;
+  size_t pos = 0;
+  while ((pos = trace.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++events;
+    pos += 8;
+  }
+  size_t kernels = 0;
+  for (const LayerReport& layer : r.layers) {
+    kernels += layer.kernels.size();
+  }
+  EXPECT_EQ(events, r.layers.size() + kernels);
+}
+
+TEST(ChromeTrace, EventsTileTheTimeline) {
+  const ProfileReport r = sample_report();
+  const std::string trace = report_to_chrome_trace(r);
+  // Sum of layer durations (tid 1 events) equals total latency in us.
+  double total_dur = 0.0;
+  size_t pos = 0;
+  while ((pos = trace.find("\"tid\":1,\"ts\":", pos)) != std::string::npos) {
+    const size_t dur_pos = trace.find("\"dur\":", pos);
+    total_dur += std::stod(trace.substr(dur_pos + 6));
+    pos = dur_pos;
+  }
+  EXPECT_NEAR(total_dur, r.total_latency_s * 1e6, r.total_latency_s * 1e6 * 1e-6);
+}
+
+TEST(ChromeTrace, EscapesLayerNames) {
+  ProfileReport r = sample_report();
+  r.layers[1].backend_layer = "weird\"name\\with\nstuff";
+  const std::string trace = report_to_chrome_trace(r);
+  EXPECT_NE(trace.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+TEST(ModelSummary, PerNodeTableAndTotals) {
+  const Graph g = models::build_model("resnet18");
+  const std::string summary = models::model_summary(g);
+  EXPECT_NE(summary.find("Conv_0"), std::string::npos);
+  EXPECT_NE(summary.find("| op"), std::string::npos);
+  // Totals line reflects the model stats (11.7M params, 3.6 GFLOP).
+  EXPECT_NE(summary.find("11.685M params"), std::string::npos);
+  EXPECT_NE(summary.find("3.636 GFLOP"), std::string::npos);
+}
+
+TEST(ModelSummary, MaxRowsTruncatesButTotalsStayComplete) {
+  const Graph g = models::build_model("resnet18");
+  const std::string full = models::model_summary(g);
+  const std::string truncated = models::model_summary(g, 5);
+  EXPECT_LT(truncated.size(), full.size());
+  EXPECT_NE(truncated.find("more nodes"), std::string::npos);
+  // Totals identical regardless of printed rows.
+  const auto totals = [](const std::string& s) {
+    return s.substr(s.rfind("total:"));
+  };
+  EXPECT_EQ(totals(full), totals(truncated));
+}
+
+}  // namespace
+}  // namespace proof

@@ -1,0 +1,49 @@
+// Shared helpers for the PRoof test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "models/builder.hpp"
+
+namespace proof::testing {
+
+/// Tiny conv->bn->relu->conv->add->relu graph used across suites.
+inline Graph small_cnn() {
+  models::GraphBuilder b("small_cnn");
+  std::string x = b.input("input", Shape{1, 3, 32, 32});
+  x = b.conv(x, 8, 3, 1);
+  x = b.batchnorm(x);
+  x = b.act(x, "Relu");
+  std::string y = b.conv(x, 8, 3, 1);
+  y = b.add(y, x);
+  y = b.act(y, "Relu");
+  y = b.global_avgpool(y);
+  y = b.flatten(y);
+  y = b.linear(y, 10);
+  return b.finish({y});
+}
+
+/// Tiny transformer block (matmul-anchored) for fusion/mapping tests.
+inline Graph small_transformer() {
+  models::GraphBuilder b("small_transformer");
+  std::string x = b.input("input", Shape{1, 16, 32});
+  for (int i = 0; i < 2; ++i) {
+    std::string h = b.layernorm(x);
+    std::string q = b.linear(h, 32);
+    std::string k = b.linear(h, 32);
+    std::string attn = b.matmul(q, b.transpose(k, {0, 2, 1}));
+    attn = b.softmax(attn);
+    h = b.matmul(attn, b.linear(h, 32));
+    x = b.add(x, h);
+  }
+  return b.finish({x});
+}
+
+/// Relative difference |a-b| / max(|b|, eps).
+inline double rel_diff(double a, double b) {
+  const double denom = std::max(std::abs(b), 1e-12);
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace proof::testing

@@ -1,0 +1,71 @@
+// Tests: the extended model zoo (beyond Table 3) against published numbers.
+#include <gtest/gtest.h>
+
+#include "analysis/analyze_representation.hpp"
+#include "core/profiler.hpp"
+#include "models/zoo.hpp"
+#include "test_util.hpp"
+
+namespace proof::models {
+namespace {
+
+struct ExtraRow {
+  std::string id;
+  double params_m;
+  double gflop;
+};
+
+class ExtraZooTest : public ::testing::TestWithParam<ExtraRow> {};
+
+TEST_P(ExtraZooTest, ParamsAndGflopMatchLiterature) {
+  const ExtraRow& row = GetParam();
+  const AnalyzeRepresentation ar(build_model(row.id));
+  EXPECT_LT(proof::testing::rel_diff(ar.param_count() / 1e6, row.params_m), 0.05)
+      << row.id << ": " << ar.param_count() / 1e6 << "M";
+  EXPECT_LT(proof::testing::rel_diff(ar.total_flops() / 1e9, row.gflop), 0.08)
+      << row.id << ": " << ar.total_flops() / 1e9 << " GFLOP";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Literature, ExtraZooTest,
+    ::testing::Values(ExtraRow{"resnet18", 11.7, 3.6},
+                      ExtraRow{"resnet101", 44.5, 15.6},
+                      ExtraRow{"vgg16", 138.4, 31.0},
+                      // BERT-base @ seq 128: ~110M params, ~22.4 GFLOP.
+                      ExtraRow{"bert_base", 109.5, 22.4}),
+    [](const auto& info) { return info.param.id; });
+
+TEST(ExtraZoo, AllEntriesProfileEndToEnd) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = 4;
+  opt.mode = MetricMode::kPredicted;
+  for (const ModelSpec& spec : extended_model_zoo()) {
+    const ProfileReport r = Profiler(opt).run_zoo(spec.id);
+    EXPECT_GT(r.total_latency_s, 0.0) << spec.id;
+    EXPECT_DOUBLE_EQ(r.mapping_coverage, 1.0) << spec.id;
+  }
+}
+
+TEST(ExtraZoo, DepthOrderingHolds) {
+  const auto gflop = [](const std::string& id) {
+    return AnalyzeRepresentation(build_model(id)).total_flops();
+  };
+  EXPECT_LT(gflop("resnet18"), gflop("resnet34"));
+  EXPECT_LT(gflop("resnet50"), gflop("resnet101"));
+  // VGG-16's plain 3x3 stacks dwarf every ResNet.
+  EXPECT_GT(gflop("vgg16"), gflop("resnet101"));
+}
+
+TEST(ExtraZoo, TableAndExtendedIdsDisjoint) {
+  for (const ModelSpec& extra : extended_model_zoo()) {
+    EXPECT_EQ(extra.table3_index, 0);
+    for (const ModelSpec& table : model_zoo()) {
+      EXPECT_NE(extra.id, table.id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proof::models

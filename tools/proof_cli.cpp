@@ -1,0 +1,355 @@
+// proof — the PRoof command-line interface (paper Figure 1).
+//
+// Accepts a model (zoo id or serialized .pg file) and a platform/backend,
+// runs the profiling pipeline and emits the roofline report as text, CSV,
+// SVG and/or a self-contained HTML dataviewer page.
+//
+//   proof list models|platforms|backends
+//   proof profile --model resnet50 --platform a100 [--backend trt_sim]
+//                 [--dtype fp16] [--batch 128] [--mode auto]
+//                 [--gpu-mhz 918] [--mem-mhz 3199] [--layers 20]
+//                 [--svg out.svg] [--html out.html] [--csv out.csv]
+//   proof peaks   --platform orin_nx16 [--gpu-mhz 510] [--mem-mhz 2133]
+//   proof compare --model shufflenetv2_10 --model2 shufflenetv2_10_mod
+//                 --platform a100 --batch 2048
+//   proof sweep   --model resnet50 --platform a100 [--batches 1,8,64,512]
+//   proof inspect --model vit_tiny --platform a100 [--filter MatMul_0]
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <proof/proof.hpp>
+
+namespace {
+
+using namespace proof;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) {
+    std::cerr << "error: " << error << "\n\n";
+  }
+  std::cerr <<
+      "usage: proof <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  list models|platforms|backends   enumerate built-in components\n"
+      "  profile   profile a model on a platform (see options below)\n"
+      "  peaks     run the roofline peak probe on a platform\n"
+      "  compare   profile two models/configs and print the delta\n"
+      "  sweep     batch-size sweep with optimal-batch selection\n"
+      "  inspect   full-stack drill-down: model nodes -> layer -> kernels\n"
+      "  summarize print the model-design node table (pre-optimization)\n"
+      "\n"
+      "options:\n"
+      "  --model <id|file.pg>   zoo model id or serialized graph file\n"
+      "  --model2 <id|file.pg>  second model (compare)\n"
+      "  --platform <id>        a100 rtx4090 xeon6330 xavier_nx orin_nx16\n"
+      "                         rpi4b npu3720\n"
+      "  --backend <id>         trt_sim ov_sim ort_sim (default: platform's)\n"
+      "  --dtype <t>            fp32 fp16 bf16 int8 (default fp16/fp32)\n"
+      "  --batch <n>            batch size (default 1)\n"
+      "  --mode <m>             predicted | measured | auto (default auto)\n"
+      "  --gpu-mhz <f>          GPU clock override (DVFS)\n"
+      "  --mem-mhz <f>          memory clock override (DVFS)\n"
+      "  --layers <n>           rows of the layer table to print (default 25)\n"
+      "  --batches <list>       comma-separated batch candidates (sweep)\n"
+      "  --filter <substr>      layer/node filter (inspect)\n"
+      "  --quantize <0|1>       rewrite the model to int8 QDQ form first\n"
+      "  --svg <path>           write the roofline chart\n"
+      "  --html <path>          write the HTML dataviewer page\n"
+      "  --csv <path>           write the per-layer CSV\n"
+      "  --json <path>          write the full report as JSON\n"
+      "  --trace <path>         write a Chrome trace-event timeline\n";
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto value = get(key);
+    if (!value.has_value()) {
+      usage("missing required option --" + key);
+    }
+    return *value;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) {
+    usage();
+  }
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 >= argc) {
+        usage("option --" + key + " needs a value");
+      }
+      args.options[key] = argv[++i];
+    } else {
+      // Positional argument (used by `list`).
+      args.options["_pos" + std::to_string(args.options.size())] = token;
+    }
+  }
+  return args;
+}
+
+Graph load_model_arg(const Args& args, const std::string& key = "model") {
+  const std::string spec = args.require(key);
+  Graph model = strings::ends_with(spec, ".pg") ? load_graph(spec)
+                                                : models::build_model(spec);
+  if (args.get("quantize").value_or("0") == "1") {
+    const QuantizeStats stats = quantize_to_qdq(model);
+    std::cout << "quantized to QDQ: " << stats.quantized_anchors
+              << " anchors, " << stats.int8_params << " int8 weight tensors\n";
+  }
+  return model;
+}
+
+ProfileOptions options_from(const Args& args) {
+  ProfileOptions opt;
+  opt.platform_id = args.require("platform");
+  const auto& desc = hw::PlatformRegistry::instance().get(opt.platform_id);
+  if (const auto dtype = args.get("dtype")) {
+    opt.dtype = dtype_from_name(*dtype);
+  } else {
+    opt.dtype = desc.supports(DType::kF16) ? DType::kF16 : DType::kF32;
+  }
+  if (const auto backend = args.get("backend")) {
+    opt.backend_id = *backend;
+  }
+  if (const auto batch = args.get("batch")) {
+    opt.batch = strings::parse_int(*batch);
+  }
+  if (const auto mode = args.get("mode")) {
+    if (*mode == "predicted") {
+      opt.mode = MetricMode::kPredicted;
+    } else if (*mode == "measured") {
+      opt.mode = MetricMode::kMeasured;
+    } else if (*mode == "auto") {
+      opt.mode = MetricMode::kAuto;
+    } else {
+      usage("unknown mode '" + *mode + "'");
+    }
+  } else {
+    opt.mode = MetricMode::kAuto;
+  }
+  if (const auto gpu = args.get("gpu-mhz")) {
+    opt.clocks.gpu_mhz = strings::parse_double(*gpu);
+  }
+  if (const auto mem = args.get("mem-mhz")) {
+    opt.clocks.mem_mhz = strings::parse_double(*mem);
+  }
+  return opt;
+}
+
+int cmd_list(const Args& args) {
+  const std::string what =
+      args.get("_pos0").value_or(args.get("what").value_or("models"));
+  if (what == "models") {
+    report::TextTable table({"#", "id", "display name", "type"});
+    for (const models::ModelSpec& spec : models::model_zoo()) {
+      table.add_row({std::to_string(spec.table3_index), spec.id, spec.display,
+                     spec.type});
+    }
+    for (const models::ModelSpec& spec : models::extended_model_zoo()) {
+      table.add_row({"-", spec.id, spec.display, spec.type});
+    }
+    std::cout << table.to_string();
+  } else if (what == "platforms") {
+    report::TextTable table({"id", "name", "scenario", "default runtime"});
+    for (const std::string& id : hw::paper_platform_ids()) {
+      const auto& p = hw::PlatformRegistry::instance().get(id);
+      table.add_row({p.id, p.name, p.scenario, p.runtime});
+    }
+    std::cout << table.to_string();
+  } else if (what == "backends") {
+    report::TextTable table({"id", "name"});
+    for (const std::string& id : backends::BackendRegistry::instance().ids()) {
+      table.add_row({id, backends::BackendRegistry::instance().get(id).name()});
+    }
+    std::cout << table.to_string();
+  } else {
+    usage("unknown list target '" + what + "'");
+  }
+  return 0;
+}
+
+void write_layer_csv(const ProfileReport& r, const std::string& path) {
+  report::CsvWriter csv({"backend_layer", "model_nodes", "class", "latency_ms",
+                         "share", "flops", "bytes", "ai", "attained_flops",
+                         "attained_bw", "mapped_via"});
+  for (size_t i = 0; i < r.layers.size(); ++i) {
+    const LayerReport& layer = r.layers[i];
+    const roofline::Point& pt = r.roofline.layers[i];
+    csv.add_row({layer.backend_layer, strings::join(layer.model_nodes, ";"),
+                 std::string(op_class_name(layer.cls)),
+                 units::fixed(layer.latency_s * 1e3, 6),
+                 units::fixed(pt.latency_share, 6), units::fixed(layer.flops, 0),
+                 units::fixed(layer.bytes, 0),
+                 units::fixed(pt.arithmetic_intensity(), 4),
+                 units::fixed(pt.attained_flops(), 0),
+                 units::fixed(pt.attained_bandwidth(), 0),
+                 std::string(mapping::map_method_name(layer.method))});
+  }
+  csv.save(path);
+  std::cout << "wrote " << path << "\n";
+}
+
+int cmd_profile(const Args& args) {
+  const ProfileOptions opt = options_from(args);
+  const Graph model = load_model_arg(args);
+  const ProfileReport r = Profiler(opt).run(model);
+
+  std::cout << summary_text(r) << "\n";
+  const size_t rows =
+      static_cast<size_t>(strings::parse_int(args.get("layers").value_or("25")));
+  std::cout << layer_table_text(r, rows);
+  if (r.layers.size() > rows) {
+    std::cout << "... (" << r.layers.size() - rows
+              << " more layers; use --layers 0 for all or --csv)\n";
+  }
+
+  if (const auto svg = args.get("svg")) {
+    report::SvgOptions svg_opt;
+    svg_opt.title = r.model_name + " on " + r.platform_name;
+    report::save_svg(report::render_roofline_svg(r.roofline, svg_opt), *svg);
+    std::cout << "wrote " << *svg << "\n";
+  }
+  if (const auto html = args.get("html")) {
+    report::save_html(report::render_html_report(r), *html);
+    std::cout << "wrote " << *html << "\n";
+  }
+  if (const auto csv = args.get("csv")) {
+    write_layer_csv(r, *csv);
+  }
+  if (const auto json = args.get("json")) {
+    save_json(report_to_json(r), *json);
+    std::cout << "wrote " << *json << "\n";
+  }
+  if (const auto trace = args.get("trace")) {
+    save_chrome_trace(report_to_chrome_trace(r), *trace);
+    std::cout << "wrote " << *trace << " (open in chrome://tracing)\n";
+  }
+  return 0;
+}
+
+int cmd_peaks(const Args& args) {
+  const ProfileOptions opt = options_from(args);
+  const auto& platform = hw::PlatformRegistry::instance().get(opt.platform_id);
+  backends::BuildConfig config;
+  config.dtype = opt.dtype;
+  const std::string backend_id =
+      opt.backend_id.empty() ? platform.runtime : opt.backend_id;
+  const backends::Engine probe =
+      backends::BackendRegistry::instance().get(backend_id).build(
+          models::build_peak_probe(), config, platform);
+  const hw::PlatformState state(platform, opt.clocks);
+  const roofline::AchievedPeaks peaks = roofline::achieved_peaks(probe, state);
+  const double power = hw::PowerModel(state).power_w({1.0, 1.0});
+  std::cout << "platform: " << platform.name << "  (GPU "
+            << units::fixed(state.gpu_mhz(), 0) << " MHz, mem "
+            << units::fixed(state.mem_mhz(), 0) << " MHz, "
+            << dtype_name(opt.dtype) << ")\n";
+  std::cout << "theoretical: " << units::tflops(platform.matrix_peak(opt.dtype))
+            << " / " << units::gbps(platform.dram_bw) << "\n";
+  std::cout << "achieved:    " << units::tflops(peaks.flops) << " / "
+            << units::gbps(peaks.bw) << "\n";
+  std::cout << "full-load power: " << units::fixed(power, 1) << " W\n";
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const ProfileOptions opt = options_from(args);
+  const Profiler profiler(opt);
+  const ProfileReport baseline = profiler.run(load_model_arg(args));
+  const ProfileReport candidate =
+      profiler.run(load_model_arg(args, "model2"));
+  std::cout << "--- baseline ---\n" << summary_text(baseline) << "\n";
+  std::cout << "--- candidate ---\n" << summary_text(candidate) << "\n";
+  std::cout << "--- delta ---\n" << delta_text(compare_reports(baseline, candidate));
+  if (const auto html = args.get("html")) {
+    report::save_html(
+        report::render_html_report(
+            "PRoof comparison",
+            {{"baseline: " + baseline.model_name, &baseline},
+             {"candidate: " + candidate.model_name, &candidate}}),
+        *html);
+    std::cout << "wrote " << *html << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  ProfileOptions opt = options_from(args);
+  const Graph model = load_model_arg(args);
+  std::vector<int64_t> candidates;
+  if (const auto list = args.get("batches")) {
+    for (const auto& field : strings::split_trimmed(*list, ',')) {
+      candidates.push_back(strings::parse_int(field));
+    }
+  }
+  const BatchSweep sweep = sweep_batches(opt, model, candidates);
+  std::cout << sweep_text(sweep);
+  return 0;
+}
+
+int cmd_summarize(const Args& args) {
+  const Graph model = load_model_arg(args);
+  const size_t rows =
+      static_cast<size_t>(strings::parse_int(args.get("layers").value_or("0")));
+  std::cout << models::model_summary(model, rows);
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const ProfileOptions opt = options_from(args);
+  const Graph model = load_model_arg(args);
+  const ProfileReport r = Profiler(opt).run(model);
+  std::cout << stack_text(r, args.get("filter").value_or(""));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "list") {
+      return cmd_list(args);
+    }
+    if (args.command == "profile") {
+      return cmd_profile(args);
+    }
+    if (args.command == "peaks") {
+      return cmd_peaks(args);
+    }
+    if (args.command == "compare") {
+      return cmd_compare(args);
+    }
+    if (args.command == "sweep") {
+      return cmd_sweep(args);
+    }
+    if (args.command == "inspect") {
+      return cmd_inspect(args);
+    }
+    if (args.command == "summarize") {
+      return cmd_summarize(args);
+    }
+    usage("unknown command '" + args.command + "'");
+  } catch (const proof::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
