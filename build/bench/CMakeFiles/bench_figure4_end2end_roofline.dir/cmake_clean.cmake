@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_end2end_roofline.dir/bench_figure4_end2end_roofline.cpp.o"
+  "CMakeFiles/bench_figure4_end2end_roofline.dir/bench_figure4_end2end_roofline.cpp.o.d"
+  "bench_figure4_end2end_roofline"
+  "bench_figure4_end2end_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_end2end_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_layerwise_roofline.dir/bench_figure5_layerwise_roofline.cpp.o"
+  "CMakeFiles/bench_figure5_layerwise_roofline.dir/bench_figure5_layerwise_roofline.cpp.o.d"
+  "bench_figure5_layerwise_roofline"
+  "bench_figure5_layerwise_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_layerwise_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_shufflenet_layerwise.dir/bench_figure6_shufflenet_layerwise.cpp.o"
+  "CMakeFiles/bench_figure6_shufflenet_layerwise.dir/bench_figure6_shufflenet_layerwise.cpp.o.d"
+  "bench_figure6_shufflenet_layerwise"
+  "bench_figure6_shufflenet_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_shufflenet_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

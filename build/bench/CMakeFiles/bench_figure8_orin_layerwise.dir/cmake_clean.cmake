@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_orin_layerwise.dir/bench_figure8_orin_layerwise.cpp.o"
+  "CMakeFiles/bench_figure8_orin_layerwise.dir/bench_figure8_orin_layerwise.cpp.o.d"
+  "bench_figure8_orin_layerwise"
+  "bench_figure8_orin_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_orin_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

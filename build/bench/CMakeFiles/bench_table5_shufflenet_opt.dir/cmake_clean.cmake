@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_shufflenet_opt.dir/bench_table5_shufflenet_opt.cpp.o"
+  "CMakeFiles/bench_table5_shufflenet_opt.dir/bench_table5_shufflenet_opt.cpp.o.d"
+  "bench_table5_shufflenet_opt"
+  "bench_table5_shufflenet_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_shufflenet_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_clock_peaks.cpp" "bench/CMakeFiles/bench_table6_clock_peaks.dir/bench_table6_clock_peaks.cpp.o" "gcc" "bench/CMakeFiles/bench_table6_clock_peaks.dir/bench_table6_clock_peaks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/distributed/CMakeFiles/proof_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/proof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/proof_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/proof_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/proof_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/proof_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/proof_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/proof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/proof_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/proof_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proof_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/proof_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

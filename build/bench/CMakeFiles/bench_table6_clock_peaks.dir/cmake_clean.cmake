@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_clock_peaks.dir/bench_table6_clock_peaks.cpp.o"
+  "CMakeFiles/bench_table6_clock_peaks.dir/bench_table6_clock_peaks.cpp.o.d"
+  "bench_table6_clock_peaks"
+  "bench_table6_clock_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_clock_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataviewer_report.dir/dataviewer_report.cpp.o"
+  "CMakeFiles/dataviewer_report.dir/dataviewer_report.cpp.o.d"
+  "dataviewer_report"
+  "dataviewer_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataviewer_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

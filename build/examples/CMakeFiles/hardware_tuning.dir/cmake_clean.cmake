@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_tuning.dir/hardware_tuning.cpp.o"
+  "CMakeFiles/hardware_tuning.dir/hardware_tuning.cpp.o.d"
+  "hardware_tuning"
+  "hardware_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_design_opt.dir/model_design_opt.cpp.o"
+  "CMakeFiles/model_design_opt.dir/model_design_opt.cpp.o.d"
+  "model_design_opt"
+  "model_design_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_design_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("tensor")
+subdirs("graph")
+subdirs("ops")
+subdirs("analysis")
+subdirs("hw")
+subdirs("backends")
+subdirs("mapping")
+subdirs("roofline")
+subdirs("models")
+subdirs("report")
+subdirs("core")
+subdirs("distributed")

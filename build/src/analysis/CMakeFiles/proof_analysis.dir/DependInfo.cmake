@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyze_representation.cpp" "src/analysis/CMakeFiles/proof_analysis.dir/analyze_representation.cpp.o" "gcc" "src/analysis/CMakeFiles/proof_analysis.dir/analyze_representation.cpp.o.d"
+  "/root/repo/src/analysis/memory_footprint.cpp" "src/analysis/CMakeFiles/proof_analysis.dir/memory_footprint.cpp.o" "gcc" "src/analysis/CMakeFiles/proof_analysis.dir/memory_footprint.cpp.o.d"
+  "/root/repo/src/analysis/optimized_representation.cpp" "src/analysis/CMakeFiles/proof_analysis.dir/optimized_representation.cpp.o" "gcc" "src/analysis/CMakeFiles/proof_analysis.dir/optimized_representation.cpp.o.d"
+  "/root/repo/src/analysis/quantize.cpp" "src/analysis/CMakeFiles/proof_analysis.dir/quantize.cpp.o" "gcc" "src/analysis/CMakeFiles/proof_analysis.dir/quantize.cpp.o.d"
+  "/root/repo/src/analysis/reference_executor.cpp" "src/analysis/CMakeFiles/proof_analysis.dir/reference_executor.cpp.o" "gcc" "src/analysis/CMakeFiles/proof_analysis.dir/reference_executor.cpp.o.d"
+  "/root/repo/src/analysis/shape_inference.cpp" "src/analysis/CMakeFiles/proof_analysis.dir/shape_inference.cpp.o" "gcc" "src/analysis/CMakeFiles/proof_analysis.dir/shape_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/proof_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proof_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proof_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/proof_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

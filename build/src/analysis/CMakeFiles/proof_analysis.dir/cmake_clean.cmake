@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_analysis.dir/analyze_representation.cpp.o"
+  "CMakeFiles/proof_analysis.dir/analyze_representation.cpp.o.d"
+  "CMakeFiles/proof_analysis.dir/memory_footprint.cpp.o"
+  "CMakeFiles/proof_analysis.dir/memory_footprint.cpp.o.d"
+  "CMakeFiles/proof_analysis.dir/optimized_representation.cpp.o"
+  "CMakeFiles/proof_analysis.dir/optimized_representation.cpp.o.d"
+  "CMakeFiles/proof_analysis.dir/quantize.cpp.o"
+  "CMakeFiles/proof_analysis.dir/quantize.cpp.o.d"
+  "CMakeFiles/proof_analysis.dir/reference_executor.cpp.o"
+  "CMakeFiles/proof_analysis.dir/reference_executor.cpp.o.d"
+  "CMakeFiles/proof_analysis.dir/shape_inference.cpp.o"
+  "CMakeFiles/proof_analysis.dir/shape_inference.cpp.o.d"
+  "libproof_analysis.a"
+  "libproof_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

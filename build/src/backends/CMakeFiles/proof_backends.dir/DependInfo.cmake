@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/backend.cpp" "src/backends/CMakeFiles/proof_backends.dir/backend.cpp.o" "gcc" "src/backends/CMakeFiles/proof_backends.dir/backend.cpp.o.d"
+  "/root/repo/src/backends/fusion.cpp" "src/backends/CMakeFiles/proof_backends.dir/fusion.cpp.o" "gcc" "src/backends/CMakeFiles/proof_backends.dir/fusion.cpp.o.d"
+  "/root/repo/src/backends/lowering.cpp" "src/backends/CMakeFiles/proof_backends.dir/lowering.cpp.o" "gcc" "src/backends/CMakeFiles/proof_backends.dir/lowering.cpp.o.d"
+  "/root/repo/src/backends/ort_sim.cpp" "src/backends/CMakeFiles/proof_backends.dir/ort_sim.cpp.o" "gcc" "src/backends/CMakeFiles/proof_backends.dir/ort_sim.cpp.o.d"
+  "/root/repo/src/backends/ov_sim.cpp" "src/backends/CMakeFiles/proof_backends.dir/ov_sim.cpp.o" "gcc" "src/backends/CMakeFiles/proof_backends.dir/ov_sim.cpp.o.d"
+  "/root/repo/src/backends/prepare.cpp" "src/backends/CMakeFiles/proof_backends.dir/prepare.cpp.o" "gcc" "src/backends/CMakeFiles/proof_backends.dir/prepare.cpp.o.d"
+  "/root/repo/src/backends/trt_sim.cpp" "src/backends/CMakeFiles/proof_backends.dir/trt_sim.cpp.o" "gcc" "src/backends/CMakeFiles/proof_backends.dir/trt_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/proof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/proof_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/proof_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proof_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proof_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/proof_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

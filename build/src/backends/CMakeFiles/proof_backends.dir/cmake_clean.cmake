@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_backends.dir/backend.cpp.o"
+  "CMakeFiles/proof_backends.dir/backend.cpp.o.d"
+  "CMakeFiles/proof_backends.dir/fusion.cpp.o"
+  "CMakeFiles/proof_backends.dir/fusion.cpp.o.d"
+  "CMakeFiles/proof_backends.dir/lowering.cpp.o"
+  "CMakeFiles/proof_backends.dir/lowering.cpp.o.d"
+  "CMakeFiles/proof_backends.dir/ort_sim.cpp.o"
+  "CMakeFiles/proof_backends.dir/ort_sim.cpp.o.d"
+  "CMakeFiles/proof_backends.dir/ov_sim.cpp.o"
+  "CMakeFiles/proof_backends.dir/ov_sim.cpp.o.d"
+  "CMakeFiles/proof_backends.dir/prepare.cpp.o"
+  "CMakeFiles/proof_backends.dir/prepare.cpp.o.d"
+  "CMakeFiles/proof_backends.dir/trt_sim.cpp.o"
+  "CMakeFiles/proof_backends.dir/trt_sim.cpp.o.d"
+  "libproof_backends.a"
+  "libproof_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

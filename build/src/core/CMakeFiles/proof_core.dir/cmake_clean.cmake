@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_core.dir/chrome_trace.cpp.o"
+  "CMakeFiles/proof_core.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/proof_core.dir/compare.cpp.o"
+  "CMakeFiles/proof_core.dir/compare.cpp.o.d"
+  "CMakeFiles/proof_core.dir/html_report.cpp.o"
+  "CMakeFiles/proof_core.dir/html_report.cpp.o.d"
+  "CMakeFiles/proof_core.dir/profiler.cpp.o"
+  "CMakeFiles/proof_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/proof_core.dir/report_json.cpp.o"
+  "CMakeFiles/proof_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/proof_core.dir/report_text.cpp.o"
+  "CMakeFiles/proof_core.dir/report_text.cpp.o.d"
+  "CMakeFiles/proof_core.dir/sweep.cpp.o"
+  "CMakeFiles/proof_core.dir/sweep.cpp.o.d"
+  "libproof_core.a"
+  "libproof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

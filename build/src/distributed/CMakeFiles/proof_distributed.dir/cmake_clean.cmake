@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_distributed.dir/parallel.cpp.o"
+  "CMakeFiles/proof_distributed.dir/parallel.cpp.o.d"
+  "libproof_distributed.a"
+  "libproof_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

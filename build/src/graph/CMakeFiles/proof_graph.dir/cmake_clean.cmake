@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_graph.dir/attributes.cpp.o"
+  "CMakeFiles/proof_graph.dir/attributes.cpp.o.d"
+  "CMakeFiles/proof_graph.dir/graph.cpp.o"
+  "CMakeFiles/proof_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/proof_graph.dir/serialize.cpp.o"
+  "CMakeFiles/proof_graph.dir/serialize.cpp.o.d"
+  "libproof_graph.a"
+  "libproof_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

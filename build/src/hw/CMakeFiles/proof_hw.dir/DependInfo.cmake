@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/counters.cpp" "src/hw/CMakeFiles/proof_hw.dir/counters.cpp.o" "gcc" "src/hw/CMakeFiles/proof_hw.dir/counters.cpp.o.d"
+  "/root/repo/src/hw/hardware_flops.cpp" "src/hw/CMakeFiles/proof_hw.dir/hardware_flops.cpp.o" "gcc" "src/hw/CMakeFiles/proof_hw.dir/hardware_flops.cpp.o.d"
+  "/root/repo/src/hw/latency_model.cpp" "src/hw/CMakeFiles/proof_hw.dir/latency_model.cpp.o" "gcc" "src/hw/CMakeFiles/proof_hw.dir/latency_model.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/hw/CMakeFiles/proof_hw.dir/platform.cpp.o" "gcc" "src/hw/CMakeFiles/proof_hw.dir/platform.cpp.o.d"
+  "/root/repo/src/hw/power.cpp" "src/hw/CMakeFiles/proof_hw.dir/power.cpp.o" "gcc" "src/hw/CMakeFiles/proof_hw.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/proof_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proof_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proof_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/proof_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_hw.dir/counters.cpp.o"
+  "CMakeFiles/proof_hw.dir/counters.cpp.o.d"
+  "CMakeFiles/proof_hw.dir/hardware_flops.cpp.o"
+  "CMakeFiles/proof_hw.dir/hardware_flops.cpp.o.d"
+  "CMakeFiles/proof_hw.dir/latency_model.cpp.o"
+  "CMakeFiles/proof_hw.dir/latency_model.cpp.o.d"
+  "CMakeFiles/proof_hw.dir/platform.cpp.o"
+  "CMakeFiles/proof_hw.dir/platform.cpp.o.d"
+  "CMakeFiles/proof_hw.dir/power.cpp.o"
+  "CMakeFiles/proof_hw.dir/power.cpp.o.d"
+  "libproof_hw.a"
+  "libproof_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_mapping.dir/layer_mapping.cpp.o"
+  "CMakeFiles/proof_mapping.dir/layer_mapping.cpp.o.d"
+  "CMakeFiles/proof_mapping.dir/stack_mapping.cpp.o"
+  "CMakeFiles/proof_mapping.dir/stack_mapping.cpp.o.d"
+  "libproof_mapping.a"
+  "libproof_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_models.dir/builder.cpp.o"
+  "CMakeFiles/proof_models.dir/builder.cpp.o.d"
+  "CMakeFiles/proof_models.dir/summary.cpp.o"
+  "CMakeFiles/proof_models.dir/summary.cpp.o.d"
+  "CMakeFiles/proof_models.dir/zoo.cpp.o"
+  "CMakeFiles/proof_models.dir/zoo.cpp.o.d"
+  "CMakeFiles/proof_models.dir/zoo_cnn.cpp.o"
+  "CMakeFiles/proof_models.dir/zoo_cnn.cpp.o.d"
+  "CMakeFiles/proof_models.dir/zoo_diffusion.cpp.o"
+  "CMakeFiles/proof_models.dir/zoo_diffusion.cpp.o.d"
+  "CMakeFiles/proof_models.dir/zoo_extra.cpp.o"
+  "CMakeFiles/proof_models.dir/zoo_extra.cpp.o.d"
+  "CMakeFiles/proof_models.dir/zoo_transformer.cpp.o"
+  "CMakeFiles/proof_models.dir/zoo_transformer.cpp.o.d"
+  "libproof_models.a"
+  "libproof_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/op_def.cpp" "src/ops/CMakeFiles/proof_ops.dir/op_def.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/op_def.cpp.o.d"
+  "/root/repo/src/ops/ops_conv.cpp" "src/ops/CMakeFiles/proof_ops.dir/ops_conv.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/ops_conv.cpp.o.d"
+  "/root/repo/src/ops/ops_elementwise.cpp" "src/ops/CMakeFiles/proof_ops.dir/ops_elementwise.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/ops_elementwise.cpp.o.d"
+  "/root/repo/src/ops/ops_extended.cpp" "src/ops/CMakeFiles/proof_ops.dir/ops_extended.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/ops_extended.cpp.o.d"
+  "/root/repo/src/ops/ops_gemm.cpp" "src/ops/CMakeFiles/proof_ops.dir/ops_gemm.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/ops_gemm.cpp.o.d"
+  "/root/repo/src/ops/ops_norm.cpp" "src/ops/CMakeFiles/proof_ops.dir/ops_norm.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/ops_norm.cpp.o.d"
+  "/root/repo/src/ops/ops_quant.cpp" "src/ops/CMakeFiles/proof_ops.dir/ops_quant.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/ops_quant.cpp.o.d"
+  "/root/repo/src/ops/ops_shape.cpp" "src/ops/CMakeFiles/proof_ops.dir/ops_shape.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/ops_shape.cpp.o.d"
+  "/root/repo/src/ops/register_ops.cpp" "src/ops/CMakeFiles/proof_ops.dir/register_ops.cpp.o" "gcc" "src/ops/CMakeFiles/proof_ops.dir/register_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/proof_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/proof_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_ops.dir/op_def.cpp.o"
+  "CMakeFiles/proof_ops.dir/op_def.cpp.o.d"
+  "CMakeFiles/proof_ops.dir/ops_conv.cpp.o"
+  "CMakeFiles/proof_ops.dir/ops_conv.cpp.o.d"
+  "CMakeFiles/proof_ops.dir/ops_elementwise.cpp.o"
+  "CMakeFiles/proof_ops.dir/ops_elementwise.cpp.o.d"
+  "CMakeFiles/proof_ops.dir/ops_extended.cpp.o"
+  "CMakeFiles/proof_ops.dir/ops_extended.cpp.o.d"
+  "CMakeFiles/proof_ops.dir/ops_gemm.cpp.o"
+  "CMakeFiles/proof_ops.dir/ops_gemm.cpp.o.d"
+  "CMakeFiles/proof_ops.dir/ops_norm.cpp.o"
+  "CMakeFiles/proof_ops.dir/ops_norm.cpp.o.d"
+  "CMakeFiles/proof_ops.dir/ops_quant.cpp.o"
+  "CMakeFiles/proof_ops.dir/ops_quant.cpp.o.d"
+  "CMakeFiles/proof_ops.dir/ops_shape.cpp.o"
+  "CMakeFiles/proof_ops.dir/ops_shape.cpp.o.d"
+  "CMakeFiles/proof_ops.dir/register_ops.cpp.o"
+  "CMakeFiles/proof_ops.dir/register_ops.cpp.o.d"
+  "libproof_ops.a"
+  "libproof_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libproof_ops.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/csv.cpp" "src/report/CMakeFiles/proof_report.dir/csv.cpp.o" "gcc" "src/report/CMakeFiles/proof_report.dir/csv.cpp.o.d"
+  "/root/repo/src/report/svg_roofline.cpp" "src/report/CMakeFiles/proof_report.dir/svg_roofline.cpp.o" "gcc" "src/report/CMakeFiles/proof_report.dir/svg_roofline.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/report/CMakeFiles/proof_report.dir/table.cpp.o" "gcc" "src/report/CMakeFiles/proof_report.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roofline/CMakeFiles/proof_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proof_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/proof_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/proof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/proof_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/proof_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proof_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/proof_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_report.dir/csv.cpp.o"
+  "CMakeFiles/proof_report.dir/csv.cpp.o.d"
+  "CMakeFiles/proof_report.dir/svg_roofline.cpp.o"
+  "CMakeFiles/proof_report.dir/svg_roofline.cpp.o.d"
+  "CMakeFiles/proof_report.dir/table.cpp.o"
+  "CMakeFiles/proof_report.dir/table.cpp.o.d"
+  "libproof_report.a"
+  "libproof_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_roofline.dir/peak_test.cpp.o"
+  "CMakeFiles/proof_roofline.dir/peak_test.cpp.o.d"
+  "CMakeFiles/proof_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/proof_roofline.dir/roofline.cpp.o.d"
+  "libproof_roofline.a"
+  "libproof_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_support.dir/error.cpp.o"
+  "CMakeFiles/proof_support.dir/error.cpp.o.d"
+  "CMakeFiles/proof_support.dir/rng.cpp.o"
+  "CMakeFiles/proof_support.dir/rng.cpp.o.d"
+  "CMakeFiles/proof_support.dir/strings.cpp.o"
+  "CMakeFiles/proof_support.dir/strings.cpp.o.d"
+  "CMakeFiles/proof_support.dir/units.cpp.o"
+  "CMakeFiles/proof_support.dir/units.cpp.o.d"
+  "libproof_support.a"
+  "libproof_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

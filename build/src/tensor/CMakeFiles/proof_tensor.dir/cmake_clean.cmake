@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_tensor.dir/dtype.cpp.o"
+  "CMakeFiles/proof_tensor.dir/dtype.cpp.o.d"
+  "CMakeFiles/proof_tensor.dir/shape.cpp.o"
+  "CMakeFiles/proof_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/proof_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/proof_tensor.dir/tensor.cpp.o.d"
+  "libproof_tensor.a"
+  "libproof_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

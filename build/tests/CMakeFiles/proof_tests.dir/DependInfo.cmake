@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/proof_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_backends.cpp" "tests/CMakeFiles/proof_tests.dir/test_backends.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_backends.cpp.o.d"
+  "/root/repo/tests/test_case_studies.cpp" "tests/CMakeFiles/proof_tests.dir/test_case_studies.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_case_studies.cpp.o.d"
+  "/root/repo/tests/test_compare.cpp" "tests/CMakeFiles/proof_tests.dir/test_compare.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_compare.cpp.o.d"
+  "/root/repo/tests/test_counters.cpp" "tests/CMakeFiles/proof_tests.dir/test_counters.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_counters.cpp.o.d"
+  "/root/repo/tests/test_distributed.cpp" "tests/CMakeFiles/proof_tests.dir/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_distributed.cpp.o.d"
+  "/root/repo/tests/test_full_zoo_sweep.cpp" "tests/CMakeFiles/proof_tests.dir/test_full_zoo_sweep.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_full_zoo_sweep.cpp.o.d"
+  "/root/repo/tests/test_fusion.cpp" "tests/CMakeFiles/proof_tests.dir/test_fusion.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_fusion.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/proof_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_html_report.cpp" "tests/CMakeFiles/proof_tests.dir/test_html_report.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_html_report.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/proof_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_mapping.cpp" "tests/CMakeFiles/proof_tests.dir/test_mapping.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_mapping.cpp.o.d"
+  "/root/repo/tests/test_models_zoo.cpp" "tests/CMakeFiles/proof_tests.dir/test_models_zoo.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_models_zoo.cpp.o.d"
+  "/root/repo/tests/test_op_conformance.cpp" "tests/CMakeFiles/proof_tests.dir/test_op_conformance.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_op_conformance.cpp.o.d"
+  "/root/repo/tests/test_ops_extended.cpp" "tests/CMakeFiles/proof_tests.dir/test_ops_extended.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_ops_extended.cpp.o.d"
+  "/root/repo/tests/test_ops_flops.cpp" "tests/CMakeFiles/proof_tests.dir/test_ops_flops.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_ops_flops.cpp.o.d"
+  "/root/repo/tests/test_ops_memory.cpp" "tests/CMakeFiles/proof_tests.dir/test_ops_memory.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_ops_memory.cpp.o.d"
+  "/root/repo/tests/test_ops_reference.cpp" "tests/CMakeFiles/proof_tests.dir/test_ops_reference.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_ops_reference.cpp.o.d"
+  "/root/repo/tests/test_ops_shapes.cpp" "tests/CMakeFiles/proof_tests.dir/test_ops_shapes.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_ops_shapes.cpp.o.d"
+  "/root/repo/tests/test_optimized_representation.cpp" "tests/CMakeFiles/proof_tests.dir/test_optimized_representation.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_optimized_representation.cpp.o.d"
+  "/root/repo/tests/test_platform_properties.cpp" "tests/CMakeFiles/proof_tests.dir/test_platform_properties.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_platform_properties.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/proof_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_quantize.cpp" "tests/CMakeFiles/proof_tests.dir/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_quantize.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/proof_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_report_json.cpp" "tests/CMakeFiles/proof_tests.dir/test_report_json.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_report_json.cpp.o.d"
+  "/root/repo/tests/test_roofline.cpp" "tests/CMakeFiles/proof_tests.dir/test_roofline.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_roofline.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/proof_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_serialize_fuzz.cpp" "tests/CMakeFiles/proof_tests.dir/test_serialize_fuzz.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_serialize_fuzz.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/proof_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_sweep_and_stack.cpp" "tests/CMakeFiles/proof_tests.dir/test_sweep_and_stack.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_sweep_and_stack.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/proof_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_trace_and_summary.cpp" "tests/CMakeFiles/proof_tests.dir/test_trace_and_summary.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_trace_and_summary.cpp.o.d"
+  "/root/repo/tests/test_zoo_extra.cpp" "tests/CMakeFiles/proof_tests.dir/test_zoo_extra.cpp.o" "gcc" "tests/CMakeFiles/proof_tests.dir/test_zoo_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/distributed/CMakeFiles/proof_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/proof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/proof_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/proof_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/proof_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/proof_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/proof_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/proof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/proof_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/proof_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proof_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/proof_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_cli.dir/proof_cli.cpp.o"
+  "CMakeFiles/proof_cli.dir/proof_cli.cpp.o.d"
+  "proof"
+  "proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

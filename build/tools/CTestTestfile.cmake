@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list_models "/root/repo/build/tools/proof" "list" "models")
+set_tests_properties(cli_list_models PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list_platforms "/root/repo/build/tools/proof" "list" "platforms")
+set_tests_properties(cli_list_platforms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build/tools/proof" "profile" "--model" "resnet34" "--platform" "a100" "--batch" "8" "--mode" "predicted" "--layers" "5")
+set_tests_properties(cli_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile_quantized "/root/repo/build/tools/proof" "profile" "--model" "resnet34" "--platform" "a100" "--batch" "8" "--mode" "predicted" "--quantize" "1" "--layers" "5")
+set_tests_properties(cli_profile_quantized PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_peaks "/root/repo/build/tools/proof" "peaks" "--platform" "orin_nx16" "--gpu-mhz" "612" "--mem-mhz" "2133")
+set_tests_properties(cli_peaks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/tools/proof" "compare" "--model" "shufflenetv2_10" "--model2" "shufflenetv2_10_mod" "--platform" "a100" "--batch" "128" "--mode" "predicted")
+set_tests_properties(cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/proof" "sweep" "--model" "mobilenetv2_05" "--platform" "a100" "--batches" "1,16" "--mode" "predicted")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_inspect "/root/repo/build/tools/proof" "inspect" "--model" "vit_tiny" "--platform" "a100" "--batch" "2" "--filter" "MatMul" "--mode" "predicted")
+set_tests_properties(cli_inspect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_command "/root/repo/build/tools/proof" "bogus")
+set_tests_properties(cli_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_model "/root/repo/build/tools/proof" "profile" "--model" "nope" "--platform" "a100")
+set_tests_properties(cli_unknown_model PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
