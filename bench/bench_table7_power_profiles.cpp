@@ -70,29 +70,29 @@ int main() {
                "   row #2 tracks row #7 rather than the paper's degraded 514.5 ms)\n";
 
   // The §4.6 search procedure itself: EMC fixed at 2133 (from the Figure-8
-  // ceiling analysis), binary-search the GPU clock under 15 W.
-  bench::banner("§4.6 GPU-clock binary search under the 15 W budget (EMC 2133)");
-  const auto& orin = hw::PlatformRegistry::instance().get("orin_nx16");
-  const auto& steps = orin.gpu_clock.available_mhz;
-  size_t lo = 0;
-  size_t hi = steps.size() - 1;
-  int evaluations = 0;
-  while (lo < hi) {
-    const size_t mid = (lo + hi + 1) / 2;
-    const ProfileReport r = run_profile(steps[mid], 2133, {729, 0});
-    ++evaluations;
-    std::cout << "  try GPU " << units::fixed(steps[mid], 0) << " MHz -> "
-              << units::fixed(r.power_w, 1) << " W, "
-              << units::fixed(r.total_latency_s * 1e3, 1) << " ms\n";
-    if (r.power_w <= 15.0) {
-      lo = mid;
-    } else {
-      hi = mid - 1;
-    }
+  // ceiling analysis), then find the fastest GPU clock under 15 W.  The
+  // paper binary-searches serially; search_gpu_clock_under_power evaluates
+  // the candidate steps concurrently over the thread pool instead.
+  bench::banner("§4.6 GPU-clock search under the 15 W budget (EMC 2133)");
+  ProfileOptions search_opt;
+  search_opt.platform_id = "orin_nx16";
+  search_opt.dtype = DType::kF16;
+  search_opt.batch = 128;
+  search_opt.mode = MetricMode::kPredicted;
+  search_opt.clocks.mem_mhz = 2133;
+  search_opt.clocks.cpu_cluster_mhz = {729, 0};
+  const Graph effnet = models::build_model("efficientnetv2_t");
+  ClockSweep trace;
+  const double selected =
+      search_gpu_clock_under_power(search_opt, effnet, 15.0, &trace);
+  for (const ClockPoint& p : trace.points) {
+    std::cout << "  GPU " << units::fixed(p.gpu_mhz, 0) << " MHz -> "
+              << units::fixed(p.power_w, 1) << " W, "
+              << units::fixed(p.latency_s * 1e3, 1) << " ms\n";
   }
-  const ProfileReport best = run_profile(steps[lo], 2133, {729, 0});
-  std::cout << "selected GPU clock: " << units::fixed(steps[lo], 0) << " MHz ("
-            << evaluations << " evaluations) -> "
+  const ProfileReport best = run_profile(selected, 2133, {729, 0});
+  std::cout << "selected GPU clock: " << units::fixed(selected, 0) << " MHz ("
+            << trace.points.size() << " candidate steps evaluated) -> "
             << units::fixed(best.total_latency_s * 1e3, 1) << " ms at "
             << units::fixed(best.power_w, 1)
             << " W (paper: 612 MHz, 320.1 ms, 14.7 W)\n";

@@ -33,6 +33,7 @@
 #include "analysis/quantize.hpp"
 #include "analysis/shape_inference.hpp"
 #include "backends/backend.hpp"
+#include "core/prep_cache.hpp"
 #include "core/profiler.hpp"
 #include "core/chrome_trace.hpp"
 #include "core/compare.hpp"
@@ -61,4 +62,5 @@
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 #include "support/units.hpp"

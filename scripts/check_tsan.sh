@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the suite with ThreadSanitizer (-DPROOF_SANITIZE=thread) into
+# build-tsan/ and runs the concurrency-sensitive tests: the thread pool, the
+# parallel-sweep determinism suite and the preparation cache.  Any data race
+# in the pool, the cache's shared PreparedEngine entries or the graphs' lazy
+# index maps fails the run.
+#
+# Usage: scripts/check_tsan.sh [extra gtest filter]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPROOF_SANITIZE=thread \
+  -DPROOF_BUILD_BENCH=OFF \
+  -DPROOF_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target proof_tests
+
+# halt_on_error: fail fast on the first race report.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "$BUILD_DIR/tests/proof_tests" --gtest_filter="$FILTER"
+
+echo "TSan clean: $FILTER"

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "backends/builtin.hpp"
+#include "backends/prepare.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -54,6 +55,13 @@ std::vector<hw::KernelWork> Engine::all_kernels() const {
     out.insert(out.end(), layer.kernels.begin(), layer.kernels.end());
   }
   return out;
+}
+
+Engine Backend::build(const Graph& model, const BuildConfig& config,
+                      const hw::PlatformDesc& platform) const {
+  Graph prepared = prepare_model(model, config, platform);
+  const BuildPlan p = plan(prepared);
+  return lower(std::move(prepared), p, config, platform);
 }
 
 namespace {

@@ -82,6 +82,17 @@ class Engine {
   BuildConfig config_;
 };
 
+/// Batch-independent half of a backend build: the fused-group structure the
+/// backend's graph passes decide.  Fusion decisions are purely structural
+/// (node names, op types, dataflow), so one plan serves every batch size of a
+/// (model, backend, platform, dtype) combination — this is what the
+/// preparation cache memoizes (see core/prep_cache.hpp).  Node ids refer to
+/// the prepared graph, which preserves the source model's node ordering.
+struct BuildPlan {
+  std::vector<std::vector<NodeId>> groups;  ///< fused groups in layer order
+  std::vector<uint8_t> opaque;              ///< parallel: Myelin-style region?
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -92,8 +103,22 @@ class Backend {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Optimizes + lowers `model` for `platform`.  Throws ConfigError when the
-  /// dtype is unsupported by the platform.
-  [[nodiscard]] virtual Engine build(const Graph& model, const BuildConfig& config,
+  /// dtype is unsupported by the platform.  Equivalent to
+  /// `lower(prepare, plan(prepare), ...)`; callers holding a memoized plan
+  /// use the two-phase form directly.
+  [[nodiscard]] Engine build(const Graph& model, const BuildConfig& config,
+                             const hw::PlatformDesc& platform) const;
+
+  /// Phase 1 — graph optimization: runs the backend's fusion passes over a
+  /// prepared graph (see prepare_model) and returns the group structure.
+  /// Batch-independent: the same plan is valid for every batch size.
+  [[nodiscard]] virtual BuildPlan plan(const Graph& prepared) const = 0;
+
+  /// Phase 2 — lowering: turns a prepared graph plus a plan into an Engine
+  /// with per-layer kernels.  Kernel work sizes are shape-dependent and are
+  /// always computed from `prepared`'s actual tensor shapes.
+  [[nodiscard]] virtual Engine lower(Graph prepared, const BuildPlan& plan,
+                                     const BuildConfig& config,
                                      const hw::PlatformDesc& platform) const = 0;
 };
 

@@ -36,10 +36,7 @@ class OrtSimBackend final : public Backend {
   [[nodiscard]] std::string id() const override { return "ort_sim"; }
   [[nodiscard]] std::string name() const override { return "ONNXRuntime-sim 1.15"; }
 
-  [[nodiscard]] Engine build(const Graph& model, const BuildConfig& config,
-                             const hw::PlatformDesc& platform) const override {
-    Graph g = prepare_model(model, config, platform);
-
+  [[nodiscard]] BuildPlan plan(const Graph& g) const override {
     FusionState state(g);
     absorb_qdq_ops(state);  // int8 QDQ models fold into int8 kernels
     EpilogueOptions epilogue;
@@ -48,13 +45,22 @@ class OrtSimBackend final : public Backend {
     epilogue.fuse_residual_add = false;
     fuse_conv_epilogues(state, epilogue);
 
+    BuildPlan plan;
+    plan.groups = state.groups();
+    plan.opaque.assign(plan.groups.size(), 0);
+    return plan;
+  }
+
+  [[nodiscard]] Engine lower(Graph g, const BuildPlan& plan,
+                             const BuildConfig& config,
+                             const hw::PlatformDesc& platform) const override {
     LoweringOptions lowering;
     lowering.arch = platform.arch;
     lowering.split_regions_at_anchors = false;
 
     // First pass: which tensors cross a layout boundary (produced outside any
     // conv group, consumed by one)?  Graph inputs feeding convs also qualify.
-    const std::vector<std::vector<NodeId>> groups = state.groups();
+    const std::vector<std::vector<NodeId>>& groups = plan.groups;
     std::map<std::string, bool> produced_by_conv;
     for (const std::vector<NodeId>& members : groups) {
       const bool conv = group_is_conv(g, members);

@@ -24,10 +24,7 @@ class OvSimBackend final : public Backend {
   [[nodiscard]] std::string id() const override { return "ov_sim"; }
   [[nodiscard]] std::string name() const override { return "OpenVINO-sim 2024.0"; }
 
-  [[nodiscard]] Engine build(const Graph& model, const BuildConfig& config,
-                             const hw::PlatformDesc& platform) const override {
-    Graph g = prepare_model(model, config, platform);
-
+  [[nodiscard]] BuildPlan plan(const Graph& g) const override {
     FusionState state(g);
     absorb_qdq_ops(state);  // int8 QDQ models fold into int8 kernels
     EpilogueOptions epilogue;
@@ -38,6 +35,15 @@ class OvSimBackend final : public Backend {
     fuse_pointwise_chains(state, 6);
     absorb_view_ops(state);
 
+    BuildPlan plan;
+    plan.groups = state.groups();
+    plan.opaque.assign(plan.groups.size(), 0);
+    return plan;
+  }
+
+  [[nodiscard]] Engine lower(Graph g, const BuildPlan& plan,
+                             const BuildConfig& config,
+                             const hw::PlatformDesc& platform) const override {
     LoweringOptions lowering;
     lowering.arch = platform.arch;
     lowering.split_regions_at_anchors = false;
@@ -56,7 +62,7 @@ class OvSimBackend final : public Backend {
     }
 
     int index = 0;
-    for (const std::vector<NodeId>& members : state.groups()) {
+    for (const std::vector<NodeId>& members : plan.groups) {
       const std::string& anchor_type = g.node(members.front()).op_type;
       BackendLayer layer = lower_group(
           g, members, anchor_type + "_" + std::to_string(index++), false, lowering);

@@ -23,10 +23,7 @@ class TrtSimBackend final : public Backend {
   [[nodiscard]] std::string id() const override { return "trt_sim"; }
   [[nodiscard]] std::string name() const override { return "TensorRT-sim 8.6.1"; }
 
-  [[nodiscard]] Engine build(const Graph& model, const BuildConfig& config,
-                             const hw::PlatformDesc& platform) const override {
-    Graph g = prepare_model(model, config, platform);
-
+  [[nodiscard]] BuildPlan plan(const Graph& g) const override {
     FusionState state(g);
     absorb_qdq_ops(state);  // int8 QDQ models fold into int8 kernels
     EpilogueOptions epilogue;
@@ -43,6 +40,19 @@ class TrtSimBackend final : public Backend {
       region_roots.insert(state.group_of(rep));
     }
 
+    BuildPlan plan;
+    plan.groups = state.groups();
+    plan.opaque.reserve(plan.groups.size());
+    for (const std::vector<NodeId>& members : plan.groups) {
+      plan.opaque.push_back(
+          region_roots.count(state.group_of(members.front())) > 0 ? 1 : 0);
+    }
+    return plan;
+  }
+
+  [[nodiscard]] Engine lower(Graph g, const BuildPlan& plan,
+                             const BuildConfig& config,
+                             const hw::PlatformDesc& platform) const override {
     LoweringOptions lowering;
     lowering.arch = platform.arch;
     lowering.split_regions_at_anchors = true;
@@ -57,8 +67,9 @@ class TrtSimBackend final : public Backend {
             2.0 * static_cast<double>(desc.size_bytes()), desc.dtype));
       }
     }
-    for (const std::vector<NodeId>& members : state.groups()) {
-      const bool opaque = region_roots.count(state.group_of(members.front())) > 0;
+    for (size_t gi = 0; gi < plan.groups.size(); ++gi) {
+      const std::vector<NodeId>& members = plan.groups[gi];
+      const bool opaque = plan.opaque[gi] != 0;
       std::string name;
       if (opaque) {
         name = "{ForeignNode[" + g.node(members.front()).name + "..." +

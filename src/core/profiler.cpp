@@ -1,7 +1,6 @@
 #include "core/profiler.hpp"
 
-#include <chrono>
-
+#include "core/prep_cache.hpp"
 #include "hw/counters.hpp"
 #include "hw/platform.hpp"
 #include "mapping/stack_mapping.hpp"
@@ -9,16 +8,6 @@
 #include "support/error.hpp"
 
 namespace proof {
-
-namespace {
-
-double now_s() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 roofline::Point LayerReport::to_point() const {
   roofline::Point p;
@@ -54,20 +43,21 @@ ProfileReport Profiler::run(const Graph& model) const {
   report.options = options_;
   report.options.backend_id = backend_id;
 
-  // 1. Build the engine (backend graph optimization + lowering).
+  // 1+2. Engine build (backend graph optimization + lowering) and analysis
+  // representation + layer mapping, memoized across batches / clock settings
+  // by the preparation cache (uncached when disabled — identical results).
   backends::BuildConfig config;
   config.dtype = options_.dtype;
   config.batch = options_.batch;
-  const backends::Engine engine = backend.build(model, config, platform);
-
-  // 2. Analysis representation + layer mapping.
-  const double t0 = now_s();
-  const AnalyzeRepresentation ar(engine.analysis_graph());
-  OptimizedAnalyzeRepresentation oar(ar);
-  const mapping::LayerMapping layer_map = mapping::map_layers(engine, oar);
-  report.mapping_coverage = layer_map.node_coverage(ar.num_nodes());
-  report.unmapped_layers = layer_map.count(mapping::MapMethod::kUnmapped);
-  report.analysis_time_s = now_s() - t0;
+  const std::shared_ptr<const PreparedEngine> prep =
+      PrepCache::instance().get_or_prepare(model, backend, platform, config);
+  const backends::Engine& engine = prep->engine;
+  const AnalyzeRepresentation& ar = prep->ar;
+  const OptimizedAnalyzeRepresentation& oar = prep->oar;
+  const mapping::LayerMapping& layer_map = prep->mapping;
+  report.mapping_coverage = prep->mapping_coverage;
+  report.unmapped_layers = prep->unmapped_layers;
+  report.analysis_time_s = prep->analysis_time_s;
 
   // 3. Latency from the backend's built-in profiler.
   const hw::PlatformState state(platform, options_.clocks);

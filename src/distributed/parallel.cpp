@@ -8,6 +8,7 @@
 #include "hw/platform.hpp"
 #include "report/table.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 #include "support/units.hpp"
 
 namespace proof::distributed {
@@ -42,20 +43,16 @@ double crossing_bytes(const Graph& graph, const std::vector<LayerReport>& layers
   return bytes;
 }
 
-}  // namespace
-
-PipelineReport profile_pipeline(const Graph& model, const ProfileOptions& options,
-                                int num_stages, const InterconnectDesc& link,
-                                int microbatches) {
+/// Pipeline estimate from an already computed base profile; `deployed` is the
+/// model with batch/dtype applied (for crossing-tensor sizes).  Shared by
+/// profile_pipeline and the stage-count search so candidates reuse one run.
+PipelineReport pipeline_from_base(const ProfileReport& base,
+                                  const Graph& deployed, int num_stages,
+                                  const InterconnectDesc& link,
+                                  int microbatches) {
   PROOF_CHECK(num_stages >= 1, "need at least one stage");
   PROOF_CHECK(microbatches >= 1, "need at least one microbatch");
-  const ProfileReport base = Profiler(options).run(model);
   PROOF_CHECK(!base.layers.empty(), "model produced no layers");
-
-  // The deployed graph (batch/dtype applied) for crossing-tensor sizes.
-  Graph deployed = model;
-  set_batch_size(deployed, options.batch);
-  convert_float_dtype(deployed, options.dtype);
 
   // Greedy balanced contiguous partition by per-layer latency.
   const double target = base.total_latency_s / num_stages;
@@ -92,21 +89,28 @@ PipelineReport profile_pipeline(const Graph& model, const ProfileOptions& option
   out.bubble_fraction = (stages_d - 1.0) / (micro_d + stages_d - 1.0);
   const double effective_time = out.stage_time_s / (1.0 - out.bubble_fraction);
   out.steady_throughput_per_s =
-      static_cast<double>(options.batch) / effective_time;
+      static_cast<double>(base.options.batch) / effective_time;
   const double single_throughput = base.throughput_per_s();
   out.speedup_vs_single = out.steady_throughput_per_s / single_throughput;
   out.scaling_efficiency = out.speedup_vs_single / stages_d;
   return out;
 }
 
-TensorParallelReport profile_tensor_parallel(const Graph& model,
-                                             const ProfileOptions& options,
-                                             int ways,
-                                             const InterconnectDesc& link) {
-  PROOF_CHECK(ways >= 1, "need at least one device");
-  const ProfileReport base = Profiler(options).run(model);
-  const auto& platform = hw::PlatformRegistry::instance().get(options.platform_id);
+/// The model with the build batch/dtype applied, matching the engine's
+/// analysis graph tensor shapes.
+Graph deploy_graph(const Graph& model, const ProfileOptions& options) {
+  Graph deployed = model;
+  set_batch_size(deployed, options.batch);
+  convert_float_dtype(deployed, options.dtype);
+  return deployed;
+}
 
+/// Tensor-parallel estimate from an already computed base profile.
+TensorParallelReport tensor_parallel_from_base(const ProfileReport& base,
+                                               const hw::PlatformDesc& platform,
+                                               int ways,
+                                               const InterconnectDesc& link) {
+  PROOF_CHECK(ways >= 1, "need at least one device");
   TensorParallelReport out;
   out.ways = ways;
   const double n = static_cast<double>(ways);
@@ -140,6 +144,80 @@ TensorParallelReport profile_tensor_parallel(const Graph& model,
   out.speedup_vs_single = base.total_latency_s / out.total_latency_s;
   out.scaling_efficiency = out.speedup_vs_single / n;
   return out;
+}
+
+}  // namespace
+
+PipelineReport profile_pipeline(const Graph& model, const ProfileOptions& options,
+                                int num_stages, const InterconnectDesc& link,
+                                int microbatches) {
+  const ProfileReport base = Profiler(options).run(model);
+  return pipeline_from_base(base, deploy_graph(model, options), num_stages,
+                            link, microbatches);
+}
+
+TensorParallelReport profile_tensor_parallel(const Graph& model,
+                                             const ProfileOptions& options,
+                                             int ways,
+                                             const InterconnectDesc& link) {
+  const auto& platform = hw::PlatformRegistry::instance().get(options.platform_id);
+  const ProfileReport base = Profiler(options).run(model);
+  return tensor_parallel_from_base(base, platform, ways, link);
+}
+
+StageSearch search_pipeline_stages(const Graph& model,
+                                   const ProfileOptions& options,
+                                   const InterconnectDesc& link,
+                                   std::vector<int> stage_counts,
+                                   int microbatches) {
+  if (stage_counts.empty()) {
+    stage_counts = {1, 2, 3, 4, 5, 6, 7, 8};
+  }
+  const ProfileReport base = Profiler(options).run(model);
+  const Graph deployed = deploy_graph(model, options);
+  // Candidates share `deployed` read-only; materialize its lazy indices
+  // before the fan-out (crossing_bytes calls find_node/boundary).
+  if (deployed.num_nodes() > 0) {
+    (void)deployed.find_node(deployed.nodes().front().name);
+  }
+  StageSearch search;
+  search.reports = ThreadPool::global().parallel_map(
+      stage_counts.size(), [&](size_t i) {
+        return pipeline_from_base(base, deployed, stage_counts[i], link,
+                                  microbatches);
+      });
+  double best = -1.0;
+  for (size_t i = 0; i < search.reports.size(); ++i) {
+    if (search.reports[i].steady_throughput_per_s > best) {
+      best = search.reports[i].steady_throughput_per_s;
+      search.best_stages = stage_counts[i];
+    }
+  }
+  return search;
+}
+
+WaysSearch search_tensor_parallel_ways(const Graph& model,
+                                       const ProfileOptions& options,
+                                       const InterconnectDesc& link,
+                                       std::vector<int> ways) {
+  if (ways.empty()) {
+    ways = {1, 2, 3, 4, 5, 6, 7, 8};
+  }
+  const auto& platform = hw::PlatformRegistry::instance().get(options.platform_id);
+  const ProfileReport base = Profiler(options).run(model);
+  WaysSearch search;
+  search.reports = ThreadPool::global().parallel_map(ways.size(), [&](size_t i) {
+    return tensor_parallel_from_base(base, platform, ways[i], link);
+  });
+  double best_latency = 0.0;
+  for (size_t i = 0; i < search.reports.size(); ++i) {
+    if (search.best_ways == 0 ||
+        search.reports[i].total_latency_s < best_latency) {
+      best_latency = search.reports[i].total_latency_s;
+      search.best_ways = ways[i];
+    }
+  }
+  return search;
 }
 
 std::string pipeline_text(const PipelineReport& report) {

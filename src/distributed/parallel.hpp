@@ -75,6 +75,35 @@ struct TensorParallelReport {
     const Graph& model, const ProfileOptions& options, int ways,
     const InterconnectDesc& link);
 
+// --- configuration searches --------------------------------------------------
+//
+// Both searches profile the model ONCE and evaluate every candidate
+// configuration from that shared base profile, fanned out over the global
+// thread pool.  Results come back in candidate order regardless of --jobs.
+
+struct StageSearch {
+  std::vector<PipelineReport> reports;  ///< parallel to the stage_counts input
+  int best_stages = 0;                  ///< highest steady-state throughput
+};
+
+/// Evaluates pipeline parallelism at each stage count (default 1..8) and
+/// picks the count with the best steady-state throughput.
+[[nodiscard]] StageSearch search_pipeline_stages(
+    const Graph& model, const ProfileOptions& options,
+    const InterconnectDesc& link, std::vector<int> stage_counts = {},
+    int microbatches = 8);
+
+struct WaysSearch {
+  std::vector<TensorParallelReport> reports;  ///< parallel to the ways input
+  int best_ways = 0;                          ///< lowest total latency
+};
+
+/// Evaluates tensor parallelism at each device count (default 1..8) and
+/// picks the count with the lowest total latency.
+[[nodiscard]] WaysSearch search_tensor_parallel_ways(
+    const Graph& model, const ProfileOptions& options,
+    const InterconnectDesc& link, std::vector<int> ways = {});
+
 /// Text renderings.
 [[nodiscard]] std::string pipeline_text(const PipelineReport& report);
 [[nodiscard]] std::string tensor_parallel_text(const TensorParallelReport& report);

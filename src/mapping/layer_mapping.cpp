@@ -205,6 +205,48 @@ LayerMapping map_layers(const backends::Engine& engine,
   return mapping;
 }
 
+void apply_mapping(const backends::Engine& engine,
+                   OptimizedAnalyzeRepresentation& oar,
+                   const LayerMapping& mapping) {
+  const Graph& g = oar.base().graph();
+  if (mapping.entries.size() != engine.layers().size()) {
+    throw ModelError("apply_mapping: mapping has " +
+                     std::to_string(mapping.entries.size()) + " entries but engine has " +
+                     std::to_string(engine.layers().size()) + " layers");
+  }
+  for (size_t i = 0; i < mapping.entries.size(); ++i) {
+    const LayerMapEntry& entry = mapping.entries[i];
+    const backends::BackendLayer& layer = engine.layers()[i];
+    if (entry.backend_layer != layer.name) {
+      throw ModelError("apply_mapping: layer " + std::to_string(i) + " is '" +
+                       layer.name + "' but mapping expects '" +
+                       entry.backend_layer + "'");
+    }
+    if (layer.is_reorder) {
+      // Same alias registration map_layers performs for conversion layers.
+      if (layer.input_tensors.size() == 1 && layer.output_tensors.size() == 1 &&
+          layer.input_tensors[0] != layer.output_tensors[0]) {
+        oar.set_tensor_alias(layer.input_tensors[0], layer.output_tensors[0]);
+      }
+      continue;
+    }
+    if (entry.model_nodes.empty()) {
+      continue;  // was unmapped; stays unmapped
+    }
+    std::vector<NodeId> members;
+    members.reserve(entry.model_nodes.size());
+    for (const std::string& name : entry.model_nodes) {
+      const NodeId id = g.find_node(name);
+      if (id == kInvalidNode) {
+        throw ModelError("apply_mapping: model node '" + name +
+                         "' not present in this graph");
+      }
+      members.push_back(id);
+    }
+    oar.set_fused_op(layer.name, members);
+  }
+}
+
 size_t verify_against_truth(const LayerMapping& mapping,
                             const backends::Engine& engine) {
   PROOF_CHECK(mapping.entries.size() == engine.layers().size(),

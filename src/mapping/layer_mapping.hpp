@@ -57,6 +57,16 @@ struct LayerMapping {
 [[nodiscard]] LayerMapping map_layers(const backends::Engine& engine,
                                       OptimizedAnalyzeRepresentation& oar);
 
+/// Replays a previously computed mapping onto a fresh `oar`, applying the
+/// same alias registrations and `_FusedOp` groups without re-running the
+/// mapping search.  Valid whenever `engine` has the same layer structure the
+/// mapping was computed from — in particular any batch size of the same
+/// (model, backend, platform, dtype) build, which is what the preparation
+/// cache exploits.  Throws ModelError when the layer lists do not line up.
+void apply_mapping(const backends::Engine& engine,
+                   OptimizedAnalyzeRepresentation& oar,
+                   const LayerMapping& mapping);
+
 /// Test/diagnostic helper: compares a mapping against the engine's ground
 /// truth.  Returns the number of layers whose node set differs.
 [[nodiscard]] size_t verify_against_truth(const LayerMapping& mapping,

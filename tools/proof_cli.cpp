@@ -51,6 +51,8 @@ using namespace proof;
       "  --dtype <t>            fp32 fp16 bf16 int8 (default fp16/fp32)\n"
       "  --batch <n>            batch size (default 1)\n"
       "  --mode <m>             predicted | measured | auto (default auto)\n"
+      "  --jobs <n>             parallel profiling jobs for sweeps (default:\n"
+      "                         hardware concurrency; also via PROOF_JOBS)\n"
       "  --gpu-mhz <f>          GPU clock override (DVFS)\n"
       "  --mem-mhz <f>          memory clock override (DVFS)\n"
       "  --layers <n>           rows of the layer table to print (default 25)\n"
@@ -326,6 +328,13 @@ int cmd_inspect(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (const auto jobs = args.get("jobs")) {
+      const int64_t n = proof::strings::parse_int(*jobs);
+      if (n < 1) {
+        usage("--jobs needs a positive value");
+      }
+      proof::ThreadPool::set_global_jobs(static_cast<unsigned>(n));
+    }
     if (args.command == "list") {
       return cmd_list(args);
     }
