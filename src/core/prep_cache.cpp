@@ -1,0 +1,345 @@
+#include "core/prep_cache.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <tuple>
+#include <variant>
+
+#include "backends/prepare.hpp"
+#include "support/error.hpp"
+
+namespace proof {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- structural fingerprint --------------------------------------------------
+
+class Fnv {
+ public:
+  void mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<unsigned char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void mix(const std::string& s) {
+    mix(static_cast<uint64_t>(s.size()));
+    for (const char c : s) {
+      byte(static_cast<unsigned char>(c));
+    }
+  }
+  void mix(double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+  [[nodiscard]] uint64_t value() const { return hash_; }
+
+ private:
+  void byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 0x100000001B3ull;
+  }
+  uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+void mix_attrs(Fnv& fnv, const AttrMap& attrs) {
+  for (const auto& [key, value] : attrs.raw()) {
+    fnv.mix(key);
+    fnv.mix(static_cast<uint64_t>(value.index()));
+    if (const auto* i = std::get_if<int64_t>(&value)) {
+      fnv.mix(static_cast<uint64_t>(*i));
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      fnv.mix(*d);
+    } else if (const auto* s = std::get_if<std::string>(&value)) {
+      fnv.mix(*s);
+    } else if (const auto* is = std::get_if<std::vector<int64_t>>(&value)) {
+      fnv.mix(static_cast<uint64_t>(is->size()));
+      for (const int64_t v : *is) {
+        fnv.mix(static_cast<uint64_t>(v));
+      }
+    } else if (const auto* ds = std::get_if<std::vector<double>>(&value)) {
+      fnv.mix(static_cast<uint64_t>(ds->size()));
+      for (const double v : *ds) {
+        fnv.mix(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t graph_fingerprint(const Graph& model) {
+  Fnv fnv;
+  fnv.mix(model.name());
+  for (const std::string& in : model.inputs()) {
+    fnv.mix(in);
+  }
+  for (const std::string& out : model.outputs()) {
+    fnv.mix(out);
+  }
+  fnv.mix(static_cast<uint64_t>(model.num_nodes()));
+  for (const Node& node : model.nodes()) {
+    fnv.mix(node.name);
+    fnv.mix(node.op_type);
+    for (const std::string& t : node.inputs) {
+      fnv.mix(t);
+    }
+    for (const std::string& t : node.outputs) {
+      fnv.mix(t);
+    }
+    mix_attrs(fnv, node.attrs);
+  }
+  for (const auto& [name, desc] : model.tensors()) {
+    fnv.mix(name);
+    fnv.mix(static_cast<uint64_t>(desc.dtype));
+    fnv.mix(static_cast<uint64_t>(desc.is_param ? 1 : 0));
+    for (const int64_t dim : desc.shape.dims()) {
+      fnv.mix(static_cast<uint64_t>(dim));
+    }
+  }
+  return fnv.value();
+}
+
+// --- PreparedEngine ----------------------------------------------------------
+
+PreparedEngine::PreparedEngine(backends::Engine engine_in,
+                               mapping::LayerMapping mapping_in)
+    : engine(std::move(engine_in)),
+      ar(engine.analysis_graph()),
+      oar(ar),
+      mapping(std::move(mapping_in)) {}
+
+// --- PrepCache ---------------------------------------------------------------
+
+namespace {
+
+/// Forces a graph's lazy name/producer/consumer indices to exist so every
+/// later const lookup on a shared entry is a pure read (the indices are
+/// rebuilt on first use otherwise — a data race across threads).
+void warm_graph_indices(const Graph& g) {
+  if (g.num_nodes() > 0) {
+    (void)g.find_node(g.nodes().front().name);
+  }
+}
+
+struct PlanEntry {
+  backends::BuildPlan plan;
+  mapping::LayerMapping mapping;
+};
+
+using PlanKey = std::tuple<uint64_t, std::string, std::string, DType>;
+using EngineKey = std::tuple<uint64_t, std::string, std::string, DType, int64_t>;
+
+bool env_enables_cache() {
+  const char* env = std::getenv("PROOF_PREP_CACHE");
+  if (env == nullptr) {
+    return true;
+  }
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+           std::strcmp(env, "off") == 0);
+}
+
+constexpr size_t kMaxEngines = 512;  ///< FIFO eviction bound (memory backstop)
+
+/// Builds a PreparedEngine, reusing `cached_plan`'s fusion plan + mapping when
+/// provided; fills `*out_plan` (when non-null) for plan-level publication.
+std::shared_ptr<const PreparedEngine> build_prepared(
+    const Graph& model, const backends::Backend& backend,
+    const hw::PlatformDesc& platform, const backends::BuildConfig& config,
+    const PlanEntry* cached_plan, std::optional<PlanEntry>* out_plan) {
+  Graph prepared = backends::prepare_model(model, config, platform);
+  backends::BuildPlan plan =
+      cached_plan != nullptr ? cached_plan->plan : backend.plan(prepared);
+  backends::Engine engine =
+      backend.lower(std::move(prepared), plan, config, platform);
+
+  const double t0 = now_s();
+  auto entry = std::make_shared<PreparedEngine>(std::move(engine),
+                                                mapping::LayerMapping{});
+  if (cached_plan != nullptr) {
+    entry->mapping = cached_plan->mapping;
+    mapping::apply_mapping(entry->engine, entry->oar, entry->mapping);
+  } else {
+    entry->mapping = mapping::map_layers(entry->engine, entry->oar);
+  }
+  entry->mapping_coverage = entry->mapping.node_coverage(entry->ar.num_nodes());
+  entry->unmapped_layers = entry->mapping.count(mapping::MapMethod::kUnmapped);
+  entry->analysis_time_s = now_s() - t0;
+
+  // Shared entries are read concurrently; materialize every lazy index now.
+  warm_graph_indices(entry->engine.analysis_graph());
+  warm_graph_indices(entry->ar.graph());
+
+  if (out_plan != nullptr) {
+    *out_plan = PlanEntry{std::move(plan), entry->mapping};
+  }
+  return entry;
+}
+
+}  // namespace
+
+std::shared_ptr<const PreparedEngine> prepare_engine(
+    const Graph& model, const backends::Backend& backend,
+    const hw::PlatformDesc& platform, const backends::BuildConfig& config) {
+  return build_prepared(model, backend, platform, config, nullptr, nullptr);
+}
+
+struct PrepCache::Impl {
+  mutable std::mutex mu;
+  bool enabled = env_enables_cache();
+  PrepCacheStats stats;
+  std::map<EngineKey, std::shared_future<std::shared_ptr<const PreparedEngine>>>
+      engines;
+  std::list<EngineKey> engine_order;  ///< insertion order, for FIFO eviction
+  std::map<PlanKey, std::shared_future<std::shared_ptr<const PlanEntry>>> plans;
+};
+
+PrepCache::PrepCache() : impl_(std::make_unique<Impl>()) {}
+PrepCache::~PrepCache() = default;
+
+PrepCache& PrepCache::instance() {
+  // Leaked singleton: cached engines may be referenced from arbitrary threads
+  // at shutdown, so never run the destructor.
+  static PrepCache* cache = new PrepCache();
+  return *cache;
+}
+
+void PrepCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->engines.clear();
+  impl_->engine_order.clear();
+  impl_->plans.clear();
+}
+
+PrepCacheStats PrepCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+void PrepCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->stats = PrepCacheStats{};
+}
+
+void PrepCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->enabled = enabled;
+}
+
+bool PrepCache::enabled() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->enabled;
+}
+
+size_t PrepCache::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->engines.size();
+}
+
+std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
+    const Graph& model, const backends::Backend& backend,
+    const hw::PlatformDesc& platform, const backends::BuildConfig& config) {
+  if (!enabled()) {
+    return prepare_engine(model, backend, platform, config);
+  }
+
+  const uint64_t fp = graph_fingerprint(model);
+  const EngineKey ekey{fp, backend.id(), platform.id, config.dtype,
+                       config.batch};
+  const PlanKey pkey{fp, backend.id(), platform.id, config.dtype};
+
+  // Registered under the lock when this call is the builder for its key, so
+  // concurrent callers of the same key wait on the winner's in-flight build.
+  std::promise<std::shared_ptr<const PreparedEngine>> engine_promise;
+  std::optional<std::promise<std::shared_ptr<const PlanEntry>>> plan_promise;
+  std::shared_future<std::shared_ptr<const PlanEntry>> plan_future;
+  bool have_plan_future = false;
+
+  std::shared_future<std::shared_ptr<const PreparedEngine>> ready;
+  bool is_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const auto it = impl_->engines.find(ekey);
+    if (it != impl_->engines.end()) {
+      ++impl_->stats.engine_hits;
+      ready = it->second;
+      is_hit = true;
+    } else {
+      ++impl_->stats.engine_misses;
+      ready = impl_->engines.emplace(ekey, engine_promise.get_future().share())
+                  .first->second;
+      impl_->engine_order.push_back(ekey);
+      const auto pit = impl_->plans.find(pkey);
+      if (pit != impl_->plans.end()) {
+        ++impl_->stats.plan_hits;
+        plan_future = pit->second;
+        have_plan_future = true;
+      } else {
+        ++impl_->stats.plan_misses;
+        plan_promise.emplace();
+        impl_->plans.emplace(pkey, plan_promise->get_future().share());
+      }
+      // FIFO memory backstop; never evict the entry just inserted.
+      while (impl_->engine_order.size() > kMaxEngines) {
+        const EngineKey victim = impl_->engine_order.front();
+        impl_->engine_order.pop_front();
+        if (!(victim == ekey)) {
+          impl_->engines.erase(victim);
+        } else {
+          impl_->engine_order.push_back(victim);
+          break;
+        }
+      }
+    }
+  }
+
+  if (is_hit) {
+    return ready.get();  // rethrows the builder's exception, if any
+  }
+
+  // This call is the builder for its key.
+  try {
+    const std::shared_ptr<const PlanEntry> plan_entry =
+        have_plan_future ? plan_future.get() : nullptr;
+    std::optional<PlanEntry> built_plan;
+    auto entry =
+        build_prepared(model, backend, platform, config, plan_entry.get(),
+                       plan_promise.has_value() ? &built_plan : nullptr);
+    if (plan_promise.has_value()) {
+      plan_promise->set_value(
+          std::make_shared<const PlanEntry>(std::move(*built_plan)));
+    }
+    engine_promise.set_value(entry);
+    return entry;
+  } catch (...) {
+    // Publish the failure to current waiters, then drop the keys so later
+    // calls rebuild instead of replaying a stale error.
+    if (plan_promise.has_value()) {
+      plan_promise->set_exception(std::current_exception());
+    }
+    engine_promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->engines.erase(ekey);
+      impl_->engine_order.remove(ekey);
+      if (plan_promise.has_value()) {
+        impl_->plans.erase(pkey);
+      }
+    }
+    throw;
+  }
+}
+
+}  // namespace proof

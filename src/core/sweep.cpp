@@ -110,8 +110,9 @@ ZooSweep sweep_zoo(const ProfileOptions& base,
       model_ids.size(), [&](size_t i) {
         ZooSweepPoint point;
         point.model_id = model_ids[i];
-        point.display = models::model_spec(model_ids[i]).display;
+        point.display = model_ids[i];
         try {
+          point.display = models::model_spec(model_ids[i]).display;
           const ProfileReport r = Profiler(base).run_zoo(model_ids[i]);
           point.latency_s = r.total_latency_s;
           point.throughput_per_s = r.throughput_per_s();

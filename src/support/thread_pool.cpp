@@ -48,7 +48,13 @@ void ThreadPool::enqueue(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(queues_[slot]->mu);
     queues_[slot]->tasks.push_back(std::move(fn));
   }
-  pending_.fetch_add(1);
+  {
+    // Pairing the increment + notify with the lock closes the lost-wakeup
+    // race against a worker that evaluated the wait predicate (pending_ == 0)
+    // but has not yet blocked on the condition variable.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    pending_.fetch_add(1);
+  }
   sleep_cv_.notify_one();
 }
 

@@ -53,6 +53,18 @@ TEST(BatchSweep, RejectsBadTolerance) {
   EXPECT_THROW((void)sweep_batches(a100_opts(), model, {1}, 1.5), Error);
 }
 
+TEST(ZooSweep, UnknownModelRecordedAsErrorNotThrown) {
+  // Per the header contract, per-model failures (including unknown ids) land
+  // in point.error instead of aborting the whole sweep.
+  ProfileOptions opt = a100_opts();
+  opt.batch = 1;
+  const ZooSweep sweep = sweep_zoo(opt, {"mobilenetv2_05", "no_such_model"});
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_TRUE(sweep.points[0].error.empty());
+  EXPECT_FALSE(sweep.points[1].error.empty());
+  EXPECT_EQ(sweep.points[1].display, "no_such_model");
+}
+
 TEST(BatchSweep, TextMarksOptimal) {
   const Graph model = models::build_model("mobilenetv2_05");
   const BatchSweep sweep = sweep_batches(a100_opts(), model, {1, 32});
