@@ -24,6 +24,7 @@
 //   * hw                  — platform descriptors, latency/power simulation,
 //                           NCU-like counter profiling
 //   * roofline / report   — roofline math, tables, CSV, SVG charts
+//   * obs                 — the framework's own metrics/span self-profiling
 //   * core                — the Profiler orchestrator tying it together
 #pragma once
 
@@ -53,6 +54,9 @@
 #include "models/builder.hpp"
 #include "models/summary.hpp"
 #include "models/zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/self_profile.hpp"
+#include "obs/span.hpp"
 #include "ops/op_def.hpp"
 #include "report/csv.hpp"
 #include "report/svg_roofline.hpp"

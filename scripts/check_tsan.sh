@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the suite with ThreadSanitizer (-DPROOF_SANITIZE=thread) into
 # build-tsan/ and runs the concurrency-sensitive tests: the thread pool, the
-# parallel-sweep determinism suite and the preparation cache.  Any data race
-# in the pool, the cache's shared PreparedEngine entries or the graphs' lazy
-# index maps fails the run.
+# parallel-sweep determinism suite, the preparation cache (including its
+# dedicated concurrency suite) and the observability layer's sharded
+# metrics/trace buffer.  Any data race in the pool, the cache's shared
+# PreparedEngine entries, the graphs' lazy index maps or the obs shards
+# fails the run.
 #
 # Usage: scripts/check_tsan.sh [extra gtest filter]
 set -euo pipefail
@@ -11,7 +13,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*}"
+FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

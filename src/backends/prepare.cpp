@@ -1,12 +1,15 @@
 #include "backends/prepare.hpp"
 
 #include "analysis/shape_inference.hpp"
+#include "obs/span.hpp"
 #include "support/error.hpp"
 
 namespace proof::backends {
 
 Graph prepare_model(const Graph& model, const BuildConfig& config,
                     const hw::PlatformDesc& platform) {
+  PROOF_SPAN("prepare.model");
+  PROOF_COUNT("prepare.models", 1);
   if (!platform.supports(config.dtype)) {
     throw ConfigError("platform '" + platform.id + "' does not support dtype " +
                       std::string(dtype_name(config.dtype)));

@@ -1,5 +1,6 @@
 #include "core/chrome_trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -34,6 +35,12 @@ std::string json_escape(const std::string& text) {
 }  // namespace
 
 std::string report_to_chrome_trace(const ProfileReport& report) {
+  return report_to_chrome_trace(report, {});
+}
+
+std::string report_to_chrome_trace(
+    const ProfileReport& report,
+    const std::vector<obs::TraceEvent>& self_spans) {
   std::ostringstream out;
   out.precision(6);
   out << std::fixed;
@@ -84,6 +91,27 @@ std::string report_to_chrome_trace(const ProfileReport& report) {
       }
     }
     cursor_us += dur_us;
+  }
+
+  // Self-profile process: the profiler's own pipeline spans on their real OS
+  // threads (pid 2), so parallel sweeps render as per-thread lanes.
+  if (!self_spans.empty()) {
+    out << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+           "\"args\":{\"name\":\"proof self-profile\"}}";
+    uint32_t max_tid = 0;
+    for (const obs::TraceEvent& event : self_spans) {
+      max_tid = std::max(max_tid, event.tid);
+    }
+    for (uint32_t tid = 1; tid <= max_tid; ++tid) {
+      out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":" << tid
+          << ",\"args\":{\"name\":\"thread " << tid << "\"}}";
+    }
+    for (const obs::TraceEvent& event : self_spans) {
+      out << ",{\"name\":\"" << json_escape(event.name)
+          << "\",\"cat\":\"proof_self\",\"ph\":\"X\",\"pid\":2,\"tid\":"
+          << event.tid << ",\"ts\":" << static_cast<double>(event.start_ns) / 1e3
+          << ",\"dur\":" << static_cast<double>(event.dur_ns) / 1e3 << "}";
+    }
   }
   out << "]}";
   return out.str();

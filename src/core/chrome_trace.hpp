@@ -7,14 +7,22 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/profiler.hpp"
+#include "obs/span.hpp"
 
 namespace proof {
 
 /// Serializes the run as a Chrome trace-event JSON document ("traceEvents"
 /// array with complete 'X' events; timestamps in microseconds).
 [[nodiscard]] std::string report_to_chrome_trace(const ProfileReport& report);
+
+/// Same document plus a second process ("proof self-profile") rendering the
+/// profiler's own spans, one track per OS thread — parallel sweep work shows
+/// up as real per-thread lanes.  Pass obs::trace_events().
+[[nodiscard]] std::string report_to_chrome_trace(
+    const ProfileReport& report, const std::vector<obs::TraceEvent>& self_spans);
 
 void save_chrome_trace(const std::string& trace, const std::string& path);
 

@@ -12,6 +12,7 @@
 #include <variant>
 
 #include "backends/prepare.hpp"
+#include "obs/span.hpp"
 #include "support/error.hpp"
 
 namespace proof {
@@ -160,11 +161,16 @@ std::shared_ptr<const PreparedEngine> build_prepared(
     const hw::PlatformDesc& platform, const backends::BuildConfig& config,
     const PlanEntry* cached_plan, std::optional<PlanEntry>* out_plan) {
   Graph prepared = backends::prepare_model(model, config, platform);
-  backends::BuildPlan plan =
-      cached_plan != nullptr ? cached_plan->plan : backend.plan(prepared);
-  backends::Engine engine =
-      backend.lower(std::move(prepared), plan, config, platform);
+  backends::BuildPlan plan = [&] {
+    PROOF_SPAN("prepare.plan");
+    return cached_plan != nullptr ? cached_plan->plan : backend.plan(prepared);
+  }();
+  backends::Engine engine = [&] {
+    PROOF_SPAN("prepare.lower");
+    return backend.lower(std::move(prepared), plan, config, platform);
+  }();
 
+  PROOF_SPAN("prepare.analysis");
   const double t0 = now_s();
   auto entry = std::make_shared<PreparedEngine>(std::move(engine),
                                                 mapping::LayerMapping{});
@@ -269,6 +275,8 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
 
   std::shared_future<std::shared_ptr<const PreparedEngine>> ready;
   bool is_hit = false;
+  size_t evicted = 0;
+  PROOF_COUNT("prep_cache.lookups", 1);
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     const auto it = impl_->engines.find(ekey);
@@ -297,6 +305,8 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
         impl_->engine_order.pop_front();
         if (!(victim == ekey)) {
           impl_->engines.erase(victim);
+          ++impl_->stats.evictions;
+          ++evicted;
         } else {
           impl_->engine_order.push_back(victim);
           break;
@@ -304,9 +314,19 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
       }
     }
   }
+  if (evicted > 0) {
+    PROOF_COUNT("prep_cache.evictions", evicted);
+  }
 
   if (is_hit) {
+    PROOF_COUNT("prep_cache.hits", 1);
     return ready.get();  // rethrows the builder's exception, if any
+  }
+  PROOF_COUNT("prep_cache.misses", 1);
+  if (have_plan_future) {
+    PROOF_COUNT("prep_cache.plan_hits", 1);
+  } else {
+    PROOF_COUNT("prep_cache.plan_misses", 1);
   }
 
   // This call is the builder for its key.

@@ -66,6 +66,7 @@ struct PrepCacheStats {
   size_t engine_misses = 0;
   size_t plan_hits = 0;      ///< fusion planning + mapping search skipped
   size_t plan_misses = 0;
+  size_t evictions = 0;      ///< entries dropped by the FIFO memory backstop
 
   [[nodiscard]] double engine_hit_rate() const {
     const size_t total = engine_hits + engine_misses;

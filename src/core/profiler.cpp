@@ -5,6 +5,8 @@
 #include "hw/platform.hpp"
 #include "mapping/stack_mapping.hpp"
 #include "models/zoo.hpp"
+#include "obs/self_profile.hpp"
+#include "obs/span.hpp"
 #include "support/error.hpp"
 
 namespace proof {
@@ -29,6 +31,9 @@ ProfileReport Profiler::run_zoo(const std::string& model_id) const {
 }
 
 ProfileReport Profiler::run(const Graph& model) const {
+  PROOF_SPAN("profiler.run");
+  PROOF_COUNT("profiler.runs", 1);
+  obs::arm_metrics_dump_at_exit();
   const hw::PlatformDesc& platform =
       hw::PlatformRegistry::instance().get(options_.platform_id);
   const std::string backend_id =
@@ -49,8 +54,11 @@ ProfileReport Profiler::run(const Graph& model) const {
   backends::BuildConfig config;
   config.dtype = options_.dtype;
   config.batch = options_.batch;
-  const std::shared_ptr<const PreparedEngine> prep =
-      PrepCache::instance().get_or_prepare(model, backend, platform, config);
+  std::shared_ptr<const PreparedEngine> prep;
+  {
+    PROOF_SPAN("profiler.prepare");
+    prep = PrepCache::instance().get_or_prepare(model, backend, platform, config);
+  }
   const backends::Engine& engine = prep->engine;
   const AnalyzeRepresentation& ar = prep->ar;
   const OptimizedAnalyzeRepresentation& oar = prep->oar;
@@ -61,8 +69,10 @@ ProfileReport Profiler::run(const Graph& model) const {
 
   // 3. Latency from the backend's built-in profiler.
   const hw::PlatformState state(platform, options_.clocks);
-  const backends::EngineProfile profile =
-      engine.profile(state, options_.iterations);
+  const backends::EngineProfile profile = [&] {
+    PROOF_SPAN("profiler.latency");
+    return engine.profile(state, options_.iterations);
+  }();
   report.total_latency_s = profile.total_latency_s;
   report.utilization = profile.utilization;
   report.power_w = hw::PowerModel(state).power_w(profile.utilization);
@@ -78,6 +88,7 @@ ProfileReport Profiler::run(const Graph& model) const {
   std::vector<double> measured_flops(engine.layers().size(), 0.0);
   std::vector<double> measured_bytes(engine.layers().size(), 0.0);
   if (use_counters) {
+    PROOF_SPAN("profiler.counters");
     const hw::CounterProfiler counters(platform);
     const hw::CounterReport counter_report =
         counters.profile(engine.all_kernels(), hw::LatencyModel(state));
@@ -92,6 +103,7 @@ ProfileReport Profiler::run(const Graph& model) const {
     }
   }
 
+  PROOF_SPAN("profiler.metrics_and_roofline");
   report.layers.reserve(engine.layers().size());
   for (size_t i = 0; i < engine.layers().size(); ++i) {
     const backends::BackendLayer& bl = engine.layers()[i];

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/self_profile.hpp"
 #include "support/error.hpp"
 
 namespace proof {
@@ -53,6 +54,12 @@ class JsonWriter {
     separator();
     emit_string(value);
   }
+  /// Splices a pre-serialized JSON value under `key` (self-profile section).
+  void raw_field(const std::string& key, const std::string& json) {
+    separator();
+    emit_key(key);
+    out_ << json;
+  }
 
  private:
   void separator() {
@@ -97,7 +104,8 @@ class JsonWriter {
 
 }  // namespace
 
-std::string report_to_json(const ProfileReport& report) {
+std::string report_to_json(const ProfileReport& report,
+                           bool include_self_profile) {
   std::ostringstream out;
   JsonWriter w(out);
   w.begin_object();
@@ -154,6 +162,9 @@ std::string report_to_json(const ProfileReport& report) {
     w.end_object();
   }
   w.end_array();
+  if (include_self_profile) {
+    w.raw_field("self_profile", obs::self_profile_json());
+  }
   w.end_object();
   return out.str();
 }

@@ -10,7 +10,14 @@ namespace proof {
 
 /// Serializes the full report (options, end-to-end aggregates, ceilings and
 /// every backend layer with its model-design mapping) as a JSON document.
-[[nodiscard]] std::string report_to_json(const ProfileReport& report);
+///
+/// With `include_self_profile` the document gains a "self_profile" section —
+/// the process-wide observability snapshot (obs::self_profile_json) recording
+/// where the profiler itself spent time.  Off by default: the self-profile is
+/// wall-clock-dependent, and the default output stays byte-reproducible for
+/// golden-regression diffing.
+[[nodiscard]] std::string report_to_json(const ProfileReport& report,
+                                         bool include_self_profile = false);
 
 void save_json(const std::string& json, const std::string& path);
 

@@ -6,6 +6,7 @@
 
 #include "hw/platform.hpp"
 #include "models/zoo.hpp"
+#include "obs/span.hpp"
 #include "report/table.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -51,6 +52,8 @@ BatchSweep sweep_batches(const ProfileOptions& base, const Graph& model,
   }
 
   warm_indices(model);
+  PROOF_SPAN("sweep.batches");
+  PROOF_COUNT("sweep.points", valid.size());
   BatchSweep sweep;
   sweep.points = ThreadPool::global().parallel_map(
       valid.size(), [&](size_t i) {
@@ -105,6 +108,8 @@ ZooSweep sweep_zoo(const ProfileOptions& base,
       model_ids.push_back(spec.id);
     }
   }
+  PROOF_SPAN("sweep.zoo");
+  PROOF_COUNT("sweep.points", model_ids.size());
   ZooSweep sweep;
   sweep.points = ThreadPool::global().parallel_map(
       model_ids.size(), [&](size_t i) {
@@ -157,6 +162,8 @@ ClockSweep sweep_clocks(const ProfileOptions& base, const Graph& model,
   std::sort(gpu_mhz_steps.begin(), gpu_mhz_steps.end());
 
   warm_indices(model);
+  PROOF_SPAN("sweep.clocks");
+  PROOF_COUNT("sweep.points", gpu_mhz_steps.size());
   ClockSweep sweep;
   sweep.points = ThreadPool::global().parallel_map(
       gpu_mhz_steps.size(), [&](size_t i) {

@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "obs/span.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -126,6 +127,7 @@ std::vector<NodeId> dependency_walk(const OptimizedAnalyzeRepresentation& oar,
 
 LayerMapping map_layers(const backends::Engine& engine,
                         OptimizedAnalyzeRepresentation& oar) {
+  PROOF_SPAN("mapping.map_layers");
   const Graph& g = oar.base().graph();
   LayerMapping mapping;
   mapping.entries.reserve(engine.layers().size());
@@ -202,12 +204,26 @@ LayerMapping map_layers(const backends::Engine& engine,
     }
     mapping.entries.push_back(std::move(entry));
   }
+
+#ifndef PROOF_OBS_DISABLED
+  // Per-rung outcome counters (which mapping rungs carry real workloads is
+  // exactly the §3.2.4 question this layer answers about itself).
+  if (obs::enabled()) {
+    for (const LayerMapEntry& entry : mapping.entries) {
+      obs::MetricsRegistry::instance()
+          .counter("mapping.method." + std::string(map_method_name(entry.method)))
+          .add(1);
+    }
+    PROOF_COUNT("mapping.layers", mapping.entries.size());
+  }
+#endif
   return mapping;
 }
 
 void apply_mapping(const backends::Engine& engine,
                    OptimizedAnalyzeRepresentation& oar,
                    const LayerMapping& mapping) {
+  PROOF_SPAN("mapping.apply");
   const Graph& g = oar.base().graph();
   if (mapping.entries.size() != engine.layers().size()) {
     throw ModelError("apply_mapping: mapping has " +

@@ -1,0 +1,221 @@
+#include "obs/metrics.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <variant>
+
+#include "support/error.hpp"
+
+namespace proof::obs {
+
+namespace {
+
+std::atomic<size_t> g_next_shard{0};
+
+bool env_enables_obs() {
+  const char* env = std::getenv("PROOF_OBS");
+  if (env == nullptr) {
+    return true;
+  }
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+           std::strcmp(env, "off") == 0);
+}
+
+std::atomic<bool> g_enabled{env_enables_obs()};
+
+}  // namespace
+
+size_t shard_index() {
+  thread_local const size_t idx =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// --- Counter -----------------------------------------------------------------
+
+uint64_t Counter::value() const {
+  uint64_t total = 0;
+  for (const ShardCell& cell : shards_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (ShardCell& cell : shards_) {
+    cell.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+uint64_t histogram_bucket_bound_ns(size_t i) {
+  return 1000ull << i;  // 1 us, 2 us, 4 us, ...
+}
+
+namespace {
+
+size_t bucket_for_ns(uint64_t ns) {
+  for (size_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+    if (ns <= histogram_bucket_bound_ns(i)) {
+      return i;
+    }
+  }
+  return kHistogramBuckets - 1;
+}
+
+void atomic_store_max(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe_ns(uint64_t ns) {
+  Shard& shard = shards_[shard_index()];
+  shard.buckets[bucket_for_ns(ns)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  atomic_store_max(shard.max_ns, ns);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum_ns += shard.sum_ns.load(std::memory_order_relaxed);
+    snap.max_ns = std::max(snap.max_ns, shard.max_ns.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum_ns.store(0, std::memory_order_relaxed);
+    shard.max_ns.store(0, std::memory_order_relaxed);
+    for (std::atomic<uint64_t>& b : shard.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+double HistogramSnapshot::quantile_s(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      const uint64_t hi = std::min(histogram_bucket_bound_ns(i), max_ns);
+      const uint64_t lo = i == 0 ? 0 : histogram_bucket_bound_ns(i - 1);
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return (static_cast<double>(lo) +
+              frac * static_cast<double>(hi > lo ? hi - lo : 0)) /
+             1e9;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_ns) / 1e9;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  using Metric =
+      std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                   std::unique_ptr<Histogram>>;
+  mutable std::mutex mu;
+  std::map<std::string, Metric> metrics;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked singleton: instrumentation sites cache references and may fire
+  // from arbitrary threads during shutdown, so never destroy it.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+template <typename T>
+T& find_or_register(MetricsRegistry::Impl& impl, const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl.mu);
+  auto it = impl.metrics.find(name);
+  if (it == impl.metrics.end()) {
+    it = impl.metrics.emplace(name, std::make_unique<T>()).first;
+  }
+  auto* slot = std::get_if<std::unique_ptr<T>>(&it->second);
+  if (slot == nullptr) {
+    throw ConfigError("metric '" + name +
+                      "' already registered with a different kind");
+  }
+  return **slot;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return find_or_register<Counter>(*impl_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return find_or_register<Gauge>(*impl_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return find_or_register<Histogram>(*impl_, name);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& [name, metric] : impl_->metrics) {  // map: name-sorted
+    if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      snap.counters.emplace_back(name, (*c)->value());
+    } else if (const auto* g = std::get_if<std::unique_ptr<Gauge>>(&metric)) {
+      snap.gauges.emplace_back(name, (*g)->value());
+    } else if (const auto* h = std::get_if<std::unique_ptr<Histogram>>(&metric)) {
+      snap.histograms.emplace_back(name, (*h)->snapshot());
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, metric] : impl_->metrics) {
+    if (auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      (*c)->reset();
+    } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&metric)) {
+      (*g)->reset();
+    } else if (auto* h = std::get_if<std::unique_ptr<Histogram>>(&metric)) {
+      (*h)->reset();
+    }
+  }
+}
+
+}  // namespace proof::obs

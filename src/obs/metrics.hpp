@@ -1,0 +1,150 @@
+// Self-profiling metrics: lock-cheap counters, gauges and fixed-bucket
+// latency histograms for the profiler's own pipeline (the framework equivalent
+// of the hierarchical visibility the paper demands of model profiling, §3).
+//
+// Design:
+//  * Every metric is sharded kShards ways; a writer touches only the
+//    cache-line-padded atomic slot of its own shard (threads are assigned
+//    shards round-robin at birth), so ThreadPool workers never contend on a
+//    shared line.  Readers sum the shards.
+//  * Registration (name -> metric) takes a mutex once; hot paths hold a
+//    cached reference (the PROOF_COUNT / PROOF_SPAN macros stash it in a
+//    function-local static), so steady-state cost is one relaxed-atomic add.
+//  * Histograms use fixed power-of-two buckets over nanoseconds (1 us .. 67 s
+//    + overflow): no allocation, no locks, mergeable across shards.
+//  * A process-wide runtime switch (PROOF_OBS=0 or set_enabled(false)) turns
+//    every instrumentation site into a single relaxed load; compiling with
+//    PROOF_OBS_DISABLED removes the sites entirely (see span.hpp).
+//
+// Values survive for the life of the process; `MetricsRegistry::reset()`
+// zeroes them (tests) but never invalidates previously returned references.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proof::obs {
+
+/// Shard count for every metric (power of two; threads pick slots
+/// round-robin, so up to kShards writers proceed without sharing a line).
+constexpr size_t kShards = 16;
+
+/// Slot index of the calling thread (stable for the thread's lifetime).
+[[nodiscard]] size_t shard_index();
+
+/// Master runtime switch, initialized from PROOF_OBS ("0"/"false"/"off"
+/// disables; default enabled).  Checked by every instrumentation macro.
+[[nodiscard]] bool enabled();
+void set_enabled(bool enabled);
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> v{0};
+};
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(uint64_t n = 1) {
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t value() const;
+  void reset();
+
+ private:
+  std::array<ShardCell, kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (not sharded: gauges are set rarely).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram bucket layout: bucket i counts durations <= 1000 << i ns
+/// (1 us, 2 us, ... ~67 s); the last bucket absorbs everything larger.
+constexpr size_t kHistogramBuckets = 28;
+
+/// Upper bound (ns) of bucket `i`; the final bucket is unbounded.
+[[nodiscard]] uint64_t histogram_bucket_bound_ns(size_t i);
+
+/// Aggregated view of one histogram (all shards merged).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t max_ns = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double mean_s() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_ns) / 1e9 /
+                                  static_cast<double>(count);
+  }
+  [[nodiscard]] double total_s() const {
+    return static_cast<double>(sum_ns) / 1e9;
+  }
+  /// Quantile estimate in seconds (linear interpolation inside the bucket).
+  [[nodiscard]] double quantile_s(double q) const;
+};
+
+/// Fixed-bucket latency histogram (durations in nanoseconds).
+class Histogram {
+ public:
+  void observe_ns(uint64_t ns);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_ns{0};
+    std::atomic<uint64_t> max_ns{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Process-wide metric namespace.  Metric objects live forever once
+/// registered (the registry is a leaked singleton, like PrepCache), so
+/// references returned here may be cached indefinitely.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or registers the named metric.  Registering the same name as two
+  /// different kinds throws ConfigError.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;  ///< name-sorted
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every metric value; registrations (and outstanding references)
+  /// stay valid.  Intended for tests and long-lived servers rolling windows.
+  void reset();
+
+  struct Impl;  ///< public only for the implementation file's helpers
+
+ private:
+  MetricsRegistry();
+  Impl* impl_;  ///< leaked with the singleton
+};
+
+}  // namespace proof::obs

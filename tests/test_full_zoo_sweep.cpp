@@ -9,6 +9,7 @@
 #include "mapping/layer_mapping.hpp"
 #include "analysis/shape_inference.hpp"
 #include "models/zoo.hpp"
+#include "test_util.hpp"
 
 namespace proof {
 namespace {
@@ -56,8 +57,7 @@ TEST_P(FullZooSweep, PipelineInvariants) {
   set_batch_size(g, opt.batch);
   convert_float_dtype(g, opt.dtype);
   const AnalyzeRepresentation ar(std::move(g));
-  EXPECT_NEAR(r.roofline.end_to_end.flops, ar.total_flops(),
-              1e-6 * ar.total_flops())
+  EXPECT_CLOSE(r.roofline.end_to_end.flops, ar.total_flops(), 1e-9)
       << "fusion must preserve FLOP";
 
   // 3. Fusion-aware traffic of the MODEL layers never exceeds the naive

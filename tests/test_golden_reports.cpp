@@ -1,0 +1,145 @@
+// Golden-regression harness: freezes the full report_json output for four
+// representative zoo models on the trt_sim backend.  Any change to shape
+// inference, FLOP/memory analysis, fusion, mapping, the latency model or the
+// JSON serializer shows up as a byte-level diff against tests/golden/*.json.
+//
+// Regenerate after an intentional change with:
+//   PROOF_UPDATE_GOLDENS=1 ./proof_tests --gtest_filter='GoldenReports.*'
+// and review the resulting diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "core/report_json.hpp"
+
+#ifndef PROOF_TEST_SOURCE_DIR
+#error "tests/CMakeLists.txt must define PROOF_TEST_SOURCE_DIR"
+#endif
+
+namespace proof {
+namespace {
+
+std::string golden_path(const std::string& model_id) {
+  return std::string(PROOF_TEST_SOURCE_DIR) + "/golden/" + model_id + ".json";
+}
+
+bool update_goldens() {
+  const char* env = std::getenv("PROOF_UPDATE_GOLDENS");
+  return env != nullptr && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "") != 0;
+}
+
+/// Zeroes the wall-clock fields (the only non-deterministic values in a
+/// predicted-mode report) so goldens are byte-reproducible across machines.
+std::string normalize(std::string json) {
+  for (const char* key :
+       {"\"analysis_time_s\":", "\"counter_profiling_time_s\":"}) {
+    const size_t key_len = std::strlen(key);
+    size_t pos = json.find(key);
+    while (pos != std::string::npos) {
+      const size_t start = pos + key_len;
+      const size_t end = json.find_first_of(",}", start);
+      if (end == std::string::npos) {
+        break;  // truncated JSON; the byte comparison will fail loudly
+      }
+      json.replace(start, end - start, "0");
+      pos = json.find(key, start);
+    }
+  }
+  return json;
+}
+
+std::string generate(const std::string& model_id) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.backend_id = "trt_sim";
+  opt.dtype = DType::kF16;
+  opt.batch = model_id == "sd_unet" ? 2 : 4;  // keep SD activation maps small
+  opt.mode = MetricMode::kPredicted;
+  const ProfileReport report = Profiler(opt).run_zoo(model_id);
+  // include_self_profile stays off: self-profile values are wall-clock.
+  return normalize(report_to_json(report));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return {};
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Locates the first differing line for a readable failure message.
+std::string first_diff(const std::string& got, const std::string& want) {
+  std::istringstream got_in(got);
+  std::istringstream want_in(want);
+  std::string got_line;
+  std::string want_line;
+  size_t line = 0;
+  while (true) {
+    ++line;
+    const bool got_ok = static_cast<bool>(std::getline(got_in, got_line));
+    const bool want_ok = static_cast<bool>(std::getline(want_in, want_line));
+    if (!got_ok && !want_ok) {
+      return "(no textual diff found)";
+    }
+    if (got_ok != want_ok || got_line != want_line) {
+      std::ostringstream msg;
+      msg << "first diff at line " << line << ":\n  golden: "
+          << (want_ok ? want_line : "<eof>")
+          << "\n  actual: " << (got_ok ? got_line : "<eof>");
+      return msg.str();
+    }
+  }
+}
+
+class GoldenReports : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenReports, MatchesFrozenJson) {
+  const std::string model_id = GetParam();
+  const std::string path = golden_path(model_id);
+  const std::string actual = generate(model_id);
+  ASSERT_FALSE(actual.empty());
+
+  if (update_goldens()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden " << path
+      << " — regenerate with PROOF_UPDATE_GOLDENS=1";
+  EXPECT_EQ(actual, expected)
+      << "report JSON drifted from " << path << "\n"
+      << first_diff(actual, expected)
+      << "\nIf the change is intentional, regenerate with "
+         "PROOF_UPDATE_GOLDENS=1 and review the diff.";
+}
+
+TEST_P(GoldenReports, GenerationIsDeterministic) {
+  // The freeze only works if two in-process runs already agree byte-for-byte
+  // (engine jitter is seeded by kernel identity, not wall clock).
+  const std::string model_id = GetParam();
+  EXPECT_EQ(generate(model_id), generate(model_id));
+}
+
+INSTANTIATE_TEST_SUITE_P(FourZooModels, GoldenReports,
+                         ::testing::Values("resnet50", "bert_base",
+                                           "shufflenetv2_10", "sd_unet"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace proof

@@ -1,0 +1,162 @@
+// Property/fuzz test: random fusion partitions over the Optimized Analyze
+// Representation.  Whatever partition a (simulated) backend optimizer picks,
+// two invariants must hold (paper §3.2.3 — fusion is a relabeling, not a
+// rewrite):
+//   1. FLOP conservation: the optimized layers' FLOP sums to the base
+//      representation's total.
+//   2. Exactly-once coverage: every model node appears in exactly one
+//      optimized layer.
+// Partitions are drawn from a seeded Rng, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze_representation.hpp"
+#include "analysis/optimized_representation.hpp"
+#include "models/zoo.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace proof {
+namespace {
+
+Graph build_case(const std::string& name) {
+  if (name == "small_cnn") {
+    return proof::testing::small_cnn();
+  }
+  if (name == "small_transformer") {
+    return proof::testing::small_transformer();
+  }
+  return models::build_model(name);
+}
+
+/// Checks both invariants for one fused OAR.
+void expect_partition_invariants(const AnalyzeRepresentation& ar,
+                                 const OptimizedAnalyzeRepresentation& oar,
+                                 uint64_t seed) {
+  const std::vector<OptimizedAnalyzeRepresentation::OptLayer> layers =
+      oar.layers();
+
+  double fused_total = 0.0;
+  std::vector<int> claims(ar.num_nodes(), 0);
+  for (const auto& layer : layers) {
+    fused_total += layer.flops;
+    // Per-layer FLOP itself must match the member sum.
+    EXPECT_CLOSE(layer.flops, oar.fused_flops(layer.members), 1e-12)
+        << layer.name << " (seed " << seed << ")";
+    for (NodeId id : layer.members) {
+      ASSERT_GE(id, 0) << "seed " << seed;
+      ASSERT_LT(static_cast<size_t>(id), claims.size()) << "seed " << seed;
+      ++claims[static_cast<size_t>(id)];
+    }
+  }
+
+  EXPECT_CLOSE(fused_total, ar.total_flops(), 1e-9)
+      << "fusion must preserve FLOP (seed " << seed << ")";
+  for (size_t i = 0; i < claims.size(); ++i) {
+    EXPECT_EQ(claims[i], 1) << "node " << i << " covered " << claims[i]
+                            << " times (seed " << seed << ")";
+  }
+}
+
+/// Variant A: independently assign each node to one of k buckets (or none);
+/// fuse every bucket with >= 2 members.  Members may be non-contiguous —
+/// set_fused_op must cope with arbitrary node sets.
+void fuzz_random_assignment(const AnalyzeRepresentation& ar, uint64_t seed) {
+  Rng rng(seed);
+  OptimizedAnalyzeRepresentation oar(ar);
+  const uint64_t buckets = 2 + rng.next_below(6);
+  std::map<uint64_t, std::vector<NodeId>> groups;
+  for (size_t i = 0; i < ar.num_nodes(); ++i) {
+    const uint64_t b = rng.next_below(buckets + 1);
+    if (b < buckets) {  // bucket `buckets` means "leave unfused"
+      groups[b].push_back(static_cast<NodeId>(i));
+    }
+  }
+  for (const auto& [bucket, members] : groups) {
+    if (members.size() < 2) {
+      continue;
+    }
+    oar.set_fused_op("fuzz_bucket_" + std::to_string(bucket), members);
+  }
+  expect_partition_invariants(ar, oar, seed);
+}
+
+/// Variant B: contiguous runs of random length (the realistic shape backend
+/// optimizers produce), occasionally skipping nodes.
+void fuzz_contiguous_runs(const AnalyzeRepresentation& ar, uint64_t seed) {
+  Rng rng(seed);
+  OptimizedAnalyzeRepresentation oar(ar);
+  size_t i = 0;
+  size_t run_id = 0;
+  while (i < ar.num_nodes()) {
+    const size_t len = 1 + static_cast<size_t>(rng.next_below(5));
+    if (len >= 2 && rng.next_double() < 0.8) {
+      std::vector<NodeId> members;
+      for (size_t j = i; j < std::min(i + len, ar.num_nodes()); ++j) {
+        members.push_back(static_cast<NodeId>(j));
+      }
+      if (members.size() >= 2) {
+        oar.set_fused_op("fuzz_run_" + std::to_string(run_id++), members);
+      }
+    }
+    i += len;
+  }
+  expect_partition_invariants(ar, oar, seed);
+}
+
+class MappingFuzz : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MappingFuzz, RandomAssignmentPreservesFlopAndCoverage) {
+  const AnalyzeRepresentation ar(build_case(GetParam()));
+  for (uint64_t trial = 0; trial < 16; ++trial) {
+    fuzz_random_assignment(
+        ar, Rng::from_string(GetParam(), 1000 + trial).next_u64());
+  }
+}
+
+TEST_P(MappingFuzz, ContiguousRunsPreserveFlopAndCoverage) {
+  const AnalyzeRepresentation ar(build_case(GetParam()));
+  for (uint64_t trial = 0; trial < 16; ++trial) {
+    fuzz_contiguous_runs(
+        ar, Rng::from_string(GetParam(), 2000 + trial).next_u64());
+  }
+}
+
+TEST_P(MappingFuzz, DoubleClaimThrows) {
+  const AnalyzeRepresentation ar(build_case(GetParam()));
+  ASSERT_GE(ar.num_nodes(), 2u);
+  OptimizedAnalyzeRepresentation oar(ar);
+  oar.set_fused_op("first", {NodeId{0}, NodeId{1}});
+  EXPECT_THROW(oar.set_fused_op("second", {NodeId{1}}), Error);
+  // The failed call must not have corrupted coverage.
+  expect_partition_invariants(ar, oar, 0);
+}
+
+TEST_P(MappingFuzz, UnfusedBaselineIsIdentity) {
+  // With no fusion at all, layers() is exactly the per-node analysis.
+  const AnalyzeRepresentation ar(build_case(GetParam()));
+  const OptimizedAnalyzeRepresentation oar(ar);
+  const auto layers = oar.layers();
+  ASSERT_EQ(layers.size(), ar.num_nodes());
+  // layers() orders by topological position, not node id — match by member.
+  for (const auto& layer : layers) {
+    ASSERT_EQ(layer.members.size(), 1u);
+    EXPECT_FALSE(layer.is_fused);
+    EXPECT_CLOSE(layer.flops, ar.analysis(layer.members[0]).flops, 1e-12);
+  }
+  expect_partition_invariants(ar, oar, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndZooModels, MappingFuzz,
+                         ::testing::Values("small_cnn", "small_transformer",
+                                           "shufflenetv2_05"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace proof

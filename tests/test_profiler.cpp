@@ -46,8 +46,8 @@ TEST(Profiler, ReportInternallyConsistent) {
     latency += layer.latency_s;
     flops += layer.flops;
   }
-  EXPECT_NEAR(latency, r.total_latency_s, 1e-9);
-  EXPECT_NEAR(flops, r.roofline.end_to_end.flops, 1.0);
+  EXPECT_CLOSE(latency, r.total_latency_s, 1e-9);
+  EXPECT_CLOSE(flops, r.roofline.end_to_end.flops, 1e-12);
   EXPECT_GT(r.total_latency_s, 0.0);
   EXPECT_GT(r.power_w, 0.0);
   EXPECT_DOUBLE_EQ(r.mapping_coverage, 1.0);

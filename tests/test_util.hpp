@@ -46,4 +46,31 @@ inline double rel_diff(double a, double b) {
   return std::abs(a - b) / denom;
 }
 
+/// Combined absolute/relative closeness check:
+///   |a - b| <= abs_tol + rel_tol * max(|a|, |b|)
+/// Plain EXPECT_NEAR takes an absolute epsilon only, which is vacuous for
+/// FLOP-scale magnitudes (1e12) and impossibly strict near zero; shared
+/// helpers must use this instead so transformer-sized models are actually
+/// constrained.  Use via EXPECT_CLOSE / EXPECT_CLOSE_ABS below.
+inline ::testing::AssertionResult close_abs_rel(double a, double b,
+                                                double rel_tol,
+                                                double abs_tol) {
+  const double diff = std::abs(a - b);
+  const double bound = abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+  if (diff <= bound) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << ": |diff| = " << diff << " exceeds "
+         << bound << " (rel_tol = " << rel_tol << ", abs_tol = " << abs_tol
+         << ")";
+}
+
+/// Combined-tolerance expectation with a default absolute floor of 1e-12
+/// (so exact-zero comparisons still pass).
+#define EXPECT_CLOSE(a, b, rel_tol) \
+  EXPECT_TRUE(::proof::testing::close_abs_rel((a), (b), (rel_tol), 1e-12))
+#define EXPECT_CLOSE_ABS(a, b, rel_tol, abs_tol) \
+  EXPECT_TRUE(::proof::testing::close_abs_rel((a), (b), (rel_tol), (abs_tol)))
+
 }  // namespace proof::testing

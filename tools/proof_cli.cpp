@@ -41,6 +41,8 @@ using namespace proof;
       "  sweep     batch-size sweep with optimal-batch selection\n"
       "  inspect   full-stack drill-down: model nodes -> layer -> kernels\n"
       "  summarize print the model-design node table (pre-optimization)\n"
+      "  stats     run a profile (or sweep with --batches) and print the\n"
+      "            framework's own self-profile: per-stage spans + counters\n"
       "\n"
       "options:\n"
       "  --model <id|file.pg>   zoo model id or serialized graph file\n"
@@ -62,8 +64,13 @@ using namespace proof;
       "  --svg <path>           write the roofline chart\n"
       "  --html <path>          write the HTML dataviewer page\n"
       "  --csv <path>           write the per-layer CSV\n"
-      "  --json <path>          write the full report as JSON\n"
-      "  --trace <path>         write a Chrome trace-event timeline\n";
+      "  --json <path>          write the full report as JSON (includes a\n"
+      "                         self_profile section unless PROOF_OBS=0)\n"
+      "  --trace <path>         write a Chrome trace-event timeline (includes\n"
+      "                         the profiler's own per-thread spans)\n"
+      "\n"
+      "observability: PROOF_OBS=0 disables self-profiling;\n"
+      "PROOF_METRICS_OUT=<path> dumps the metrics JSON at process exit\n";
   std::exit(2);
 }
 
@@ -237,12 +244,36 @@ int cmd_profile(const Args& args) {
     write_layer_csv(r, *csv);
   }
   if (const auto json = args.get("json")) {
-    save_json(report_to_json(r), *json);
+    save_json(report_to_json(r, obs::enabled()), *json);
     std::cout << "wrote " << *json << "\n";
   }
   if (const auto trace = args.get("trace")) {
-    save_chrome_trace(report_to_chrome_trace(r), *trace);
+    save_chrome_trace(report_to_chrome_trace(r, obs::trace_events()), *trace);
     std::cout << "wrote " << *trace << " (open in chrome://tracing)\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  // Run a representative workload so every pipeline phase (prepare, mapping,
+  // analysis, latency — and sweep when --batches is given) leaves spans, then
+  // print the framework's own cost breakdown.
+  const ProfileOptions opt = options_from(args);
+  const Graph model = load_model_arg(args);
+  if (const auto list = args.get("batches")) {
+    std::vector<int64_t> candidates;
+    for (const auto& field : strings::split_trimmed(*list, ',')) {
+      candidates.push_back(strings::parse_int(field));
+    }
+    (void)sweep_batches(opt, model, candidates);
+  } else {
+    (void)Profiler(opt).run(model);
+  }
+
+  std::cout << obs::self_profile_text();
+  if (const auto json = args.get("json")) {
+    obs::dump_self_profile(*json);
+    std::cout << "wrote " << *json << "\n";
   }
   return 0;
 }
@@ -355,6 +386,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "summarize") {
       return cmd_summarize(args);
+    }
+    if (args.command == "stats") {
+      return cmd_stats(args);
     }
     usage("unknown command '" + args.command + "'");
   } catch (const proof::Error& e) {
