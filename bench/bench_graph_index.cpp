@@ -1,0 +1,176 @@
+// Indexed graph IR speedup: interned-id lookups + CSR adjacency + cached
+// topological order vs the seed's std::map-based lookup layer.
+//
+// Method: the same uncached, single-threaded prepare+analyze workload
+// (backend graph optimization, lowering, layer mapping, analysis) runs under
+// Graph::LookupMode::kIndexed and kLegacyMaps, alternating A/B per
+// repetition so drift hits both sides equally; best-of-N times are compared.
+// kLegacyMaps routes every name lookup through ordered-map mirrors and
+// recomputes the topological order on every call, faithfully reproducing the
+// pre-interning implementation.
+//
+// Correctness gate: the full profile report (timing fields zeroed) must be
+// byte-identical between the two modes for every model.
+//
+// `--smoke` runs one rep of the smallest model only — a CI-friendly check
+// that both modes still work and agree, with no speedup assertion.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+using namespace proof;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ProfileOptions options_for(const std::string& model_id) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.dtype = DType::kF16;
+  opt.batch = model_id == "sd_unet" ? 4 : 8;
+  opt.mode = MetricMode::kPredicted;
+  return opt;
+}
+
+/// One timed pass: uncached engine preparation + analysis + mapping (the
+/// paths the graph index serves).  Latency simulation and report assembly are
+/// excluded — they are lookup-free and identical in both modes.
+double timed_prepare(const Graph& model, const ProfileOptions& opt) {
+  const hw::PlatformDesc& platform =
+      hw::PlatformRegistry::instance().get(opt.platform_id);
+  const backends::Backend& backend =
+      backends::BackendRegistry::instance().get(platform.runtime);
+  backends::BuildConfig config;
+  config.dtype = opt.dtype;
+  config.batch = opt.batch;
+  const double t0 = now_s();
+  const auto prep = prepare_engine(model, backend, platform, config);
+  const double elapsed = now_s() - t0;
+  PROOF_CHECK(prep != nullptr && !prep->engine.layers().empty(),
+              "preparation produced no layers");
+  return elapsed;
+}
+
+/// Full profile serialized with the wall-clock-dependent fields zeroed, so
+/// two runs of identical analysis produce identical bytes.
+std::string normalized_report_json(const Graph& model, const ProfileOptions& opt) {
+  ProfileReport report = Profiler(opt).run(model);
+  report.analysis_time_s = 0.0;
+  report.counter_profiling_time_s = 0.0;
+  return report_to_json(report);
+}
+
+struct ModelResult {
+  std::string id;
+  double legacy_s = std::numeric_limits<double>::infinity();
+  double indexed_s = std::numeric_limits<double>::infinity();
+  bool identical = false;
+
+  [[nodiscard]] double speedup() const { return legacy_s / indexed_s; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::banner(smoke ? "Graph index A/B (smoke)"
+                      : "Indexed graph IR vs legacy map lookups");
+
+  PrepCache::instance().set_enabled(false);  // every rep does full work
+  const std::vector<std::string> models =
+      smoke ? std::vector<std::string>{"resnet50"}
+            : std::vector<std::string>{"resnet50", "distilbert", "sd_unet"};
+  const int reps = smoke ? 1 : 7;
+
+  std::vector<ModelResult> results;
+  for (const std::string& id : models) {
+    const Graph model = models::build_model(id);
+    const ProfileOptions opt = options_for(id);
+
+    ModelResult r;
+    r.id = id;
+
+    // Byte-identical correctness gate (also serves as warm-up for both modes).
+    Graph::set_lookup_mode(Graph::LookupMode::kLegacyMaps);
+    const std::string legacy_json = normalized_report_json(model, opt);
+    Graph::set_lookup_mode(Graph::LookupMode::kIndexed);
+    const std::string indexed_json = normalized_report_json(model, opt);
+    r.identical = legacy_json == indexed_json;
+
+    for (int rep = 0; rep < reps; ++rep) {
+      Graph::set_lookup_mode(Graph::LookupMode::kLegacyMaps);
+      r.legacy_s = std::min(r.legacy_s, timed_prepare(model, opt));
+      Graph::set_lookup_mode(Graph::LookupMode::kIndexed);
+      r.indexed_s = std::min(r.indexed_s, timed_prepare(model, opt));
+    }
+    results.push_back(r);
+  }
+  Graph::set_lookup_mode(Graph::LookupMode::kIndexed);
+  PrepCache::instance().set_enabled(true);
+
+  report::TextTable table({"model", "legacy maps", "indexed IR", "speedup",
+                           "reports identical"});
+  bool all_identical = true;
+  double best_speedup = 0.0;
+  for (const ModelResult& r : results) {
+    table.add_row({r.id, units::ms(r.legacy_s), units::ms(r.indexed_s),
+                   units::fixed(r.speedup(), 2) + "x",
+                   r.identical ? "yes" : "NO"});
+    all_identical = all_identical && r.identical;
+    if (r.id != "resnet50") {
+      best_speedup = std::max(best_speedup, r.speedup());
+    }
+  }
+  std::cout << table.to_string();
+
+  const bool target_met = smoke || best_speedup >= 1.5;
+  if (!smoke) {
+    std::cout << "speedup target (>= 1.50x on distilbert or sd_unet): "
+              << (target_met ? "met" : "MISSED") << "\n";
+  }
+  std::cout << "reports byte-identical in both modes: "
+            << (all_identical ? "yes" : "NO — LOOKUP DIVERGENCE") << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"workload\": \"uncached single-thread prepare+analyze, fp16 "
+          "A100\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"models\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModelResult& r = results[i];
+    json << "    {\"id\": \"" << r.id << "\", \"legacy_s\": " << r.legacy_s
+         << ", \"indexed_s\": " << r.indexed_s
+         << ", \"speedup\": " << r.speedup()
+         << ", \"reports_identical\": " << (r.identical ? "true" : "false")
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"speedup_target\": 1.5,\n"
+       << "  \"target_met\": " << (target_met ? "true" : "false") << ",\n"
+       << "  \"all_reports_identical\": " << (all_identical ? "true" : "false")
+       << "\n"
+       << "}\n";
+  // Smoke runs land in their own file so a CI pass never overwrites the
+  // committed full-run reference numbers.
+  const std::string path = bench::artifact_dir() +
+                           (smoke ? "/BENCH_graph_index_smoke.json"
+                                  : "/BENCH_graph_index.json");
+  std::ofstream(path) << json.str();
+  bench::note_artifact(path);
+
+  // Correctness is a hard failure everywhere; the speedup assertion only
+  // gates the full (non-smoke) run, where best-of-N suppresses timer noise.
+  return all_identical && target_met ? 0 : 1;
+}

@@ -1,7 +1,6 @@
 #include "analysis/memory_footprint.hpp"
 
-#include <map>
-#include <set>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -19,69 +18,84 @@ MemoryFootprint memory_footprint(const Graph& graph) {
 
   // Liveness: a tensor is live from its producer until its last consumer.
   // View-op outputs alias their input's storage: charge zero for the view
-  // output but extend the aliased tensor's lifetime.
-  const auto is_view = [](const std::string& op_type) {
-    static const std::set<std::string> kViews = {"Reshape", "Flatten", "Squeeze",
-                                                 "Unsqueeze", "Identity"};
-    return kViews.count(op_type) > 0;
+  // output but extend the aliased tensor's lifetime.  Everything below is
+  // indexed by interned TensorId — no string maps on this path.
+  const auto is_view = [](const Node& node) {
+    return node.is("Reshape") || node.is("Flatten") || node.is("Squeeze") ||
+           node.is("Unsqueeze") || node.is("Identity");
   };
 
-  const std::vector<NodeId> order = graph.topo_order();
-  std::map<std::string, size_t> last_use;  // storage tensor -> topo position
-  std::map<std::string, std::string> storage_of;  // tensor -> owning storage
+  const std::vector<NodeId>& order = graph.topo_order();
+  const size_t num_ids = graph.num_tensor_ids();
+  constexpr size_t kNever = static_cast<size_t>(-1);
+  std::vector<size_t> last_use(num_ids, kNever);     // storage -> topo position
+  std::vector<TensorId> storage_of(num_ids, kInvalidTensor);  // tensor -> storage
 
-  const auto resolve_storage = [&](const std::string& tensor) -> std::string {
-    std::string current = tensor;
-    auto it = storage_of.find(current);
-    while (it != storage_of.end() && it->second != current) {
-      current = it->second;
-      it = storage_of.find(current);
+  const auto resolve_storage = [&](TensorId tensor) -> TensorId {
+    TensorId current = tensor;
+    while (storage_of[static_cast<size_t>(current)] != kInvalidTensor &&
+           storage_of[static_cast<size_t>(current)] != current) {
+      current = storage_of[static_cast<size_t>(current)];
     }
     return current;
   };
 
   for (size_t pos = 0; pos < order.size(); ++pos) {
     const Node& node = graph.node(order[pos]);
-    const bool view = is_view(node.op_type);
-    for (const std::string& in : node.inputs) {
-      if (graph.has_tensor(in) && graph.tensor(in).is_param) {
+    const bool view = is_view(node);
+    for (const TensorId in : graph.node_input_ids(order[pos])) {
+      if (graph.tensor_is_param(in)) {
         continue;
       }
-      last_use[resolve_storage(in)] = pos;
+      last_use[static_cast<size_t>(resolve_storage(in))] = pos;
     }
-    for (const std::string& out : node.outputs) {
-      if (view && !node.inputs.empty()) {
-        storage_of[out] = resolve_storage(node.inputs.front());
+    const std::span<const TensorId> ins = graph.node_input_ids(order[pos]);
+    for (const TensorId out : graph.node_output_ids(order[pos])) {
+      if (view && !ins.empty()) {
+        storage_of[static_cast<size_t>(out)] = resolve_storage(ins.front());
       } else {
-        storage_of[out] = out;
-        last_use[out] = pos;  // at least live through its own production
+        storage_of[static_cast<size_t>(out)] = out;
+        last_use[static_cast<size_t>(out)] = pos;  // live through its production
       }
     }
   }
   // Graph outputs stay live to the end.
   for (const std::string& out : graph.outputs()) {
-    last_use[resolve_storage(out)] = order.size();
+    const TensorId id = graph.tensor_id(out);
+    if (id != kInvalidTensor) {
+      last_use[static_cast<size_t>(resolve_storage(id))] = order.size();
+    }
+  }
+
+  // Invert last_use once so the sweep frees in O(1) per tensor instead of
+  // scanning the live set at every step.
+  std::vector<std::vector<TensorId>> frees_at(order.size());
+  for (size_t t = 0; t < num_ids; ++t) {
+    if (last_use[t] != kNever && last_use[t] < order.size()) {
+      frees_at[last_use[t]].push_back(static_cast<TensorId>(t));
+    }
   }
 
   // Sweep: track the live set size at each step.
-  std::map<std::string, int64_t> live;  // storage -> bytes
+  std::vector<int64_t> live(num_ids, -1);  // storage -> bytes; -1 = not live
   int64_t live_bytes = 0;
   // Graph inputs are live from the start.
   for (const std::string& in : graph.inputs()) {
-    const std::string storage = resolve_storage(in);
-    live[storage] = graph.tensor(in).size_bytes();
-    live_bytes += live[storage];
+    const TensorId storage = resolve_storage(graph.tensor_id(in));
+    const int64_t bytes = graph.tensor(in).size_bytes();
+    live[static_cast<size_t>(storage)] = bytes;
+    live_bytes += bytes;
   }
   fp.peak_activation_bytes = live_bytes;
 
   for (size_t pos = 0; pos < order.size(); ++pos) {
     const Node& node = graph.node(order[pos]);
     // Allocate outputs (views are free).
-    for (const std::string& out : node.outputs) {
-      const std::string storage = resolve_storage(out);
-      if (live.count(storage) == 0) {
+    for (const TensorId out : graph.node_output_ids(order[pos])) {
+      const TensorId storage = resolve_storage(out);
+      if (live[static_cast<size_t>(storage)] < 0) {
         const int64_t bytes = graph.tensor(storage).size_bytes();
-        live[storage] = bytes;
+        live[static_cast<size_t>(storage)] = bytes;
         live_bytes += bytes;
       }
     }
@@ -90,13 +104,10 @@ MemoryFootprint memory_footprint(const Graph& graph) {
       fp.peak_at_node = node.name;
     }
     // Free tensors whose last use is this step.
-    for (auto it = live.begin(); it != live.end();) {
-      const auto lu = last_use.find(it->first);
-      if (lu != last_use.end() && lu->second == pos) {
-        live_bytes -= it->second;
-        it = live.erase(it);
-      } else {
-        ++it;
+    for (const TensorId storage : frees_at[pos]) {
+      if (live[static_cast<size_t>(storage)] >= 0) {
+        live_bytes -= live[static_cast<size_t>(storage)];
+        live[static_cast<size_t>(storage)] = -1;
       }
     }
   }

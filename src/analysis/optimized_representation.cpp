@@ -1,8 +1,7 @@
 #include "analysis/optimized_representation.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <array>
 
 #include "support/error.hpp"
 
@@ -18,8 +17,9 @@ void OptimizedAnalyzeRepresentation::set_tensor_alias(const std::string& tensor,
   alias_to_canonical_[alias] = resolve(tensor);
 }
 
-std::string OptimizedAnalyzeRepresentation::resolve(const std::string& name) const {
-  std::string current = name;
+std::string_view OptimizedAnalyzeRepresentation::resolve_view(
+    std::string_view name) const {
+  std::string_view current = name;
   // Aliases are stored pre-resolved, so a single hop suffices; loop guards
   // against direct map edits in future code.
   for (int hops = 0; hops < 8; ++hops) {
@@ -32,21 +32,36 @@ std::string OptimizedAnalyzeRepresentation::resolve(const std::string& name) con
   PROOF_FAIL("alias cycle at '" << name << "'");
 }
 
+std::string OptimizedAnalyzeRepresentation::resolve(const std::string& name) const {
+  return std::string(resolve_view(name));
+}
+
+TensorId OptimizedAnalyzeRepresentation::resolve_id(std::string_view name) const {
+  return base_->graph().tensor_id(resolve_view(name));
+}
+
 std::optional<std::vector<NodeId>>
 OptimizedAnalyzeRepresentation::get_subgraph_ops_by_io(
     const std::vector<std::string>& inputs,
     const std::vector<std::string>& outputs) const {
-  std::vector<std::string> in_resolved;
-  in_resolved.reserve(inputs.size());
+  std::vector<TensorId> in_ids;
+  in_ids.reserve(inputs.size());
   for (const std::string& n : inputs) {
-    in_resolved.push_back(resolve(n));
+    const TensorId id = resolve_id(n);
+    if (id != kInvalidTensor) {
+      in_ids.push_back(id);  // unknown names can't stop any known edge
+    }
   }
-  std::vector<std::string> out_resolved;
-  out_resolved.reserve(outputs.size());
+  std::vector<TensorId> out_ids;
+  out_ids.reserve(outputs.size());
   for (const std::string& n : outputs) {
-    out_resolved.push_back(resolve(n));
+    const TensorId id = resolve_id(n);
+    if (id == kInvalidTensor) {
+      return std::nullopt;  // output tensor unknown to the model graph
+    }
+    out_ids.push_back(id);
   }
-  auto result = base_->graph().subgraph_by_io(in_resolved, out_resolved);
+  auto result = base_->graph().subgraph_by_io_ids(in_ids, out_ids);
   if (!result.has_value()) {
     return std::nullopt;
   }
@@ -88,15 +103,15 @@ MemoryEstimate OptimizedAnalyzeRepresentation::fused_memory(
     return base_->analysis(members[0]).memory;
   }
   const Graph& g = base_->graph();
-  const Graph::Boundary b = g.boundary(members);
+  const Graph::BoundaryIds b = g.boundary_ids(members);
   MemoryEstimate est;
-  for (const std::string& t : b.params) {
+  for (const TensorId t : b.params) {
     est.param_bytes += static_cast<double>(g.tensor(t).size_bytes());
   }
-  for (const std::string& t : b.inputs) {
+  for (const TensorId t : b.inputs) {
     est.read_bytes += static_cast<double>(g.tensor(t).size_bytes());
   }
-  for (const std::string& t : b.outputs) {
+  for (const TensorId t : b.outputs) {
     est.write_bytes += static_cast<double>(g.tensor(t).size_bytes());
   }
   return est;
@@ -113,29 +128,34 @@ double OptimizedAnalyzeRepresentation::fused_flops(
 
 OpClass OptimizedAnalyzeRepresentation::dominant_class(
     const std::vector<NodeId>& members) const {
-  std::map<OpClass, double> flops_by_class;
-  std::map<OpClass, double> bytes_by_class;
+  // Dense per-class accumulators; `present` preserves the map-based
+  // tie-breaking, which only considered classes that actually occur.
+  std::array<double, kOpClassCount> flops_by_class{};
+  std::array<double, kOpClassCount> bytes_by_class{};
+  std::array<bool, kOpClassCount> present{};
   for (const NodeId id : members) {
     const NodeAnalysis& a = base_->analysis(id);
-    flops_by_class[a.op_class] += a.flops;
-    bytes_by_class[a.op_class] += a.memory.total();
+    const size_t cls = static_cast<size_t>(a.op_class);
+    present[cls] = true;
+    flops_by_class[cls] += a.flops;
+    bytes_by_class[cls] += a.memory.total();
   }
   OpClass best = base_->analysis(members.front()).op_class;
   double best_flops = -1.0;
-  for (const auto& [cls, f] : flops_by_class) {
-    if (f > best_flops) {
-      best_flops = f;
-      best = cls;
+  for (size_t cls = 0; cls < kOpClassCount; ++cls) {
+    if (present[cls] && flops_by_class[cls] > best_flops) {
+      best_flops = flops_by_class[cls];
+      best = static_cast<OpClass>(cls);
     }
   }
   if (best_flops > 0.0) {
     return best;
   }
   double best_bytes = -1.0;
-  for (const auto& [cls, by] : bytes_by_class) {
-    if (by > best_bytes) {
-      best_bytes = by;
-      best = cls;
+  for (size_t cls = 0; cls < kOpClassCount; ++cls) {
+    if (present[cls] && bytes_by_class[cls] > best_bytes) {
+      best_bytes = bytes_by_class[cls];
+      best = static_cast<OpClass>(cls);
     }
   }
   return best;
@@ -143,9 +163,9 @@ OpClass OptimizedAnalyzeRepresentation::dominant_class(
 
 std::vector<OptimizedAnalyzeRepresentation::OptLayer>
 OptimizedAnalyzeRepresentation::layers() const {
-  const std::vector<NodeId> order = base_->graph().topo_order();
+  const std::vector<NodeId>& order = base_->graph().topo_order();
   std::vector<OptLayer> out;
-  std::set<FusedOpId> emitted;
+  std::vector<uint8_t> emitted(groups_.size(), 0);
   for (const NodeId id : order) {
     const FusedOpId gid = owner_[static_cast<size_t>(id)];
     if (gid < 0) {
@@ -158,7 +178,8 @@ OptimizedAnalyzeRepresentation::layers() const {
       layer.memory = a.memory;
       layer.op_class = a.op_class;
       out.push_back(std::move(layer));
-    } else if (emitted.insert(gid).second) {
+    } else if (!emitted[static_cast<size_t>(gid)]) {
+      emitted[static_cast<size_t>(gid)] = 1;
       out.push_back(layer_for_fused(gid));
     }
   }

@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/analyze_representation.hpp"
@@ -33,6 +34,12 @@ class OptimizedAnalyzeRepresentation {
 
   /// Resolves a (possibly aliased) tensor name to the model tensor name.
   [[nodiscard]] std::string resolve(const std::string& name) const;
+  /// Allocation-free resolve: the returned view points into the alias map or
+  /// the caller's argument and stays valid until the next set_tensor_alias.
+  [[nodiscard]] std::string_view resolve_view(std::string_view name) const;
+  /// Resolves through aliases straight to the model graph's interned tensor
+  /// id (kInvalidTensor for names the graph has never seen).
+  [[nodiscard]] TensorId resolve_id(std::string_view name) const;
 
   /// Finds the node set whose boundary matches the given (possibly aliased)
   /// input/output tensors; members already claimed by a fused op make the
@@ -85,7 +92,7 @@ class OptimizedAnalyzeRepresentation {
   };
 
   const AnalyzeRepresentation* base_;
-  std::map<std::string, std::string> alias_to_canonical_;
+  std::map<std::string, std::string, std::less<>> alias_to_canonical_;
   std::vector<FusedGroup> groups_;
   std::vector<FusedOpId> owner_;  ///< per node: group id or -1
 };

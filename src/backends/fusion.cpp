@@ -1,8 +1,7 @@
 #include "backends/fusion.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_set>
 
 #include "support/error.hpp"
 
@@ -41,65 +40,58 @@ void FusionState::merge(NodeId a, NodeId b) {
 }
 
 std::vector<std::vector<NodeId>> FusionState::groups() const {
-  std::map<int, std::vector<NodeId>> by_root;
-  for (const NodeId id : graph_->topo_order()) {
-    by_root[group_of(id)].push_back(id);
-  }
-  // Order groups by the topo position of their first member.
+  // Single pass over the cached topo order: the first member of each group
+  // encountered is its minimum-topo-position member, so bucketing in
+  // first-seen order reproduces the sort-by-min-topo-pos ordering, and
+  // members land in topo order within their group.
+  std::vector<int> bucket_of(graph_->num_nodes(), -1);
   std::vector<std::vector<NodeId>> out;
-  out.reserve(by_root.size());
-  std::vector<std::pair<size_t, std::vector<NodeId>>> keyed;
-  const std::vector<NodeId> order = graph_->topo_order();
-  std::vector<size_t> topo_pos(graph_->num_nodes());
-  for (size_t i = 0; i < order.size(); ++i) {
-    topo_pos[static_cast<size_t>(order[i])] = i;
-  }
-  for (auto& [root, members] : by_root) {
-    size_t first = topo_pos[static_cast<size_t>(members.front())];
-    for (const NodeId m : members) {
-      first = std::min(first, topo_pos[static_cast<size_t>(m)]);
+  for (const NodeId id : graph_->topo_order()) {
+    const int root = group_of(id);
+    int& bucket = bucket_of[static_cast<size_t>(root)];
+    if (bucket < 0) {
+      bucket = static_cast<int>(out.size());
+      out.emplace_back();
     }
-    keyed.emplace_back(first, std::move(members));
-  }
-  std::sort(keyed.begin(), keyed.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (auto& [pos, members] : keyed) {
-    out.push_back(std::move(members));
+    out[static_cast<size_t>(bucket)].push_back(id);
   }
   return out;
 }
 
-bool FusionState::single_use(const std::string& tensor) const {
-  const auto& outs = graph_->outputs();
-  if (std::find(outs.begin(), outs.end(), tensor) != outs.end()) {
+bool FusionState::single_use(TensorId tensor) const {
+  if (tensor == kInvalidTensor || graph_->is_graph_output(tensor)) {
     return false;
   }
   return graph_->consumers(tensor).size() == 1;
 }
 
-NodeId FusionState::sole_consumer(NodeId id) const {
-  const Node& node = graph_->node(id);
-  if (node.outputs.size() != 1 || !single_use(node.outputs[0])) {
-    return kInvalidNode;
-  }
-  return graph_->consumers(node.outputs[0]).front();
+bool FusionState::single_use(std::string_view tensor) const {
+  return single_use(graph_->tensor_id(tensor));
 }
 
-bool is_fusable_activation(const std::string& op_type) {
-  static const std::set<std::string> kActs = {
+NodeId FusionState::sole_consumer(NodeId id) const {
+  const std::span<const TensorId> outs = graph_->node_output_ids(id);
+  if (outs.size() != 1 || !single_use(outs[0])) {
+    return kInvalidNode;
+  }
+  return graph_->consumers(outs[0]).front();
+}
+
+bool is_fusable_activation(std::string_view op_type) {
+  static const std::unordered_set<std::string_view> kActs = {
       "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Clip",      "HardSigmoid",
       "HardSwish", "Silu",  "Gelu",    "Erf",  "Softmax"};
   return kActs.count(op_type) > 0;
 }
 
-bool is_view_op(const std::string& op_type) {
-  static const std::set<std::string> kViews = {"Reshape", "Flatten", "Squeeze",
-                                               "Unsqueeze", "Identity"};
+bool is_view_op(std::string_view op_type) {
+  static const std::unordered_set<std::string_view> kViews = {
+      "Reshape", "Flatten", "Squeeze", "Unsqueeze", "Identity"};
   return kViews.count(op_type) > 0;
 }
 
-bool is_pointwise_op(const std::string& op_type) {
-  static const std::set<std::string> kPointwise = {
+bool is_pointwise_op(std::string_view op_type) {
+  static const std::unordered_set<std::string_view> kPointwise = {
       "Add",  "Sub",   "Mul",  "Div",   "Pow",        "Sqrt", "Min",
       "Max",  "Equal", "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Erf",
       "Exp",  "Log",   "Neg",  "Clip",  "HardSigmoid", "HardSwish",
@@ -111,8 +103,8 @@ bool is_pointwise_op(const std::string& op_type) {
 
 void fuse_conv_epilogues(FusionState& state, const EpilogueOptions& options) {
   const Graph& g = state.graph();
-  static const std::set<std::string> kAnchors = {"Conv", "ConvTranspose", "Gemm",
-                                                 "MatMul"};
+  static const std::unordered_set<std::string_view> kAnchors = {
+      "Conv", "ConvTranspose", "Gemm", "MatMul"};
   for (const NodeId id : g.topo_order()) {
     if (kAnchors.count(g.node(id).op_type) == 0) {
       continue;
@@ -125,20 +117,20 @@ void fuse_conv_epilogues(FusionState& state, const EpilogueOptions& options) {
           state.group_of(next) != next) {
         break;  // already claimed by another group
       }
-      const std::string& type = g.node(next).op_type;
+      const Node& next_node = g.node(next);
+      const std::string& type = next_node.op_type;
       bool eligible = false;
-      if (options.fold_batchnorm && type == "BatchNormalization") {
+      if (options.fold_batchnorm && next_node.is("BatchNormalization")) {
         eligible = true;
       } else if (options.fuse_activation && is_fusable_activation(type) &&
-                 type != "Softmax") {
+                 !next_node.is("Softmax")) {
         eligible = true;
-      } else if (type == "Add" || type == "Mul") {
+      } else if (next_node.is("Add") || next_node.is("Mul")) {
         // Bias / residual add: the other operand must come from outside the
         // chain (params always qualify; activations need the residual flag).
-        const Node& add = g.node(next);
         bool other_is_param = false;
-        for (const std::string& in : add.inputs) {
-          if (g.has_tensor(in) && g.tensor(in).is_param) {
+        for (const TensorId in : g.node_input_ids(next)) {
+          if (g.tensor_is_param(in)) {
             other_is_param = true;
           }
         }
@@ -181,10 +173,9 @@ void absorb_view_ops(FusionState& state) {
     if (!is_view_op(g.node(id).op_type)) {
       continue;
     }
-    const NodeId producer = g.producer(g.node(id).inputs.empty()
-                                           ? std::string{}
-                                           : g.node(id).inputs.front());
-    if (producer != kInvalidNode && state.single_use(g.node(id).inputs.front())) {
+    const std::span<const TensorId> ins = g.node_input_ids(id);
+    const NodeId producer = ins.empty() ? kInvalidNode : g.producer(ins.front());
+    if (producer != kInvalidNode && state.single_use(ins.front())) {
       state.merge(producer, id);
       continue;
     }
@@ -197,13 +188,13 @@ void absorb_view_ops(FusionState& state) {
 
 void absorb_qdq_ops(FusionState& state) {
   const Graph& g = state.graph();
-  const std::vector<NodeId> order = g.topo_order();
+  const std::vector<NodeId>& order = g.topo_order();
   // Reverse topo order so a DequantizeLinear joins its anchor first and the
   // paired QuantizeLinear then joins the same group transitively.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId id = *it;
-    const std::string& t = g.node(id).op_type;
-    if (t != "QuantizeLinear" && t != "DequantizeLinear") {
+    const Node& n = g.node(id);
+    if (!n.is("QuantizeLinear") && !n.is("DequantizeLinear")) {
       continue;
     }
     const NodeId consumer = state.sole_consumer(id);
@@ -211,8 +202,8 @@ void absorb_qdq_ops(FusionState& state) {
       state.merge(id, consumer);
       continue;
     }
-    const NodeId producer =
-        g.node(id).inputs.empty() ? kInvalidNode : g.producer(g.node(id).inputs[0]);
+    const std::span<const TensorId> ins = g.node_input_ids(id);
+    const NodeId producer = ins.empty() ? kInvalidNode : g.producer(ins[0]);
     if (producer != kInvalidNode) {
       state.merge(producer, id);
     }
@@ -237,7 +228,7 @@ std::vector<NodeId> fuse_attention_regions(FusionState& state, int min_matmuls) 
   };
 
   std::vector<NodeId> representatives;
-  const std::vector<NodeId> order = g.topo_order();
+  const std::vector<NodeId>& order = g.topo_order();
   std::vector<NodeId> segment;
   int matmuls = 0;
 
@@ -257,15 +248,15 @@ std::vector<NodeId> fuse_attention_regions(FusionState& state, int min_matmuls) 
       flush();
       continue;
     }
-    const std::string& t = g.node(id).op_type;
+    const Node& n = g.node(id);
     // A LayerNormalization opens a new region segment: regions are bounded
     // at transformer-block granularity so the layer-wise roofline stays
     // informative (TRT similarly emits one profiled entry per sub-kernel).
-    if (t == "LayerNormalization" && matmuls >= min_matmuls) {
+    if (n.is("LayerNormalization") && matmuls >= min_matmuls) {
       flush();
     }
     segment.push_back(id);
-    if (t == "MatMul" || t == "Gemm") {
+    if (n.is("MatMul") || n.is("Gemm")) {
       ++matmuls;
     }
   }

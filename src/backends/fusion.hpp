@@ -7,7 +7,7 @@
 // opaque attention regions (TensorRT Myelin).
 #pragma once
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -34,7 +34,8 @@ class FusionState {
   [[nodiscard]] std::vector<std::vector<NodeId>> groups() const;
 
   /// True when `tensor` has exactly one consumer and is not a graph output.
-  [[nodiscard]] bool single_use(const std::string& tensor) const;
+  [[nodiscard]] bool single_use(TensorId tensor) const;
+  [[nodiscard]] bool single_use(std::string_view tensor) const;
 
   /// The unique consumer of node `id`'s single output, or kInvalidNode when
   /// the node has multiple outputs / consumers or feeds a graph output.
@@ -81,12 +82,12 @@ void absorb_qdq_ops(FusionState& state);
 std::vector<NodeId> fuse_attention_regions(FusionState& state, int min_matmuls);
 
 /// True for activation op types the runtimes fuse as epilogues.
-[[nodiscard]] bool is_fusable_activation(const std::string& op_type);
+[[nodiscard]] bool is_fusable_activation(std::string_view op_type);
 
 /// True for pure view ops (no data movement).
-[[nodiscard]] bool is_view_op(const std::string& op_type);
+[[nodiscard]] bool is_view_op(std::string_view op_type);
 
 /// True for pointwise-ish ops eligible for chain fusion.
-[[nodiscard]] bool is_pointwise_op(const std::string& op_type);
+[[nodiscard]] bool is_pointwise_op(std::string_view op_type);
 
 }  // namespace proof::backends

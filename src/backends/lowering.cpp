@@ -1,7 +1,6 @@
 #include "backends/lowering.hpp"
 
-#include <map>
-#include <set>
+#include <array>
 
 #include "hw/hardware_flops.hpp"
 #include "support/error.hpp"
@@ -10,7 +9,7 @@ namespace proof::backends {
 
 namespace {
 
-bool is_matrix_anchor(const std::string& op_type) {
+bool is_matrix_anchor(std::string_view op_type) {
   return op_type == "Conv" || op_type == "ConvTranspose" || op_type == "Gemm" ||
          op_type == "MatMul";
 }
@@ -24,15 +23,15 @@ double group_bytes(const Graph& g, const std::vector<NodeId>& members) {
     const OpContext ctx(g, node);
     return op_def_for(node).memory(ctx).total();
   }
-  const Graph::Boundary b = g.boundary(members);
+  const Graph::BoundaryIds b = g.boundary_ids(members);
   double bytes = 0.0;
-  for (const std::string& t : b.params) {
+  for (const TensorId t : b.params) {
     bytes += static_cast<double>(g.tensor(t).size_bytes());
   }
-  for (const std::string& t : b.inputs) {
+  for (const TensorId t : b.inputs) {
     bytes += static_cast<double>(g.tensor(t).size_bytes());
   }
-  for (const std::string& t : b.outputs) {
+  for (const TensorId t : b.outputs) {
     bytes += static_cast<double>(g.tensor(t).size_bytes());
   }
   return bytes;
@@ -65,11 +64,11 @@ hw::KernelWork make_kernel(const Graph& g, const std::vector<NodeId>& members,
     }
   }
   if (!members.empty()) {
-    k.dtype = g.tensor(g.node(members[0]).outputs[0]).dtype;
+    k.dtype = g.tensor(g.node_output_ids(members[0])[0]).dtype;
   }
   for (const NodeId id : members) {
-    const std::string& t = g.node(id).op_type;
-    if (t == "QuantizeLinear" || t == "DequantizeLinear") {
+    const Node& n = g.node(id);
+    if (n.is("QuantizeLinear") || n.is("DequantizeLinear")) {
       k.dtype = DType::kI8;  // folded QDQ group executes as an int8 kernel
       break;
     }
@@ -81,32 +80,37 @@ hw::KernelWork make_kernel(const Graph& g, const std::vector<NodeId>& members,
 
 OpClass dominant_op_class(const Graph& graph, const std::vector<NodeId>& members) {
   PROOF_CHECK(!members.empty(), "empty member set");
-  std::map<OpClass, double> flops_by_class;
-  std::map<OpClass, double> bytes_by_class;
+  // Dense per-class accumulators (no ordered-map churn on the lowering hot
+  // path); `present` keeps the tie-breaking identical to the old map-based
+  // version, which only considered classes that actually occur.
+  std::array<double, kOpClassCount> flops_by_class{};
+  std::array<double, kOpClassCount> bytes_by_class{};
+  std::array<bool, kOpClassCount> present{};
   for (const NodeId id : members) {
     const Node& node = graph.node(id);
     const OpContext ctx(graph, node);
     const OpDef& def = op_def_for(node);
-    const OpClass cls = def.op_class(ctx);
+    const size_t cls = static_cast<size_t>(def.op_class(ctx));
+    present[cls] = true;
     flops_by_class[cls] += def.flops(ctx);
     bytes_by_class[cls] += def.memory(ctx).total();
   }
   OpClass best = OpClass::kElementwise;
   double best_score = -1.0;
-  for (const auto& [cls, f] : flops_by_class) {
-    if (f > best_score) {
-      best_score = f;
-      best = cls;
+  for (size_t cls = 0; cls < kOpClassCount; ++cls) {
+    if (present[cls] && flops_by_class[cls] > best_score) {
+      best_score = flops_by_class[cls];
+      best = static_cast<OpClass>(cls);
     }
   }
   if (best_score > 0.0) {
     return best;
   }
   best_score = -1.0;
-  for (const auto& [cls, b] : bytes_by_class) {
-    if (b > best_score) {
-      best_score = b;
-      best = cls;
+  for (size_t cls = 0; cls < kOpClassCount; ++cls) {
+    if (present[cls] && bytes_by_class[cls] > best_score) {
+      best_score = bytes_by_class[cls];
+      best = static_cast<OpClass>(cls);
     }
   }
   return best;
@@ -120,9 +124,15 @@ BackendLayer lower_group(const Graph& graph, const std::vector<NodeId>& members,
   layer.name = std::move(layer_name);
   layer.is_opaque = opaque;
   layer.cls = dominant_op_class(graph, members);
-  const Graph::Boundary b = graph.boundary(members);
-  layer.input_tensors = b.inputs;
-  layer.output_tensors = b.outputs;
+  const Graph::BoundaryIds b = graph.boundary_ids(members);
+  layer.input_tensors.reserve(b.inputs.size());
+  for (const TensorId t : b.inputs) {
+    layer.input_tensors.emplace_back(graph.tensor_name(t));
+  }
+  layer.output_tensors.reserve(b.outputs.size());
+  for (const TensorId t : b.outputs) {
+    layer.output_tensors.emplace_back(graph.tensor_name(t));
+  }
   for (const NodeId id : members) {
     layer.truth_nodes.push_back(graph.node(id).name);
   }

@@ -15,7 +15,6 @@
 #include "backends/prepare.hpp"
 
 #include <map>
-#include <set>
 
 namespace proof::backends {
 
@@ -23,8 +22,8 @@ namespace {
 
 bool group_is_conv(const Graph& g, const std::vector<NodeId>& members) {
   for (const NodeId id : members) {
-    const std::string& t = g.node(id).op_type;
-    if (t == "Conv" || t == "ConvTranspose") {
+    const Node& n = g.node(id);
+    if (n.is("Conv") || n.is("ConvTranspose")) {
       return true;
     }
   }
@@ -60,54 +59,56 @@ class OrtSimBackend final : public Backend {
 
     // First pass: which tensors cross a layout boundary (produced outside any
     // conv group, consumed by one)?  Graph inputs feeding convs also qualify.
+    // Flags are indexed by TensorId: no string sets on this path.
     const std::vector<std::vector<NodeId>>& groups = plan.groups;
-    std::map<std::string, bool> produced_by_conv;
+    const size_t num_ids = g.num_tensor_ids();
+    std::vector<uint8_t> produced_by_conv(num_ids, 0);
     for (const std::vector<NodeId>& members : groups) {
       const bool conv = group_is_conv(g, members);
       for (const NodeId id : members) {
-        for (const std::string& out : g.node(id).outputs) {
-          produced_by_conv[out] = conv;
+        for (const TensorId out : g.node_output_ids(id)) {
+          produced_by_conv[static_cast<size_t>(out)] = conv ? 1 : 0;
         }
       }
     }
-    std::set<std::string> needs_reorder;
+    std::vector<uint8_t> needs_reorder(num_ids, 0);
     for (const std::vector<NodeId>& members : groups) {
       if (!group_is_conv(g, members)) {
         continue;
       }
-      const Graph::Boundary b = g.boundary(members);
-      for (const std::string& in : b.inputs) {
-        const auto it = produced_by_conv.find(in);
-        const bool from_conv = it != produced_by_conv.end() && it->second;
-        if (!from_conv) {
-          needs_reorder.insert(in);
+      const Graph::BoundaryIds b = g.boundary_ids(members);
+      for (const TensorId in : b.inputs) {
+        if (!produced_by_conv[static_cast<size_t>(in)]) {
+          needs_reorder[static_cast<size_t>(in)] = 1;
         }
       }
     }
 
     std::vector<BackendLayer> layers;
-    std::map<std::string, std::string> renames;
+    std::map<std::string, std::string, std::less<>> renames;
     int reorder_index = 0;
     int fused_index = 0;
-    std::set<std::string> reordered;
+    std::vector<uint8_t> reordered(num_ids, 0);
 
     for (const std::vector<NodeId>& members : groups) {
       const bool conv_group = group_is_conv(g, members);
       // Emit reorder layers for this group's blocked-layout inputs, once per
       // tensor, immediately before the first consumer (Figure 2 ordering).
       if (conv_group) {
-        const Graph::Boundary b = g.boundary(members);
-        for (const std::string& in : b.inputs) {
-          if (needs_reorder.count(in) == 0 || reordered.count(in) > 0) {
+        const Graph::BoundaryIds b = g.boundary_ids(members);
+        for (const TensorId in : b.inputs) {
+          if (!needs_reorder[static_cast<size_t>(in)] ||
+              reordered[static_cast<size_t>(in)]) {
             continue;
           }
-          reordered.insert(in);
+          reordered[static_cast<size_t>(in)] = 1;
           const TensorDesc& desc = g.tensor(in);
-          const std::string renamed = in + "_r";
+          const std::string in_name(g.tensor_name(in));
+          const std::string renamed = in_name + "_r";
           layers.push_back(make_reorder_layer(
-              "reorder_" + std::to_string(reorder_index++), in, renamed,
+              "reorder_" + std::to_string(reorder_index++), in_name, renamed,
               2.0 * static_cast<double>(desc.size_bytes()), desc.dtype));
-          renames[in] = renamed;
+          renames[in_name] = renamed;
         }
       }
 

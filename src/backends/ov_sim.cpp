@@ -49,7 +49,7 @@ class OvSimBackend final : public Backend {
     lowering.split_regions_at_anchors = false;
 
     std::vector<BackendLayer> layers;
-    std::map<std::string, std::string> renames;  // model tensor -> backend name
+    std::map<std::string, std::string, std::less<>> renames;  // model tensor -> backend name
 
     // Input Convert layers: rename "input" -> "input/convert".
     for (const std::string& in : g.inputs()) {

@@ -129,11 +129,7 @@ namespace {
 /// Forces a graph's lazy name/producer/consumer indices to exist so every
 /// later const lookup on a shared entry is a pure read (the indices are
 /// rebuilt on first use otherwise — a data race across threads).
-void warm_graph_indices(const Graph& g) {
-  if (g.num_nodes() > 0) {
-    (void)g.find_node(g.nodes().front().name);
-  }
-}
+void warm_graph_indices(const Graph& g) { g.warm_indices(); }
 
 struct PlanEntry {
   backends::BuildPlan plan;

@@ -18,11 +18,7 @@ namespace {
 
 /// Materializes the shared model's lazy lookup indices before a parallel
 /// region so concurrent const lookups are pure reads.
-void warm_indices(const Graph& model) {
-  if (model.num_nodes() > 0) {
-    (void)model.find_node(model.nodes().front().name);
-  }
-}
+void warm_indices(const Graph& model) { model.warm_indices(); }
 
 }  // namespace
 

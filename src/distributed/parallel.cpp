@@ -177,9 +177,7 @@ StageSearch search_pipeline_stages(const Graph& model,
   const Graph deployed = deploy_graph(model, options);
   // Candidates share `deployed` read-only; materialize its lazy indices
   // before the fan-out (crossing_bytes calls find_node/boundary).
-  if (deployed.num_nodes() > 0) {
-    (void)deployed.find_node(deployed.nodes().front().name);
-  }
+  deployed.warm_indices();
   StageSearch search;
   search.reports = ThreadPool::global().parallel_map(
       stage_counts.size(), [&](size_t i) {

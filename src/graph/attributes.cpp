@@ -7,7 +7,7 @@ namespace proof {
 namespace {
 
 template <typename T>
-const T& get_typed(const std::map<std::string, AttrValue>& values, const std::string& key) {
+const T& get_typed(const AttrMap::Map& values, std::string_view key) {
   const auto it = values.find(key);
   PROOF_CHECK(it != values.end(), "missing attribute '" << key << "'");
   const T* ptr = std::get_if<T>(&it->second);
@@ -17,15 +17,15 @@ const T& get_typed(const std::map<std::string, AttrValue>& values, const std::st
 
 }  // namespace
 
-int64_t AttrMap::get_int(const std::string& key) const {
+int64_t AttrMap::get_int(std::string_view key) const {
   return get_typed<int64_t>(values_, key);
 }
 
-int64_t AttrMap::get_int_or(const std::string& key, int64_t fallback) const {
+int64_t AttrMap::get_int_or(std::string_view key, int64_t fallback) const {
   return has(key) ? get_int(key) : fallback;
 }
 
-double AttrMap::get_float(const std::string& key) const {
+double AttrMap::get_float(std::string_view key) const {
   const auto it = values_.find(key);
   PROOF_CHECK(it != values_.end(), "missing attribute '" << key << "'");
   if (const double* d = std::get_if<double>(&it->second)) {
@@ -38,23 +38,23 @@ double AttrMap::get_float(const std::string& key) const {
   PROOF_FAIL("attribute '" << key << "' is not numeric");
 }
 
-double AttrMap::get_float_or(const std::string& key, double fallback) const {
+double AttrMap::get_float_or(std::string_view key, double fallback) const {
   return has(key) ? get_float(key) : fallback;
 }
 
-const std::string& AttrMap::get_string(const std::string& key) const {
+const std::string& AttrMap::get_string(std::string_view key) const {
   return get_typed<std::string>(values_, key);
 }
 
-std::string AttrMap::get_string_or(const std::string& key, const std::string& fallback) const {
-  return has(key) ? get_string(key) : fallback;
+std::string AttrMap::get_string_or(std::string_view key, std::string_view fallback) const {
+  return has(key) ? get_string(key) : std::string(fallback);
 }
 
-const std::vector<int64_t>& AttrMap::get_ints(const std::string& key) const {
+const std::vector<int64_t>& AttrMap::get_ints(std::string_view key) const {
   return get_typed<std::vector<int64_t>>(values_, key);
 }
 
-std::vector<int64_t> AttrMap::get_ints_or(const std::string& key,
+std::vector<int64_t> AttrMap::get_ints_or(std::string_view key,
                                           std::vector<int64_t> fallback) const {
   return has(key) ? get_ints(key) : std::move(fallback);
 }

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -12,29 +14,36 @@ namespace proof {
 using AttrValue = std::variant<int64_t, double, std::string, std::vector<int64_t>,
                                std::vector<double>>;
 
-/// Ordered attribute map.  Accessors throw proof::Error on missing keys or
-/// type mismatches; the *_or variants return a default instead.
+/// Ordered attribute map with heterogeneous (string_view, allocation-free)
+/// lookup.  Accessors throw proof::Error on missing keys or type mismatches;
+/// the *_or variants return a default instead.
 class AttrMap {
  public:
+  /// Ordered storage (std::less<> enables transparent string_view find);
+  /// ordering keeps serialization and fingerprinting deterministic.
+  using Map = std::map<std::string, AttrValue, std::less<>>;
+
   void set(const std::string& key, AttrValue value) { values_[key] = std::move(value); }
 
-  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+  [[nodiscard]] bool has(std::string_view key) const {
+    return values_.find(key) != values_.end();
+  }
 
-  [[nodiscard]] int64_t get_int(const std::string& key) const;
-  [[nodiscard]] int64_t get_int_or(const std::string& key, int64_t fallback) const;
-  [[nodiscard]] double get_float(const std::string& key) const;
-  [[nodiscard]] double get_float_or(const std::string& key, double fallback) const;
-  [[nodiscard]] const std::string& get_string(const std::string& key) const;
-  [[nodiscard]] std::string get_string_or(const std::string& key,
-                                          const std::string& fallback) const;
-  [[nodiscard]] const std::vector<int64_t>& get_ints(const std::string& key) const;
-  [[nodiscard]] std::vector<int64_t> get_ints_or(const std::string& key,
+  [[nodiscard]] int64_t get_int(std::string_view key) const;
+  [[nodiscard]] int64_t get_int_or(std::string_view key, int64_t fallback) const;
+  [[nodiscard]] double get_float(std::string_view key) const;
+  [[nodiscard]] double get_float_or(std::string_view key, double fallback) const;
+  [[nodiscard]] const std::string& get_string(std::string_view key) const;
+  [[nodiscard]] std::string get_string_or(std::string_view key,
+                                          std::string_view fallback) const;
+  [[nodiscard]] const std::vector<int64_t>& get_ints(std::string_view key) const;
+  [[nodiscard]] std::vector<int64_t> get_ints_or(std::string_view key,
                                                  std::vector<int64_t> fallback) const;
 
-  [[nodiscard]] const std::map<std::string, AttrValue>& raw() const { return values_; }
+  [[nodiscard]] const Map& raw() const { return values_; }
 
  private:
-  std::map<std::string, AttrValue> values_;
+  Map values_;
 };
 
 }  // namespace proof

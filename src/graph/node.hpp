@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/attributes.hpp"
@@ -19,7 +20,7 @@ struct Node {
   std::vector<std::string> outputs;  ///< Tensor names.
   AttrMap attrs;
 
-  [[nodiscard]] bool is(const std::string& type) const { return op_type == type; }
+  [[nodiscard]] bool is(std::string_view type) const { return op_type == type; }
 };
 
 }  // namespace proof

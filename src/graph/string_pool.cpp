@@ -1,0 +1,35 @@
+#include "graph/string_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace proof {
+
+int32_t StringPool::intern(std::string_view s) {
+  const auto it = ids_.find(s);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(storage_.size());
+  storage_.emplace_back(s);
+  ids_.emplace(std::string_view(storage_.back()), id);
+  return id;
+}
+
+std::string_view StringPool::view(int32_t id) const {
+  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < storage_.size(),
+              "bad string pool id " << id);
+  return storage_[static_cast<size_t>(id)];
+}
+
+const std::string& StringPool::str(int32_t id) const {
+  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < storage_.size(),
+              "bad string pool id " << id);
+  return storage_[static_cast<size_t>(id)];
+}
+
+void StringPool::clear() {
+  ids_.clear();
+  storage_.clear();
+}
+
+}  // namespace proof

@@ -1,0 +1,60 @@
+// String interner backing the graph IR's indexed lookup layer.
+//
+// A StringPool resolves each distinct string to a dense int32 id in
+// first-intern order.  Once a name has been interned, every later lookup is
+// one allocation-free hash probe, and all id-indexed side tables
+// (producer-of, CSR consumer adjacency, tensor descriptors) become plain
+// vector indexing.  The pool is append-only: ids stay stable for the
+// lifetime of the pool, which is what lets the Graph's lazy edge indexes be
+// invalidated and rebuilt without renumbering anything eagerly cached.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace proof {
+
+class StringPool {
+ public:
+  static constexpr int32_t kInvalidId = -1;
+
+  StringPool() = default;
+  // Movable but not copyable: the lookup table holds string_views into
+  // storage_, which a memberwise copy would leave dangling.  Owners that
+  // need copy semantics (Graph) rebuild a fresh pool instead.
+  StringPool(StringPool&&) noexcept = default;
+  StringPool& operator=(StringPool&&) noexcept = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Id of `s`, interning it when absent.  Ids are dense and start at 0.
+  int32_t intern(std::string_view s);
+
+  /// Id of `s`, or kInvalidId when it has never been interned.
+  [[nodiscard]] int32_t find(std::string_view s) const {
+    const auto it = ids_.find(s);
+    return it == ids_.end() ? kInvalidId : it->second;
+  }
+
+  /// The string behind an id; throws proof::Error on out-of-range ids.
+  [[nodiscard]] std::string_view view(int32_t id) const;
+  [[nodiscard]] const std::string& str(int32_t id) const;
+
+  [[nodiscard]] size_t size() const { return storage_.size(); }
+  [[nodiscard]] bool contains(std::string_view s) const {
+    return ids_.find(s) != ids_.end();
+  }
+
+  void clear();
+
+ private:
+  // deque: element addresses are stable across growth, so the string_view
+  // keys in ids_ stay valid as new strings are appended.
+  std::deque<std::string> storage_;
+  std::unordered_map<std::string_view, int32_t> ids_;
+};
+
+}  // namespace proof

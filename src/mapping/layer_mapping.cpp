@@ -1,7 +1,6 @@
 #include "mapping/layer_mapping.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <set>
 
 #include "obs/span.hpp"
@@ -83,44 +82,48 @@ std::optional<std::vector<NodeId>> resolve_name_list(
 /// Permissive backward walk: collects unclaimed nodes reachable from the
 /// layer outputs, stopping at declared inputs, params, graph inputs and
 /// already-claimed nodes.  Used when the declared boundary is incomplete.
+/// Runs entirely on interned ids: flag vectors instead of string sets.
 std::vector<NodeId> dependency_walk(const OptimizedAnalyzeRepresentation& oar,
                                     const std::vector<std::string>& inputs,
                                     const std::vector<std::string>& outputs) {
   const Graph& g = oar.base().graph();
-  std::set<std::string> stop;
+  std::vector<uint8_t> stop(g.num_tensor_ids(), 0);
   for (const std::string& t : inputs) {
-    stop.insert(oar.resolve(t));
+    const TensorId id = oar.resolve_id(t);
+    if (id != kInvalidTensor) {
+      stop[static_cast<size_t>(id)] = 1;
+    }
   }
-  std::set<NodeId> visited;
-  std::deque<NodeId> frontier;
+  std::vector<uint8_t> visited(g.num_nodes(), 0);
+  std::vector<NodeId> frontier;
   for (const std::string& out : outputs) {
-    const NodeId p = g.producer(oar.resolve(out));
-    if (p != kInvalidNode && !oar.is_fused(p) && visited.insert(p).second) {
+    const NodeId p = g.producer(oar.resolve_id(out));
+    if (p != kInvalidNode && !oar.is_fused(p) && !visited[static_cast<size_t>(p)]) {
+      visited[static_cast<size_t>(p)] = 1;
       frontier.push_back(p);
     }
   }
-  while (!frontier.empty()) {
-    const NodeId id = frontier.front();
-    frontier.pop_front();
-    for (const std::string& in : g.node(id).inputs) {
-      if (stop.count(in) > 0) {
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId id = frontier[head];
+    for (const TensorId in : g.node_input_ids(id)) {
+      if (stop[static_cast<size_t>(in)]) {
         continue;
       }
-      if (g.has_tensor(in) && g.tensor(in).is_param) {
+      if (g.tensor_is_param(in)) {
         continue;
       }
       const NodeId p = g.producer(in);
       if (p == kInvalidNode || oar.is_fused(p)) {
         continue;  // clip the walk instead of failing
       }
-      if (visited.insert(p).second) {
+      if (!visited[static_cast<size_t>(p)]) {
+        visited[static_cast<size_t>(p)] = 1;
         frontier.push_back(p);
       }
     }
   }
-  std::vector<NodeId> out(visited.begin(), visited.end());
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
 }
 
 }  // namespace

@@ -110,7 +110,7 @@ class GraphBuilder {
   std::string add_and_infer(Node node);
 
   Graph graph_;
-  std::map<std::string, int> name_counters_;
+  std::map<std::string, int, std::less<>> name_counters_;
 };
 
 }  // namespace proof::models

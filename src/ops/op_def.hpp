@@ -36,6 +36,9 @@ enum class OpClass : uint8_t {
   kNoOp,            ///< shape-only metadata ops (Reshape, Shape, ...)
 };
 
+/// Number of OpClass values; bound for dense per-class accumulator arrays.
+inline constexpr size_t kOpClassCount = static_cast<size_t>(OpClass::kNoOp) + 1;
+
 [[nodiscard]] std::string_view op_class_name(OpClass cls);
 
 /// Predicted DRAM traffic of one operator, in bytes.

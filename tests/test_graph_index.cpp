@@ -1,0 +1,299 @@
+// Unit tests: interned-name graph index — string pool round-trips, lazy index
+// invalidation + generation protocol, and a graph-mutation fuzz asserting the
+// id-based, string-based and legacy-map lookup paths agree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/string_pool.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace proof {
+namespace {
+
+/// Restores the process-wide lookup mode when a test exits (even on failure).
+struct LookupModeGuard {
+  ~LookupModeGuard() { Graph::set_lookup_mode(Graph::LookupMode::kIndexed); }
+};
+
+Node make_node(const std::string& name, const std::string& type,
+               std::vector<std::string> in, std::vector<std::string> out) {
+  Node n;
+  n.name = name;
+  n.op_type = type;
+  n.inputs = std::move(in);
+  n.outputs = std::move(out);
+  return n;
+}
+
+Graph chain3() {
+  // in -> a -> b -> c -> out
+  Graph g("chain3");
+  g.set_tensor({.name = "in", .dtype = DType::kF32, .shape = Shape{4}});
+  g.add_input("in");
+  g.add_node(make_node("a", "Relu", {"in"}, {"ta"}));
+  g.add_node(make_node("b", "Relu", {"ta"}, {"tb"}));
+  g.add_node(make_node("c", "Relu", {"tb"}, {"tc"}));
+  g.add_output("tc");
+  return g;
+}
+
+// --- StringPool --------------------------------------------------------------
+
+TEST(StringPool, RoundTripAndDenseIds) {
+  StringPool pool;
+  EXPECT_EQ(pool.find("x"), StringPool::kInvalidId);
+  const int32_t a = pool.intern("alpha");
+  const int32_t b = pool.intern("beta");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(pool.intern("alpha"), a);  // re-intern is idempotent
+  EXPECT_EQ(pool.find("beta"), b);
+  EXPECT_EQ(pool.view(a), "alpha");
+  EXPECT_EQ(pool.str(b), "beta");
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_TRUE(pool.contains("alpha"));
+  EXPECT_FALSE(pool.contains("gamma"));
+}
+
+TEST(StringPool, ManySimilarNamesStayDistinct) {
+  // Near-identical names (shared prefixes, same length) stress the hash
+  // table: every name must keep its own id and round-trip exactly.
+  StringPool pool;
+  std::vector<int32_t> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(pool.intern("tensor_" + std::to_string(i)));
+  }
+  EXPECT_EQ(pool.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string name = "tensor_" + std::to_string(i);
+    EXPECT_EQ(pool.find(name), ids[static_cast<size_t>(i)]);
+    EXPECT_EQ(pool.view(ids[static_cast<size_t>(i)]), name);
+  }
+  // Ids stay stable across later growth (append-only contract).
+  const int32_t early = pool.find("tensor_0");
+  pool.intern("late_arrival");
+  EXPECT_EQ(pool.find("tensor_0"), early);
+}
+
+TEST(StringPool, OutOfRangeIdThrows) {
+  StringPool pool;
+  pool.intern("only");
+  EXPECT_THROW((void)pool.view(1), Error);
+  EXPECT_THROW((void)pool.view(-1), Error);
+}
+
+// --- invalidation / generation protocol --------------------------------------
+
+TEST(GraphIndex, ConstQueriesDoNotBumpGeneration) {
+  const Graph g = chain3();
+  const uint64_t gen = g.index_generation();
+  (void)g.topo_order();
+  (void)g.consumers("ta");
+  (void)g.find_node("b");
+  (void)g.nodes_of_type("Relu");
+  EXPECT_EQ(g.index_generation(), gen);
+}
+
+TEST(GraphIndex, AddNodeBumpsGenerationAndRefreshesResults) {
+  Graph g = chain3();
+  EXPECT_EQ(g.topo_order().size(), 3u);
+  EXPECT_TRUE(g.consumers("tc").empty());
+  const uint64_t gen = g.index_generation();
+
+  g.add_node(make_node("d", "Sigmoid", {"tc"}, {"td"}));
+  EXPECT_GT(g.index_generation(), gen);
+
+  // Every lazy index serves fresh results after the mutation.
+  EXPECT_EQ(g.topo_order().size(), 4u);
+  ASSERT_EQ(g.consumers("tc").size(), 1u);
+  EXPECT_EQ(g.node(g.consumers("tc").front()).name, "d");
+  EXPECT_EQ(g.find_node("d"), g.topo_order().back());
+  EXPECT_EQ(g.nodes_of_type("Sigmoid").size(), 1u);
+  EXPECT_EQ(g.producer("td"), g.find_node("d"));
+}
+
+TEST(GraphIndex, MutableNodeAccessInvalidates) {
+  Graph g = chain3();
+  EXPECT_EQ(g.find_node("b"), 1);
+  const uint64_t gen = g.index_generation();
+
+  g.node(1).name = "b_renamed";  // non-const access invalidates
+  EXPECT_GT(g.index_generation(), gen);
+  EXPECT_EQ(g.find_node("b"), kInvalidNode);
+  EXPECT_EQ(g.find_node("b_renamed"), 1);
+
+  // Rewiring is picked up too: route c's input straight to ta.
+  g.node(2).inputs = {"ta"};
+  ASSERT_EQ(g.consumers("ta").size(), 2u);
+  EXPECT_TRUE(g.consumers("tb").empty());
+}
+
+TEST(GraphIndex, CachedTopoReferenceStableUntilMutation) {
+  const Graph g = chain3();
+  const std::vector<NodeId>* first = &g.topo_order();
+  const std::vector<NodeId>* second = &g.topo_order();
+  EXPECT_EQ(first, second);  // cached: same object, no recompute
+  EXPECT_EQ(g.index_generation(), g.index_generation());
+}
+
+TEST(GraphIndex, SetTensorDoesNotInvalidateStructure) {
+  Graph g = chain3();
+  (void)g.topo_order();
+  const uint64_t gen = g.index_generation();
+  g.set_tensor({.name = "ta", .dtype = DType::kF16, .shape = Shape{4}});
+  EXPECT_EQ(g.index_generation(), gen);  // desc-only change, structure intact
+  EXPECT_EQ(g.tensor("ta").dtype, DType::kF16);
+}
+
+TEST(GraphIndex, CopyResetsInternerButPreservesLookups) {
+  const Graph g = chain3();
+  (void)g.topo_order();
+  const Graph copy = g;  // must re-intern into its own pool
+  EXPECT_EQ(copy.find_node("b"), g.find_node("b"));
+  EXPECT_EQ(copy.topo_order(), g.topo_order());
+  EXPECT_EQ(copy.producer("tb"), g.producer("tb"));
+  EXPECT_EQ(copy.tensor_name(copy.tensor_id("ta")), "ta");
+}
+
+TEST(GraphIndex, DuplicateNodeNameSurfacesOnQuery) {
+  Graph g("dup");
+  g.set_tensor({.name = "in", .dtype = DType::kF32, .shape = Shape{1}});
+  g.add_input("in");
+  g.add_node(make_node("same", "Relu", {"in"}, {"t0"}));
+  g.add_node(make_node("same", "Relu", {"t0"}, {"t1"}));
+  EXPECT_THROW((void)g.find_node("same"), ModelError);
+}
+
+// --- graph-mutation fuzz ------------------------------------------------------
+
+/// Asserts that the string-keyed and id-keyed lookup APIs agree on `g`, and
+/// that the indexed implementation matches the legacy std::map baseline.
+void expect_lookup_agreement(const Graph& g) {
+  // String API vs id API, in the default indexed mode.
+  Graph::set_lookup_mode(Graph::LookupMode::kIndexed);
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    const Node& n = g.node(static_cast<NodeId>(i));
+    ASSERT_EQ(g.find_node(n.name), static_cast<NodeId>(i));
+    const auto in_ids = g.node_input_ids(static_cast<NodeId>(i));
+    ASSERT_EQ(in_ids.size(), n.inputs.size());
+    for (size_t k = 0; k < n.inputs.size(); ++k) {
+      EXPECT_EQ(in_ids[k], g.tensor_id(n.inputs[k]));
+      EXPECT_EQ(g.tensor_name(in_ids[k]), n.inputs[k]);
+    }
+    const auto out_ids = g.node_output_ids(static_cast<NodeId>(i));
+    ASSERT_EQ(out_ids.size(), n.outputs.size());
+    for (size_t k = 0; k < n.outputs.size(); ++k) {
+      EXPECT_EQ(out_ids[k], g.tensor_id(n.outputs[k]));
+    }
+  }
+  std::vector<std::string> tensor_names;
+  for (const auto& [name, desc] : g.tensors()) {
+    tensor_names.push_back(name);
+    const TensorId id = g.tensor_id(name);
+    ASSERT_NE(id, kInvalidTensor) << name;
+    EXPECT_EQ(g.has_tensor(name), g.has_tensor(id));
+    EXPECT_EQ(&g.tensor(name), &g.tensor(id));
+    EXPECT_EQ(g.producer(name), g.producer(id));
+    const auto by_name = g.consumers(name);
+    const auto by_id = g.consumers(id);
+    ASSERT_TRUE(std::equal(by_name.begin(), by_name.end(), by_id.begin(),
+                           by_id.end()));
+  }
+
+  // Indexed vs legacy baseline: snapshot under kIndexed...
+  const std::vector<NodeId> topo_indexed = g.topo_order();
+  std::vector<NodeId> producers_indexed;
+  std::vector<std::vector<NodeId>> consumers_indexed;
+  for (const std::string& name : tensor_names) {
+    producers_indexed.push_back(g.producer(name));
+    const auto c = g.consumers(name);
+    consumers_indexed.emplace_back(c.begin(), c.end());
+  }
+  std::vector<NodeId> all_nodes(g.num_nodes());
+  for (size_t i = 0; i < all_nodes.size(); ++i) {
+    all_nodes[i] = static_cast<NodeId>(i);
+  }
+  const Graph::Boundary boundary_indexed = g.boundary(all_nodes);
+  const auto subgraph_indexed =
+      g.subgraph_by_io(boundary_indexed.inputs, boundary_indexed.outputs);
+
+  // ... and compare against the legacy map implementation.
+  LookupModeGuard guard;
+  Graph::set_lookup_mode(Graph::LookupMode::kLegacyMaps);
+  EXPECT_EQ(g.topo_order(), topo_indexed);
+  for (size_t i = 0; i < tensor_names.size(); ++i) {
+    EXPECT_EQ(g.producer(tensor_names[i]), producers_indexed[i]) << tensor_names[i];
+    const auto c = g.consumers(tensor_names[i]);
+    EXPECT_TRUE(std::equal(c.begin(), c.end(), consumers_indexed[i].begin(),
+                           consumers_indexed[i].end()))
+        << tensor_names[i];
+  }
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.find_node(g.node(static_cast<NodeId>(i)).name),
+              static_cast<NodeId>(i));
+  }
+  const Graph::Boundary boundary_legacy = g.boundary(all_nodes);
+  EXPECT_EQ(boundary_legacy.inputs, boundary_indexed.inputs);
+  EXPECT_EQ(boundary_legacy.outputs, boundary_indexed.outputs);
+  EXPECT_EQ(boundary_legacy.params, boundary_indexed.params);
+  const auto subgraph_legacy =
+      g.subgraph_by_io(boundary_indexed.inputs, boundary_indexed.outputs);
+  EXPECT_EQ(subgraph_legacy, subgraph_indexed);
+}
+
+TEST(GraphIndexFuzz, RandomMutationsKeepAllLookupPathsInAgreement) {
+  LookupModeGuard guard;
+  std::mt19937 rng(20260806);
+  for (int round = 0; round < 8; ++round) {
+    Graph g("fuzz_" + std::to_string(round));
+    g.set_tensor({.name = "in", .dtype = DType::kF32, .shape = Shape{8}});
+    g.add_input("in");
+    std::vector<std::string> tensors = {"in"};
+    int fresh = 0;
+
+    const int mutations = 20 + round * 10;
+    for (int m = 0; m < mutations; ++m) {
+      const int action = static_cast<int>(rng() % 10);
+      if (action < 6 || g.num_nodes() == 0) {
+        // Add a node consuming 1-3 random existing tensors (duplicates
+        // allowed — consumer multiplicity must survive the CSR build).
+        std::vector<std::string> ins;
+        const int arity = 1 + static_cast<int>(rng() % 3);
+        for (int k = 0; k < arity; ++k) {
+          ins.push_back(tensors[rng() % tensors.size()]);
+        }
+        const std::string out = "t" + std::to_string(fresh);
+        const std::string name = "n" + std::to_string(fresh);
+        ++fresh;
+        const char* type = (rng() % 2 == 0) ? "Relu" : "Add";
+        g.add_node(make_node(name, type, std::move(ins), {out}));
+        tensors.push_back(out);
+      } else if (action < 8) {
+        // Update a tensor desc in place (no structural change).
+        g.set_tensor({.name = tensors[rng() % tensors.size()],
+                      .dtype = DType::kF16,
+                      .shape = Shape{8}});
+      } else {
+        // Rename a random node through the mutable accessor.
+        const NodeId victim = static_cast<NodeId>(rng() % g.num_nodes());
+        g.node(victim).name = "renamed_" + std::to_string(fresh++);
+      }
+      if (m % 7 == 0) {
+        expect_lookup_agreement(g);
+        if (::testing::Test::HasFatalFailure()) {
+          return;
+        }
+      }
+    }
+    expect_lookup_agreement(g);
+  }
+}
+
+}  // namespace
+}  // namespace proof
