@@ -1,0 +1,249 @@
+// Serve-mode throughput and shared-cache amortization: an in-process
+// `proof serve` daemon on a unix socket, driven by closed-loop clients.
+//
+//  1. cold vs warm: the first profile request pays the model load (ModelPool)
+//     and engine preparation (PrepCache); repeats hit both caches.  The
+//     daemon's reason to exist is that ratio — it must be >= 3x.
+//  2. scaling: 1..N closed-loop client threads, each with its own
+//     connection, hammer warm profile requests for a fixed window; p50/p99
+//     latency and requests/s per level.  On a multicore host requests/s at
+//     the top level must beat the single-client level by >= 1.3x; a
+//     1-hardware-thread host cannot demonstrate that and the bench refuses
+//     to run without --allow-single-core (see bench_util.hpp).
+//
+// Writes BENCH_serve_scaling.json.
+#include "bench_util.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <thread>
+#include <vector>
+
+using namespace proof;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string profile_request(int64_t id) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"method\":\"profile\",\"params\":{\"model\":\"resnet50\","
+         "\"platform\":\"a100\",\"batch\":8}}";
+}
+
+/// One request/response exchange; progress frames (none for `profile`) are
+/// drained.  Throws on error responses so callers can count failures.
+std::string call(net::Socket& socket, const std::string& payload) {
+  serve::write_frame(socket, payload);
+  while (true) {
+    std::optional<std::string> frame = serve::read_frame(socket);
+    if (!frame.has_value()) {
+      throw net::IoError("server closed the connection mid-request");
+    }
+    const serve::Response response = serve::parse_response(*frame);
+    if (response.is_progress()) {
+      continue;
+    }
+    if (!response.is_result()) {
+      throw Error("request failed: " + response.error_message);
+    }
+    return response.payload;
+  }
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t idx = std::min(sorted.size() - 1,
+                              static_cast<size_t>(q * double(sorted.size())));
+  return sorted[idx];
+}
+
+struct ClientResult {
+  std::vector<double> latencies;
+  uint64_t errors = 0;
+};
+
+/// Closed loop: one connection, back-to-back warm profile requests until the
+/// window closes.
+void client_loop(const net::Endpoint& endpoint, double window_s,
+                 ClientResult* out) {
+  try {
+    net::Socket socket = net::connect(endpoint);
+    const double t_end = now_s() + window_s;
+    int64_t id = 0;
+    while (now_s() < t_end) {
+      const double t0 = now_s();
+      (void)call(socket, profile_request(++id));
+      out->latencies.push_back(now_s() - t0);
+    }
+  } catch (const std::exception&) {
+    ++out->errors;
+  }
+}
+
+struct Level {
+  unsigned clients = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double rps = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+Level run_level(const net::Endpoint& endpoint, unsigned clients,
+                double window_s) {
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const double t0 = now_s();
+  for (unsigned i = 0; i < clients; ++i) {
+    threads.emplace_back(client_loop, std::cref(endpoint), window_s,
+                         &results[i]);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double elapsed = now_s() - t0;
+
+  Level level;
+  level.clients = clients;
+  std::vector<double> all;
+  for (const ClientResult& r : results) {
+    level.errors += r.errors;
+    level.requests += r.latencies.size();
+    all.insert(all.end(), r.latencies.begin(), r.latencies.end());
+  }
+  std::sort(all.begin(), all.end());
+  level.rps = elapsed > 0.0 ? double(level.requests) / elapsed : 0.0;
+  level.p50_s = percentile(all, 0.50);
+  level.p99_s = percentile(all, 0.99);
+  return level;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Serve throughput: cold vs warm and closed-loop scaling");
+
+  bool single_core = false;
+  if (!bench::require_multicore("bench_serve_throughput", argc, argv,
+                                &single_core)) {
+    return 1;
+  }
+
+  serve::ServerOptions options;
+  options.listen = "unix:/tmp/proof_bench_serve_" +
+                   std::to_string(::getpid()) + ".sock";
+  options.max_inflight = 64;  // the bench measures latency, not admission
+  serve::Server server(std::move(options));
+  server.start();
+  const net::Endpoint& endpoint = server.endpoint();
+  std::cout << "daemon on " << endpoint.describe() << "\n\n";
+
+  // --- cold vs warm ----------------------------------------------------------
+  // No preload: the first request pays graph build + index warm + engine prep.
+  net::Socket probe = net::connect(endpoint);
+  const double t_cold = now_s();
+  (void)call(probe, profile_request(1));
+  const double cold_s = now_s() - t_cold;
+
+  std::vector<double> warm;
+  for (int i = 0; i < 50; ++i) {
+    const double t0 = now_s();
+    (void)call(probe, profile_request(2 + i));
+    warm.push_back(now_s() - t0);
+  }
+  probe.close();
+  std::sort(warm.begin(), warm.end());
+  const double warm_p50 = percentile(warm, 0.50);
+  const double warm_p99 = percentile(warm, 0.99);
+  const double warm_speedup = warm_p50 > 0.0 ? cold_s / warm_p50 : 0.0;
+  const bool warm_met = warm_speedup >= 3.0;
+
+  std::cout << "cold first request: " << units::ms(cold_s)
+            << "  warm p50: " << units::ms(warm_p50)
+            << "  speedup: " << units::fixed(warm_speedup, 1) << "x "
+            << (warm_met ? "(>= 3x: ok)" : "(< 3x: FAIL)") << "\n\n";
+
+  // --- closed-loop scaling ---------------------------------------------------
+  const unsigned hw = bench::hardware_threads();
+  std::vector<unsigned> counts{1, 2, 4};
+  if (2 * hw > 4) {
+    counts.push_back(2 * hw);
+  }
+  constexpr double kWindowS = 0.8;
+
+  report::TextTable table({"clients", "requests", "req/s", "p50", "p99", "errors"});
+  std::vector<Level> levels;
+  for (const unsigned clients : counts) {
+    const Level level = run_level(endpoint, clients, kWindowS);
+    table.add_row({std::to_string(level.clients),
+                   std::to_string(level.requests),
+                   units::fixed(level.rps, 0), units::ms(level.p50_s),
+                   units::ms(level.p99_s), std::to_string(level.errors)});
+    levels.push_back(level);
+  }
+  std::cout << table.to_string();
+
+  const double rps_1 = levels.front().rps;
+  const double rps_max = levels.back().rps;
+  const double scaling = rps_1 > 0.0 ? rps_max / rps_1 : 0.0;
+  uint64_t total_errors = 0;
+  for (const Level& level : levels) {
+    total_errors += level.errors;
+  }
+  const bool multicore_met = !single_core && scaling >= 1.3;
+  std::cout << "requests/s scaling 1 -> " << levels.back().clients
+            << " clients: " << units::fixed(scaling, 2) << "x"
+            << (single_core ? " (single-core host: criterion not measurable)"
+                            : (multicore_met ? " (>= 1.3x: ok)"
+                                             : " (< 1.3x: FAIL)"))
+            << "\n";
+
+  server.stop();
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"workload\": \"resnet50 profile, a100 fp16 batch 8, predicted; "
+          "closed-loop clients over a unix socket\",\n"
+       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"single_core_host\": " << (single_core ? "true" : "false")
+       << ",\n"
+       << "  \"cold_first_request_s\": " << cold_s << ",\n"
+       << "  \"warm_p50_s\": " << warm_p50 << ",\n"
+       << "  \"warm_p99_s\": " << warm_p99 << ",\n"
+       << "  \"warm_speedup\": " << warm_speedup << ",\n"
+       << "  \"warm_criterion_met\": " << (warm_met ? "true" : "false")
+       << ",\n"
+       << "  \"levels\": [\n";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const Level& level = levels[i];
+    json << "    {\"clients\": " << level.clients
+         << ", \"requests\": " << level.requests << ", \"rps\": " << level.rps
+         << ", \"p50_s\": " << level.p50_s << ", \"p99_s\": " << level.p99_s
+         << ", \"errors\": " << level.errors << "}"
+         << (i + 1 < levels.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"scaling_1_to_max_clients\": " << scaling << ",\n"
+       << "  \"multicore_criterion_met\": "
+       << (multicore_met ? "true" : "false") << "\n}\n";
+  const std::string path = bench::artifact_dir() + "/BENCH_serve_scaling.json";
+  std::ofstream(path) << json.str();
+  bench::note_artifact(path);
+
+  const bool ok =
+      warm_met && total_errors == 0 && (single_core || multicore_met);
+  return ok ? 0 : 1;
+}

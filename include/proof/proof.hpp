@@ -26,6 +26,7 @@
 //   * roofline / report   — roofline math, tables, CSV, SVG charts
 //   * obs                 — the framework's own metrics/span self-profiling
 //   * core                — the Profiler orchestrator tying it together
+//   * serve               — the profiling-as-a-service daemon (proof serve)
 #pragma once
 
 #include "analysis/analyze_representation.hpp"
@@ -63,7 +64,13 @@
 #include "report/table.hpp"
 #include "roofline/peak_test.hpp"
 #include "roofline/roofline.hpp"
+#include "serve/model_pool.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"

@@ -2,10 +2,12 @@
 # Builds the suite with ThreadSanitizer (-DPROOF_SANITIZE=thread) into
 # build-tsan/ and runs the concurrency-sensitive tests: the thread pool, the
 # parallel-sweep determinism suite, the preparation cache (including its
-# dedicated concurrency suite) and the observability layer's sharded
-# metrics/trace buffer.  Any data race in the pool, the cache's shared
-# PreparedEngine entries, the graphs' lazy index maps or the obs shards
-# fails the run.
+# dedicated concurrency suite), the observability layer's sharded
+# metrics/trace buffer, and the serve daemon (protocol framing over real
+# sockets plus the full client/server e2e suite — acceptor, sessions,
+# admission ledger, drain).  Any data race in the pool, the cache's shared
+# PreparedEngine entries, the graphs' lazy index maps, the obs shards or the
+# daemon's session teardown fails the run.
 #
 # Usage: scripts/check_tsan.sh [extra gtest filter]
 set -euo pipefail
@@ -13,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*}"
+FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

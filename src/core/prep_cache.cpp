@@ -148,7 +148,19 @@ bool env_enables_cache() {
            std::strcmp(env, "off") == 0);
 }
 
-constexpr size_t kMaxEngines = 512;  ///< FIFO eviction bound (memory backstop)
+/// Default FIFO eviction bound (memory backstop); PROOF_PREP_CACHE_CAP
+/// overrides it at startup, set_capacity() at runtime.
+size_t env_capacity() {
+  const char* env = std::getenv("PROOF_PREP_CACHE_CAP");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return static_cast<size_t>(v);  // 0 = unbounded
+    }
+  }
+  return 512;
+}
 
 /// Builds a PreparedEngine, reusing `cached_plan`'s fusion plan + mapping when
 /// provided; fills `*out_plan` (when non-null) for plan-level publication.
@@ -201,6 +213,7 @@ std::shared_ptr<const PreparedEngine> prepare_engine(
 struct PrepCache::Impl {
   mutable std::mutex mu;
   bool enabled = env_enables_cache();
+  size_t capacity = env_capacity();
   PrepCacheStats stats;
   std::map<EngineKey, std::shared_future<std::shared_ptr<const PreparedEngine>>>
       engines;
@@ -250,6 +263,31 @@ size_t PrepCache::size() const {
   return impl_->engines.size();
 }
 
+size_t PrepCache::capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->capacity;
+}
+
+void PrepCache::set_capacity(size_t capacity) {
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->capacity = capacity;
+    // Shrink immediately: drop the oldest ready entries until within bound.
+    while (impl_->capacity != 0 &&
+           impl_->engine_order.size() > impl_->capacity) {
+      const EngineKey victim = impl_->engine_order.front();
+      impl_->engine_order.pop_front();
+      impl_->engines.erase(victim);
+      ++impl_->stats.evictions;
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    PROOF_COUNT("prep_cache.evictions", evicted);
+  }
+}
+
 std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
     const Graph& model, const backends::Backend& backend,
     const hw::PlatformDesc& platform, const backends::BuildConfig& config) {
@@ -271,38 +309,49 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
 
   std::shared_future<std::shared_ptr<const PreparedEngine>> ready;
   bool is_hit = false;
-  size_t evicted = 0;
-  PROOF_COUNT("prep_cache.lookups", 1);
   {
+    // The obs counters are bumped here, inside the same critical section as
+    // the struct ledger, so the two stay reconciled: every lookup lands its
+    // lookup + (hit xor miss) increments back-to-back under the lock instead
+    // of counting the hit only after a potentially long blocking wait on the
+    // builder's future — a concurrently sampled stats snapshot (the serve
+    // daemon's `stats` endpoint) would otherwise read lookups > hits + misses
+    // for the whole duration of a build.
     std::lock_guard<std::mutex> lock(impl_->mu);
+    PROOF_COUNT("prep_cache.lookups", 1);
     const auto it = impl_->engines.find(ekey);
     if (it != impl_->engines.end()) {
       ++impl_->stats.engine_hits;
+      PROOF_COUNT("prep_cache.hits", 1);
       ready = it->second;
       is_hit = true;
     } else {
       ++impl_->stats.engine_misses;
+      PROOF_COUNT("prep_cache.misses", 1);
       ready = impl_->engines.emplace(ekey, engine_promise.get_future().share())
                   .first->second;
       impl_->engine_order.push_back(ekey);
       const auto pit = impl_->plans.find(pkey);
       if (pit != impl_->plans.end()) {
         ++impl_->stats.plan_hits;
+        PROOF_COUNT("prep_cache.plan_hits", 1);
         plan_future = pit->second;
         have_plan_future = true;
       } else {
         ++impl_->stats.plan_misses;
+        PROOF_COUNT("prep_cache.plan_misses", 1);
         plan_promise.emplace();
         impl_->plans.emplace(pkey, plan_promise->get_future().share());
       }
       // FIFO memory backstop; never evict the entry just inserted.
-      while (impl_->engine_order.size() > kMaxEngines) {
+      while (impl_->capacity != 0 &&
+             impl_->engine_order.size() > impl_->capacity) {
         const EngineKey victim = impl_->engine_order.front();
         impl_->engine_order.pop_front();
         if (!(victim == ekey)) {
           impl_->engines.erase(victim);
           ++impl_->stats.evictions;
-          ++evicted;
+          PROOF_COUNT("prep_cache.evictions", 1);
         } else {
           impl_->engine_order.push_back(victim);
           break;
@@ -310,19 +359,9 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
       }
     }
   }
-  if (evicted > 0) {
-    PROOF_COUNT("prep_cache.evictions", evicted);
-  }
 
   if (is_hit) {
-    PROOF_COUNT("prep_cache.hits", 1);
     return ready.get();  // rethrows the builder's exception, if any
-  }
-  PROOF_COUNT("prep_cache.misses", 1);
-  if (have_plan_future) {
-    PROOF_COUNT("prep_cache.plan_hits", 1);
-  } else {
-    PROOF_COUNT("prep_cache.plan_misses", 1);
   }
 
   // This call is the builder for its key.

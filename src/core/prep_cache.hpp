@@ -115,6 +115,13 @@ class PrepCache {
   /// Ready engine-level entries cached right now.
   [[nodiscard]] size_t size() const;
 
+  /// FIFO eviction bound on engine-level entries (0 = unbounded).  Initial
+  /// value comes from PROOF_PREP_CACHE_CAP (default 512).  Long-running
+  /// daemons tune this to bound resident memory; shrinking evicts the oldest
+  /// entries immediately.
+  [[nodiscard]] size_t capacity() const;
+  void set_capacity(size_t capacity);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -64,17 +64,24 @@ BatchSweep sweep_batches(const ProfileOptions& base, const Graph& model,
         return point;
       });
 
+  sweep.optimal_batch = select_optimal_batch(sweep.points, knee_tolerance);
+  return sweep;
+}
+
+int64_t select_optimal_batch(const std::vector<BatchPoint>& points,
+                             double knee_tolerance) {
+  PROOF_CHECK(knee_tolerance >= 0.0 && knee_tolerance < 1.0,
+              "knee_tolerance must be in [0, 1)");
   double best_throughput = 0.0;
-  for (const BatchPoint& point : sweep.points) {
+  for (const BatchPoint& point : points) {
     best_throughput = std::max(best_throughput, point.throughput_per_s);
   }
-  for (const BatchPoint& point : sweep.points) {
+  for (const BatchPoint& point : points) {
     if (point.throughput_per_s >= (1.0 - knee_tolerance) * best_throughput) {
-      sweep.optimal_batch = point.batch;
-      break;
+      return point.batch;
     }
   }
-  return sweep;
+  return 0;
 }
 
 std::string sweep_text(const BatchSweep& sweep) {

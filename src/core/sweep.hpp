@@ -41,6 +41,14 @@ struct BatchSweep {
                                        std::vector<int64_t> candidates = {},
                                        double knee_tolerance = 0.05);
 
+/// The knee-selection rule on its own: the smallest batch whose throughput is
+/// within `knee_tolerance` of the best point.  Returns 0 for an empty sweep.
+/// Shared by sweep_batches and the serve daemon's incremental sweep, which
+/// profiles points one at a time (streaming them out) rather than as one
+/// parallel fan-out.
+[[nodiscard]] int64_t select_optimal_batch(const std::vector<BatchPoint>& points,
+                                           double knee_tolerance = 0.05);
+
 /// Text rendering of a sweep.
 [[nodiscard]] std::string sweep_text(const BatchSweep& sweep);
 

@@ -1,0 +1,208 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace proof::serve {
+
+namespace {
+
+uint32_t decode_be32(const unsigned char* b) {
+  return (static_cast<uint32_t>(b[0]) << 24) |
+         (static_cast<uint32_t>(b[1]) << 16) |
+         (static_cast<uint32_t>(b[2]) << 8) | static_cast<uint32_t>(b[3]);
+}
+
+void encode_be32(uint32_t v, char* out) {
+  out[0] = static_cast<char>((v >> 24) & 0xFF);
+  out[1] = static_cast<char>((v >> 16) & 0xFF);
+  out[2] = static_cast<char>((v >> 8) & 0xFF);
+  out[3] = static_cast<char>(v & 0xFF);
+}
+
+[[noreturn]] void oversized(uint32_t length) {
+  throw ProtocolError("frame length " + std::to_string(length) +
+                      " exceeds the " + std::to_string(kMaxFrameBytes) +
+                      "-byte limit");
+}
+
+}  // namespace
+
+// --- framing -----------------------------------------------------------------
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    oversized(static_cast<uint32_t>(payload.size()));
+  }
+  std::string frame(4 + payload.size(), '\0');
+  encode_be32(static_cast<uint32_t>(payload.size()), frame.data());
+  std::memcpy(frame.data() + 4, payload.data(), payload.size());
+  return frame;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.size() < 4) {
+    return std::nullopt;
+  }
+  const uint32_t length =
+      decode_be32(reinterpret_cast<const unsigned char*>(buffer_.data()));
+  if (length > kMaxFrameBytes) {
+    oversized(length);
+  }
+  if (buffer_.size() < 4u + length) {
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4u + length);
+  return payload;
+}
+
+std::optional<std::string> read_frame(net::Socket& socket) {
+  unsigned char prefix[4];
+  try {
+    if (!socket.read_exact(prefix, sizeof(prefix))) {
+      return std::nullopt;  // clean EOF on a frame boundary
+    }
+  } catch (const net::IoError& e) {
+    // EOF inside the 4 length bytes: the peer died mid-frame.
+    throw ProtocolError(std::string("truncated frame: ") + e.what());
+  }
+  const uint32_t length = decode_be32(prefix);
+  if (length > kMaxFrameBytes) {
+    oversized(length);
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    try {
+      if (!socket.read_exact(payload.data(), length)) {
+        throw ProtocolError("stream ended after a frame's length prefix");
+      }
+    } catch (const net::IoError& e) {
+      throw ProtocolError(std::string("truncated frame: ") + e.what());
+    }
+  }
+  return payload;
+}
+
+void write_frame(net::Socket& socket, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  socket.write_all(frame.data(), frame.size());
+}
+
+// --- requests ----------------------------------------------------------------
+
+namespace {
+
+/// Shared empty params object for requests that omit "params".
+const json::Value& empty_params() {
+  static const json::Value* empty = [] {
+    auto* v = new json::Value();
+    v->kind = json::Value::Kind::kObject;
+    return v;
+  }();
+  return *empty;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& payload) {
+  Request req;
+  try {
+    req.document = json::parse(payload);
+  } catch (const json::ParseError& e) {
+    throw ProtocolError(std::string("request is not valid JSON: ") + e.what());
+  }
+  if (!req.document.is_object()) {
+    throw ProtocolError("request payload must be a JSON object");
+  }
+  req.id = req.document.get_int("id", 0);
+  req.method = req.document.get_string("method");
+  if (req.method.empty()) {
+    throw ProtocolError("request needs a non-empty \"method\" string");
+  }
+  const json::Value* params = req.document.find("params");
+  if (params == nullptr) {
+    req.params = &empty_params();
+  } else if (params->is_object()) {
+    req.params = params;
+  } else {
+    throw ProtocolError("\"params\" must be a JSON object when present");
+  }
+  return req;
+}
+
+// --- responses ---------------------------------------------------------------
+
+std::string_view error_kind(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+std::string make_result(int64_t id, std::string_view result_raw) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"type\":\"result\",\"result\":";
+  out.append(result_raw);
+  out.push_back('}');
+  return out;
+}
+
+std::string make_progress(int64_t id, std::string_view progress_raw) {
+  std::string out =
+      "{\"id\":" + std::to_string(id) + ",\"type\":\"progress\",\"progress\":";
+  out.append(progress_raw);
+  out.push_back('}');
+  return out;
+}
+
+std::string make_error(int64_t id, ErrorCode code, std::string_view message) {
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"type\":\"error\",\"error\":{\"code\":" +
+                    std::to_string(static_cast<int>(code)) + ",\"kind\":\"";
+  out.append(error_kind(code));
+  out += "\",\"message\":";
+  out += json::quote(message);
+  out += "}}";
+  return out;
+}
+
+Response parse_response(const std::string& payload) {
+  json::Value doc;
+  try {
+    doc = json::parse(payload);
+  } catch (const json::ParseError& e) {
+    throw ProtocolError(std::string("response is not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) {
+    throw ProtocolError("response payload must be a JSON object");
+  }
+  Response resp;
+  resp.id = doc.get_int("id", 0);
+  resp.type = doc.get_string("type");
+  if (resp.type == "result" || resp.type == "progress") {
+    const json::Value* body = doc.find(resp.type);
+    if (body == nullptr) {
+      throw ProtocolError("response of type \"" + resp.type +
+                          "\" is missing its \"" + resp.type + "\" member");
+    }
+    resp.payload = std::string(json::raw(*body, payload));
+    return resp;
+  }
+  if (resp.type == "error") {
+    const json::Value* err = doc.find("error");
+    if (err == nullptr || !err->is_object()) {
+      throw ProtocolError("error response is missing its \"error\" object");
+    }
+    resp.error_code = static_cast<int>(err->get_int("code", 500));
+    resp.error_kind = err->get_string("kind", "unknown");
+    resp.error_message = err->get_string("message");
+    return resp;
+  }
+  throw ProtocolError("unknown response type '" + resp.type + "'");
+}
+
+}  // namespace proof::serve

@@ -1,0 +1,144 @@
+// Wire protocol of the profiling daemon (`proof serve`): length-prefixed
+// JSON frames over a stream socket.
+//
+// Frame layout (everything big-endian):
+//
+//     +-------------------+----------------------------+
+//     | uint32 length N   | N bytes of UTF-8 JSON      |
+//     +-------------------+----------------------------+
+//
+// N counts payload bytes only and must be <= kMaxFrameBytes; a larger prefix
+// is a protocol violation and tears the connection down (it is far more
+// likely line noise than a 4 GiB request).  Requests and responses are
+// single JSON objects:
+//
+//   request:   {"id":7,"method":"analyze","params":{"model":"resnet50",...}}
+//   result:    {"id":7,"type":"result","result":{...}}
+//   progress:  {"id":7,"type":"progress","progress":{...}}   (0..n per request)
+//   error:     {"id":7,"type":"error",
+//               "error":{"code":429,"kind":"overloaded","message":"..."}}
+//
+// One request is in flight per connection at a time (no pipelining); a
+// request yields zero or more progress frames followed by exactly one result
+// or error frame.  Error codes borrow HTTP semantics so operators recognise
+// them: 400 bad request, 404 unknown method/model, 408 deadline exceeded,
+// 429 admission-control rejection, 500 internal, 503 shutting down.
+//
+// See docs/SERVE.md for worked wire examples and DESIGN.md §11 for how the
+// server executes these requests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
+
+namespace proof::serve {
+
+/// Protocol-level violation (oversized frame, truncated stream, payload that
+/// is not a JSON object, ...).  Distinct from net::IoError: an IoError means
+/// the transport died, a ProtocolError means the peer is speaking garbage.
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard payload bound; chosen to fit any report JSON the framework can emit
+/// with two orders of magnitude of slack.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// --- framing -----------------------------------------------------------------
+
+/// 4-byte big-endian length prefix + payload; throws ProtocolError when the
+/// payload exceeds kMaxFrameBytes.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder for byte streams that arrive in arbitrary
+/// chunks.  feed() appends bytes; next() pops the earliest complete payload
+/// or nullopt when more bytes are needed.  An oversized length prefix throws
+/// ProtocolError from next() (the stream is unrecoverable after that).
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Bytes buffered but not yet consumed (tests assert no leftovers).
+  [[nodiscard]] size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Blocking frame read; nullopt on clean EOF between frames, ProtocolError on
+/// truncation inside a frame or an oversized prefix, net::IoError when the
+/// transport fails.
+[[nodiscard]] std::optional<std::string> read_frame(net::Socket& socket);
+
+/// Blocking frame write.
+void write_frame(net::Socket& socket, std::string_view payload);
+
+// --- requests ----------------------------------------------------------------
+
+/// A parsed request envelope.  `params` points into `document`; keep the
+/// Request alive while using it.
+struct Request {
+  int64_t id = 0;
+  std::string method;
+  json::Value document;   ///< the whole request object
+  const json::Value* params = nullptr;  ///< never null after parse_request
+
+  [[nodiscard]] const json::Value& p() const { return *params; }
+};
+
+/// Parses and validates a request payload; throws ProtocolError with a
+/// client-presentable message on malformed JSON, a non-object payload, or a
+/// missing/empty "method".
+[[nodiscard]] Request parse_request(const std::string& payload);
+
+// --- responses ---------------------------------------------------------------
+
+enum class ErrorCode : int {
+  kBadRequest = 400,
+  kNotFound = 404,
+  kDeadlineExceeded = 408,
+  kOverloaded = 429,
+  kInternal = 500,
+  kShuttingDown = 503,
+};
+
+/// Stable machine-readable names ("bad_request", "overloaded", ...).
+[[nodiscard]] std::string_view error_kind(ErrorCode code);
+
+/// `result_raw` / `progress_raw` are spliced into the envelope verbatim and
+/// must already be valid JSON — this is what keeps an `analyze` report
+/// byte-identical to its single-shot CLI serialization.
+[[nodiscard]] std::string make_result(int64_t id, std::string_view result_raw);
+[[nodiscard]] std::string make_progress(int64_t id, std::string_view progress_raw);
+[[nodiscard]] std::string make_error(int64_t id, ErrorCode code,
+                                     std::string_view message);
+
+/// Client-side view of one response frame.
+struct Response {
+  int64_t id = 0;
+  std::string type;       ///< "result" | "progress" | "error"
+  std::string payload;    ///< raw JSON of result/progress, or "" for errors
+  int error_code = 0;     ///< set for type == "error"
+  std::string error_kind;
+  std::string error_message;
+
+  [[nodiscard]] bool is_result() const { return type == "result"; }
+  [[nodiscard]] bool is_progress() const { return type == "progress"; }
+  [[nodiscard]] bool is_error() const { return type == "error"; }
+};
+
+/// Parses a response payload (client side); throws ProtocolError on frames
+/// that do not match the envelope shape.
+[[nodiscard]] Response parse_response(const std::string& payload);
+
+}  // namespace proof::serve

@@ -1,0 +1,434 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+
+#include "core/profiler.hpp"
+#include "core/report_json.hpp"
+#include "core/sweep.hpp"
+#include "hw/platform.hpp"
+#include "obs/span.hpp"
+#include "serve/server.hpp"
+#include "support/thread_pool.hpp"
+#include "tensor/dtype.hpp"
+
+namespace proof::serve {
+
+namespace {
+
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Known methods only — dynamic metric names must not let a misbehaving
+/// client grow the registry unboundedly.
+bool known_method(const std::string& method) {
+  return method == "ping" || method == "stats" || method == "shutdown" ||
+         method == "profile" || method == "analyze" || method == "sweep";
+}
+
+void count_metric(const std::string& name, uint64_t n = 1) {
+#ifndef PROOF_OBS_DISABLED
+  if (obs::enabled()) {
+    obs::MetricsRegistry::instance().counter(name).add(n);
+  }
+#else
+  (void)name;
+  (void)n;
+#endif
+}
+
+void observe_latency(const std::string& method, uint64_t ns) {
+#ifndef PROOF_OBS_DISABLED
+  if (obs::enabled() && known_method(method)) {
+    obs::MetricsRegistry::instance()
+        .histogram("serve.latency." + method)
+        .observe_ns(ns);
+  }
+#else
+  (void)method;
+  (void)ns;
+#endif
+}
+
+void set_inflight_gauge(uint64_t value) {
+  PROOF_GAUGE_SET("serve.inflight", static_cast<double>(value));
+}
+
+/// Test/bench aid: `"debug_sleep_ms": N` stretches a request (per sweep
+/// point) so admission-control and deadline behaviour can be exercised
+/// deterministically with fast models.  Documented in docs/SERVE.md.
+void debug_sleep(const json::Value& params) {
+  const int64_t ms = params.get_int("debug_sleep_ms", 0);
+  if (ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+std::string require_string(const json::Value& params, const char* key) {
+  const json::Value* v = params.find(key);
+  if (v == nullptr || !v->is_string() || v->string_value.empty()) {
+    throw ConfigError(std::string("request params need a non-empty string \"") +
+                      key + "\"");
+  }
+  return v->string_value;
+}
+
+/// Mirrors the CLI's options_from(): platform-defaulted dtype, predicted
+/// metric mode unless requested otherwise.
+ProfileOptions options_from_params(const json::Value& p) {
+  ProfileOptions opt;
+  opt.platform_id = require_string(p, "platform");
+  const hw::PlatformDesc& desc =
+      hw::PlatformRegistry::instance().get(opt.platform_id);
+  const std::string dtype = p.get_string("dtype");
+  if (!dtype.empty()) {
+    opt.dtype = dtype_from_name(dtype);
+  } else {
+    opt.dtype = desc.supports(DType::kF16) ? DType::kF16 : DType::kF32;
+  }
+  opt.backend_id = p.get_string("backend");
+  opt.batch = p.get_int("batch", 1);
+  PROOF_CHECK(opt.batch > 0, "batch must be positive, got " << opt.batch);
+  // The service default is the analytical path ("negligible cost", §4.2);
+  // counter replay is opt-in per request.
+  const std::string mode = p.get_string("mode", "predicted");
+  if (mode == "predicted") {
+    opt.mode = MetricMode::kPredicted;
+  } else if (mode == "measured") {
+    opt.mode = MetricMode::kMeasured;
+  } else if (mode == "auto") {
+    opt.mode = MetricMode::kAuto;
+  } else {
+    throw ConfigError("unknown mode '" + mode +
+                      "' (expected predicted | measured | auto)");
+  }
+  if (const json::Value* gpu = p.find("gpu_mhz")) {
+    opt.clocks.gpu_mhz = gpu->as_double();
+  }
+  if (const json::Value* mem = p.find("mem_mhz")) {
+    opt.clocks.mem_mhz = mem->as_double();
+  }
+  if (const json::Value* iters = p.find("iterations")) {
+    opt.iterations = static_cast<int>(iters->as_int(50));
+    PROOF_CHECK(opt.iterations > 0, "iterations must be positive");
+  }
+  return opt;
+}
+
+}  // namespace
+
+// --- Deadline ----------------------------------------------------------------
+
+Deadline::Deadline(double budget_s) {
+  if (budget_s > 0.0) {
+    armed_ = true;
+    end_s_ = steady_now_s() + budget_s;
+  }
+}
+
+bool Deadline::expired() const { return armed_ && steady_now_s() > end_s_; }
+
+void Deadline::check(const char* stage) const {
+  if (expired()) {
+    throw DeadlineExceeded(std::string("deadline exceeded at ") + stage);
+  }
+}
+
+// --- Session lifecycle -------------------------------------------------------
+
+Session::Session(Server& server, net::Socket socket, uint64_t id)
+    : server_(server), socket_(std::move(socket)), id_(id) {}
+
+Session::~Session() { join(); }
+
+void Session::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void Session::shutdown_socket() { socket_.shutdown_both(); }
+
+void Session::join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Session::run() {
+  try {
+    while (true) {
+      const std::optional<std::string> payload = read_frame(socket_);
+      if (!payload.has_value()) {
+        break;  // client closed cleanly between frames
+      }
+      Request request;
+      try {
+        request = parse_request(*payload);
+      } catch (const ProtocolError& e) {
+        // The frame itself was well-formed, so the stream is still in sync:
+        // answer with a typed error and keep serving this connection.
+        send_payload(make_error(0, ErrorCode::kBadRequest, e.what()));
+        server_.requests_error_.fetch_add(1);
+        count_metric("serve.responses.error");
+        continue;
+      }
+      handle(request);
+      if (broken_.load()) {
+        break;  // responses are not reaching the client; stop reading
+      }
+    }
+  } catch (const ProtocolError& e) {
+    // Framing violation (oversized prefix, truncated frame): the byte stream
+    // can not be re-synchronized — drop the connection.
+    server_.log("session " + std::to_string(id_) + ": " + e.what());
+  } catch (const net::IoError& e) {
+    server_.log("session " + std::to_string(id_) + ": " + e.what());
+  } catch (const std::exception& e) {
+    server_.log("session " + std::to_string(id_) +
+                ": unexpected error: " + e.what());
+  }
+  finished_.store(true);
+}
+
+void Session::send_payload(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (broken_.load()) {
+    return;
+  }
+  try {
+    write_frame(socket_, payload);
+  } catch (const Error&) {
+    // Peer went away mid-response (includes EPIPE).  Swallow: the request
+    // keeps executing to completion so the shared caches stay warm, but no
+    // further bytes are written on this connection.
+    broken_.store(true);
+  }
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+void Session::handle(const Request& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  server_.requests_total_.fetch_add(1);
+  count_metric("serve.requests");
+  if (known_method(request.method)) {
+    count_metric("serve.requests." + request.method);
+  }
+
+  bool ok = false;
+  if (request.method == "ping") {
+    send_payload(make_result(request.id,
+                             "{\"ok\":true,\"version\":" +
+                                 std::to_string(kProtocolVersion) + "}"));
+    ok = true;
+  } else if (request.method == "stats") {
+    send_payload(make_result(request.id, server_.stats_json()));
+    ok = true;
+  } else if (request.method == "shutdown") {
+    send_payload(make_result(request.id, "{\"ok\":true,\"draining\":true}"));
+    ok = true;
+    server_.log("session " + std::to_string(id_) + ": shutdown requested");
+    server_.request_stop();
+  } else if (request.method == "profile" || request.method == "analyze" ||
+             request.method == "sweep") {
+    ok = execute_heavy(request);
+  } else {
+    send_payload(make_error(request.id, ErrorCode::kNotFound,
+                            "unknown method '" + request.method + "'"));
+  }
+
+  if (ok) {
+    server_.requests_ok_.fetch_add(1);
+    count_metric("serve.responses.ok");
+  } else {
+    server_.requests_error_.fetch_add(1);
+    count_metric("serve.responses.error");
+  }
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  observe_latency(request.method, ns);
+}
+
+bool Session::execute_heavy(const Request& request) {
+  if (server_.draining()) {
+    server_.rejected_shutdown_.fetch_add(1);
+    count_metric("serve.rejected.shutdown");
+    send_payload(make_error(request.id, ErrorCode::kShuttingDown,
+                            "server is draining; request not admitted"));
+    return false;
+  }
+  if (!server_.try_admit()) {
+    server_.rejected_overloaded_.fetch_add(1);
+    count_metric("serve.rejected.overloaded");
+    send_payload(make_error(
+        request.id, ErrorCode::kOverloaded,
+        "admission control: " + std::to_string(server_.max_inflight()) +
+            " requests already in flight (max_inflight); retry later"));
+    return false;
+  }
+  set_inflight_gauge(server_.inflight_.load());
+
+  // Deadline budget: the request's own deadline_ms beats the server default.
+  const double deadline_ms =
+      request.p().get_double("deadline_ms",
+                             server_.options().default_deadline_s * 1e3);
+  const Deadline deadline(deadline_ms / 1e3);
+
+  bool ok = false;
+  try {
+    // Execution rides the shared work-stealing pool; this reader thread is
+    // not a pool participant, so a plain future wait cannot deadlock.
+    std::future<std::string> future = ThreadPool::global().submit([&] {
+      return execute(request, deadline);
+    });
+    const std::string result = future.get();
+    server_.release_admission();
+    set_inflight_gauge(server_.inflight_.load());
+    send_payload(make_result(request.id, result));
+    return true;
+  } catch (const DeadlineExceeded& e) {
+    server_.deadline_exceeded_.fetch_add(1);
+    count_metric("serve.deadline_exceeded");
+    send_payload(make_error(request.id, ErrorCode::kDeadlineExceeded, e.what()));
+  } catch (const ConfigError& e) {
+    send_payload(make_error(request.id, ErrorCode::kBadRequest, e.what()));
+  } catch (const ModelError& e) {
+    send_payload(make_error(request.id, ErrorCode::kBadRequest, e.what()));
+  } catch (const Error& e) {
+    send_payload(make_error(request.id, ErrorCode::kInternal, e.what()));
+  } catch (const std::exception& e) {
+    send_payload(make_error(request.id, ErrorCode::kInternal, e.what()));
+  }
+  server_.release_admission();
+  set_inflight_gauge(server_.inflight_.load());
+  return ok;
+}
+
+std::string Session::execute(const Request& request, const Deadline& deadline) {
+  deadline.check("request start");
+  if (request.method == "sweep") {
+    return do_sweep(request, deadline);
+  }
+  return do_profile(request, deadline, request.method == "analyze");
+}
+
+// --- handlers ----------------------------------------------------------------
+
+std::string Session::do_profile(const Request& request,
+                                const Deadline& deadline, bool full_report) {
+  const json::Value& p = request.p();
+  const std::string model_id = require_string(p, "model");
+  const ProfileOptions opt = options_from_params(p);
+  debug_sleep(p);
+  deadline.check("before profiling");
+
+  const std::shared_ptr<const Graph> model = server_.models().get(model_id);
+  const ProfileReport report = Profiler(opt).run(*model);
+
+  if (full_report) {
+    // Byte-identical to the single-shot CLI report serialization (the
+    // self-profile section stays out: it is wall-clock-dependent and would
+    // break the determinism contract the goldens freeze).
+    return report_to_json(report);
+  }
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\"model\":" << json::quote(report.model_name)
+      << ",\"platform\":" << json::quote(report.platform_name)
+      << ",\"backend\":" << json::quote(report.backend_name)
+      << ",\"batch\":" << report.options.batch
+      << ",\"dtype\":" << json::quote(dtype_name(report.options.dtype))
+      << ",\"total_latency_s\":" << report.total_latency_s
+      << ",\"throughput_per_s\":" << report.throughput_per_s()
+      << ",\"power_w\":" << report.power_w
+      << ",\"mapping_coverage\":" << report.mapping_coverage
+      << ",\"layers\":" << report.layers.size()
+      << ",\"analysis_time_s\":" << report.analysis_time_s << "}";
+  return out.str();
+}
+
+std::string Session::do_sweep(const Request& request, const Deadline& deadline) {
+  const json::Value& p = request.p();
+  const std::string model_id = require_string(p, "model");
+  const ProfileOptions base = options_from_params(p);
+  const double knee_tolerance = p.get_double("knee_tolerance", 0.05);
+  PROOF_CHECK(knee_tolerance >= 0.0 && knee_tolerance < 1.0,
+              "knee_tolerance must be in [0, 1)");
+
+  // Candidate validation mirrors sweep_batches: positive batches, first
+  // occurrence wins, default = powers of two up to 2048.
+  std::vector<int64_t> candidates;
+  if (const json::Value* list = p.find("batches")) {
+    PROOF_CHECK(list->is_array(), "\"batches\" must be an array of integers");
+    std::vector<int64_t> requested;
+    for (const json::Value& v : list->array) {
+      requested.push_back(v.as_int());
+    }
+    for (const int64_t b : requested) {
+      if (b > 0 && std::find(candidates.begin(), candidates.end(), b) ==
+                       candidates.end()) {
+        candidates.push_back(b);
+      }
+    }
+    PROOF_CHECK(!candidates.empty(),
+                "sweep needs at least one positive batch candidate");
+  } else {
+    for (int64_t b = 1; b <= 2048; b *= 2) {
+      candidates.push_back(b);
+    }
+  }
+
+  const std::shared_ptr<const Graph> model = server_.models().get(model_id);
+
+  // Points run one at a time with a cancellation check between them — the
+  // cooperative deadline contract.  Each completed point is streamed to the
+  // client immediately as a progress frame.
+  std::vector<BatchPoint> points;
+  points.reserve(candidates.size());
+  std::ostringstream points_json;
+  points_json.precision(12);
+  points_json << "[";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    deadline.check("sweep point");
+    debug_sleep(p);
+    ProfileOptions opt = base;
+    opt.batch = candidates[i];
+    const ProfileReport r = Profiler(opt).run(*model);
+    BatchPoint point;
+    point.batch = candidates[i];
+    point.latency_s = r.total_latency_s;
+    point.throughput_per_s = r.throughput_per_s();
+    point.attained_flops = r.roofline.end_to_end.attained_flops();
+    points.push_back(point);
+
+    std::ostringstream pj;
+    pj.precision(12);
+    pj << "{\"batch\":" << point.batch
+       << ",\"latency_s\":" << point.latency_s
+       << ",\"throughput_per_s\":" << point.throughput_per_s
+       << ",\"attained_flops\":" << point.attained_flops << "}";
+    send_payload(make_progress(request.id, pj.str()));
+    if (i > 0) {
+      points_json << ",";
+    }
+    points_json << pj.str();
+  }
+  points_json << "]";
+
+  const int64_t optimal = select_optimal_batch(points, knee_tolerance);
+  std::ostringstream out;
+  out << "{\"model\":" << json::quote(model_id)
+      << ",\"points\":" << points_json.str()
+      << ",\"optimal_batch\":" << optimal
+      << ",\"completed\":" << points.size() << "}";
+  return out.str();
+}
+
+}  // namespace proof::serve

@@ -1,0 +1,285 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/strings.hpp"
+
+namespace proof::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+int checked_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("socket()");
+  }
+  return fd;
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PROOF_CHECK(path.size() < sizeof(addr.sun_path),
+              "unix socket path too long (" << path.size() << " bytes, max "
+                                            << sizeof(addr.sun_path) - 1
+                                            << "): " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(ep.port));
+  const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("invalid IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+// --- Endpoint ----------------------------------------------------------------
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint ep;
+  if (strings::starts_with(spec, "unix:")) {
+    ep.is_unix = true;
+    ep.path = spec.substr(5);
+    PROOF_CHECK(!ep.path.empty(), "unix endpoint needs a path: '" << spec << "'");
+    return ep;
+  }
+  const size_t colon = spec.rfind(':');
+  PROOF_CHECK(colon != std::string::npos,
+              "endpoint must be 'unix:/path' or 'host:port', got '" << spec
+                                                                    << "'");
+  ep.host = spec.substr(0, colon);
+  const long long port = strings::parse_int(spec.substr(colon + 1));
+  PROOF_CHECK(port >= 0 && port <= 65535,
+              "port out of range in endpoint '" << spec << "'");
+  ep.port = static_cast<int>(port);
+  return ep;
+}
+
+std::string Endpoint::describe() const {
+  if (is_unix) {
+    return "unix:" + path;
+  }
+  return (host.empty() ? "127.0.0.1" : host) + ":" + std::to_string(port);
+}
+
+// --- Socket ------------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+size_t Socket::read_some(void* buf, size_t n) {
+  PROOF_CHECK(valid(), "read on a closed socket");
+  while (true) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got >= 0) {
+      return static_cast<size_t>(got);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throw_errno("recv()");
+  }
+}
+
+bool Socket::read_exact(void* buf, size_t n) {
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const size_t got = read_some(out + done, n - done);
+    if (got == 0) {
+      if (done == 0) {
+        return false;  // clean EOF on a message boundary
+      }
+      throw IoError("connection closed mid-read (" + std::to_string(done) +
+                    " of " + std::to_string(n) + " bytes)");
+    }
+    done += got;
+  }
+  return true;
+}
+
+void Socket::write_all(const void* buf, size_t n) {
+  PROOF_CHECK(valid(), "write on a closed socket");
+  const char* data = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a dying peer surfaces as EPIPE -> IoError, not SIGPIPE.
+    const ssize_t sent = ::send(fd_, data + done, n - done, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("send()");
+    }
+    done += static_cast<size_t>(sent);
+  }
+}
+
+void Socket::shutdown_both() {
+  if (valid()) {
+    ::shutdown(fd_, SHUT_RDWR);  // already-closed peers make this ENOTCONN; fine
+  }
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Socket, Socket> Socket::make_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair()");
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+// --- Listener ----------------------------------------------------------------
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), endpoint_(std::move(other.endpoint_)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    endpoint_ = std::move(other.endpoint_);
+  }
+  return *this;
+}
+
+Listener Listener::listen(const Endpoint& endpoint, int backlog) {
+  Listener l;
+  l.endpoint_ = endpoint;
+  if (endpoint.is_unix) {
+    l.fd_ = checked_socket(AF_UNIX);
+    ::unlink(endpoint.path.c_str());  // stale file from a crashed daemon
+    const sockaddr_un addr = unix_addr(endpoint.path);
+    if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("bind(" + endpoint.describe() + ")");
+    }
+  } else {
+    l.fd_ = checked_socket(AF_INET);
+    const int one = 1;
+    ::setsockopt(l.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = tcp_addr(endpoint);
+    if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("bind(" + endpoint.describe() + ")");
+    }
+    if (endpoint.port == 0) {  // report the kernel-assigned ephemeral port
+      socklen_t len = sizeof(addr);
+      if (::getsockname(l.fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        throw_errno("getsockname()");
+      }
+      l.endpoint_.port = ntohs(addr.sin_port);
+    }
+  }
+  if (::listen(l.fd_, backlog) != 0) {
+    throw_errno("listen(" + endpoint.describe() + ")");
+  }
+  return l;
+}
+
+Socket Listener::accept() {
+  while (true) {
+    if (!valid()) {
+      return Socket();  // closed concurrently during shutdown
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      if (!endpoint_.is_unix) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      return Socket(fd);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) {
+      continue;
+    }
+    if (errno == EBADF || errno == EINVAL) {
+      return Socket();  // listener torn down under us
+    }
+    throw_errno("accept()");
+  }
+}
+
+bool Listener::poll_accept(int timeout_ms) {
+  PROOF_CHECK(valid(), "poll on a closed listener");
+  pollfd pfd{fd_, POLLIN, 0};
+  while (true) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) {
+      return true;
+    }
+    if (n == 0) {
+      return false;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throw_errno("poll()");
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (endpoint_.is_unix) {
+      ::unlink(endpoint_.path.c_str());
+    }
+  }
+}
+
+// --- connect -----------------------------------------------------------------
+
+Socket connect(const Endpoint& endpoint) {
+  if (endpoint.is_unix) {
+    Socket s(checked_socket(AF_UNIX));
+    const sockaddr_un addr = unix_addr(endpoint.path);
+    if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("connect(" + endpoint.describe() + ")");
+    }
+    return s;
+  }
+  Socket s(checked_socket(AF_INET));
+  const sockaddr_in addr = tcp_addr(endpoint);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect(" + endpoint.describe() + ")");
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+}  // namespace proof::net

@@ -1,0 +1,125 @@
+// Thin POSIX socket layer for the serve daemon (src/serve/).
+//
+// Wraps exactly what the length-prefixed protocol needs — blocking stream
+// sockets with RAII ownership, EINTR-safe full reads/writes, and listeners
+// over two transports:
+//  * TCP on a loopback/interface address ("host:port", port 0 = ephemeral),
+//  * Unix-domain sockets ("unix:/path/to.sock") for local, permission-scoped
+//    serving (the default for tests and the bench harness).
+//
+// Failures throw net::IoError (a proof::Error); a clean peer close is
+// reported as a 0-byte read, never an exception, so protocol code can
+// distinguish "client went away" from "transport broke".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace proof::net {
+
+/// Thrown on socket-level failures (bind, connect, broken pipe, ...).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A parsed listen/connect target: "unix:/path", "host:port" or ":port"
+/// (empty host = 127.0.0.1; TCP binds are loopback-only unless a host is
+/// given explicitly — a profiling daemon has no business on the open
+/// internet by accident).
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;         ///< unix transport
+  std::string host;         ///< tcp transport
+  int port = 0;             ///< tcp transport; 0 = ephemeral
+
+  [[nodiscard]] static Endpoint parse(const std::string& spec);
+  [[nodiscard]] std::string describe() const;
+};
+
+/// RAII connected stream socket (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Reads up to `n` bytes; returns 0 on orderly peer shutdown (EOF).
+  [[nodiscard]] size_t read_some(void* buf, size_t n);
+
+  /// Reads exactly `n` bytes; returns false when EOF arrives before the first
+  /// byte (clean close between frames) and throws IoError when the stream
+  /// ends mid-read (truncation).
+  [[nodiscard]] bool read_exact(void* buf, size_t n);
+
+  /// Writes all `n` bytes (EINTR/partial-write safe).
+  void write_all(const void* buf, size_t n);
+
+  /// Half-close both directions; any blocked read on this socket (in another
+  /// thread) wakes up with EOF.  Safe to call repeatedly.
+  void shutdown_both();
+
+  void close();
+
+  /// A connected AF_UNIX socket pair (tests exercise framing over real fds
+  /// without binding anything).
+  [[nodiscard]] static std::pair<Socket, Socket> make_pair();
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket over either transport.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens; unix paths are unlinked first (stale socket files
+  /// from a crashed daemon) and unlinked again on close.
+  [[nodiscard]] static Listener listen(const Endpoint& endpoint, int backlog = 64);
+
+  /// Blocks for the next connection.  Returns an invalid Socket when the
+  /// listener was closed concurrently (the graceful-shutdown wakeup) and
+  /// throws IoError on genuine failures.
+  [[nodiscard]] Socket accept();
+
+  /// Waits up to `timeout_ms` for a pending connection (-1 = forever).
+  /// Returns false on timeout without accepting.
+  [[nodiscard]] bool poll_accept(int timeout_ms);
+
+  /// The endpoint actually bound — for TCP with port 0 this carries the
+  /// kernel-assigned ephemeral port.
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Closes the listening fd (wakes a blocked accept) and removes the unix
+  /// socket file if any.
+  void close();
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_;
+};
+
+/// Connects to a listening endpoint.
+[[nodiscard]] Socket connect(const Endpoint& endpoint);
+
+}  // namespace proof::net

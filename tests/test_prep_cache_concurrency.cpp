@@ -133,6 +133,41 @@ TEST(PrepCache, ObsCountersReconcileWithStats) {
 #endif
 }
 
+TEST(PrepCache, CapacityBoundsResidencyAndShrinksEagerly) {
+  reset_state();
+  const Graph model = proof::testing::small_cnn();
+  const backends::Backend& backend =
+      backends::BackendRegistry::instance().get("trt_sim");
+  const hw::PlatformDesc& platform = hw::PlatformRegistry::instance().get("a100");
+
+  const size_t original = PrepCache::instance().capacity();
+  PrepCache::instance().set_capacity(4);
+  EXPECT_EQ(PrepCache::instance().capacity(), 4u);
+  for (int64_t batch = 1; batch <= 8; ++batch) {
+    const backends::BuildConfig config{DType::kF16, batch};
+    (void)PrepCache::instance().get_or_prepare(model, backend, platform, config);
+    // FIFO never evicts the entry just inserted.
+    const backends::BuildConfig again{DType::kF16, batch};
+    (void)PrepCache::instance().get_or_prepare(model, backend, platform, again);
+  }
+  EXPECT_EQ(PrepCache::instance().size(), 4u);
+  EXPECT_EQ(PrepCache::instance().stats().evictions, 4u);
+
+  // Shrinking drops the oldest entries immediately.
+  PrepCache::instance().set_capacity(2);
+  EXPECT_EQ(PrepCache::instance().size(), 2u);
+  EXPECT_EQ(PrepCache::instance().stats().evictions, 6u);
+
+  // Capacity 0 = unbounded.
+  PrepCache::instance().set_capacity(0);
+  for (int64_t batch = 1; batch <= 8; ++batch) {
+    const backends::BuildConfig config{DType::kF16, batch};
+    (void)PrepCache::instance().get_or_prepare(model, backend, platform, config);
+  }
+  EXPECT_EQ(PrepCache::instance().size(), 8u);
+  PrepCache::instance().set_capacity(original);
+}
+
 TEST(PrepCache, DisabledBypassRecordsNothing) {
   reset_state();
   PrepCache::instance().set_enabled(false);

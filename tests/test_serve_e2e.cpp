@@ -1,0 +1,415 @@
+// End-to-end daemon tests over a real unix-domain socket: byte-identical
+// analyze responses against the frozen goldens, concurrent clients sharing
+// the process-wide caches, admission control, cooperative deadlines, graceful
+// drain, and the stats ledger.  Each gtest case runs in its own process
+// (gtest_discover_tests), so servers never share global singleton state with
+// other cases.  Runs under TSan via scripts/check_tsan.sh.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
+
+#ifndef PROOF_TEST_SOURCE_DIR
+#error "tests/CMakeLists.txt must define PROOF_TEST_SOURCE_DIR"
+#endif
+
+namespace proof {
+namespace {
+
+std::string unique_socket_path() {
+  static int counter = 0;
+  std::ostringstream out;
+  out << "/tmp/proof_e2e_" << ::getpid() << "_" << counter++ << ".sock";
+  return out.str();
+}
+
+/// One request over a fresh connection; progress frames are collected, the
+/// final result/error frame is returned last in the list.
+std::vector<serve::Response> roundtrip(const net::Endpoint& endpoint,
+                                       const std::string& payload) {
+  net::Socket socket = net::connect(endpoint);
+  serve::write_frame(socket, payload);
+  std::vector<serve::Response> frames;
+  while (true) {
+    const std::optional<std::string> frame = serve::read_frame(socket);
+    if (!frame.has_value()) {
+      ADD_FAILURE() << "connection closed before a result frame";
+      return frames;
+    }
+    frames.push_back(serve::parse_response(*frame));
+    if (!frames.back().is_progress()) {
+      return frames;
+    }
+  }
+}
+
+serve::Response call(const net::Endpoint& endpoint, const std::string& payload) {
+  const std::vector<serve::Response> frames = roundtrip(endpoint, payload);
+  EXPECT_FALSE(frames.empty());
+  return frames.empty() ? serve::Response{} : frames.back();
+}
+
+serve::Server make_server(serve::ServerOptions options = {}) {
+  options.listen = "unix:" + unique_socket_path();
+  return serve::Server(std::move(options));
+}
+
+std::string analyze_request(const std::string& model_id, int64_t batch) {
+  std::ostringstream out;
+  out << R"({"id":3,"method":"analyze","params":{"model":)"
+      << json::quote(model_id)
+      << R"(,"platform":"a100","backend":"trt_sim","dtype":"fp16","mode":"predicted","batch":)"
+      << batch << "}}";
+  return out.str();
+}
+
+/// Same normalization the golden harness applies: zero the wall-clock fields.
+std::string normalize(std::string json) {
+  for (const char* key :
+       {"\"analysis_time_s\":", "\"counter_profiling_time_s\":"}) {
+    const size_t key_len = std::strlen(key);
+    size_t pos = json.find(key);
+    while (pos != std::string::npos) {
+      const size_t start = pos + key_len;
+      const size_t end = json.find_first_of(",}", start);
+      if (end == std::string::npos) {
+        break;
+      }
+      json.replace(start, end - start, "0");
+      pos = json.find(key, start);
+    }
+  }
+  return json;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- byte identity against the frozen goldens --------------------------------
+
+class ServeGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServeGolden, AnalyzeIsByteIdenticalToSingleShotCli) {
+  const std::string model_id = GetParam();
+  const std::string golden = read_file(std::string(PROOF_TEST_SOURCE_DIR) +
+                                       "/golden/" + model_id + ".json");
+  ASSERT_FALSE(golden.empty()) << "missing golden for " << model_id;
+
+  serve::Server server = make_server();
+  server.start();
+  const serve::Response response = call(
+      server.endpoint(),
+      analyze_request(model_id, model_id == std::string("sd_unet") ? 2 : 4));
+  ASSERT_TRUE(response.is_result())
+      << response.error_code << ": " << response.error_message;
+  // The report travelled request -> profiler -> JSON -> frame -> raw splice;
+  // after zeroing wall-clock fields it must equal the frozen golden byte for
+  // byte — the daemon introduces no serialization drift.
+  EXPECT_EQ(normalize(response.payload), golden);
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(FourZooModels, ServeGolden,
+                         ::testing::Values("resnet50", "bert_base",
+                                           "shufflenetv2_10", "sd_unet"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// --- basic methods -----------------------------------------------------------
+
+TEST(ServeE2e, PingStatsAndUnknownMethod) {
+  serve::Server server = make_server();
+  server.start();
+
+  const serve::Response pong =
+      call(server.endpoint(), R"({"id":1,"method":"ping"})");
+  ASSERT_TRUE(pong.is_result());
+  EXPECT_EQ(json::parse(pong.payload).get_int("version"), 1);
+
+  const serve::Response stats =
+      call(server.endpoint(), R"({"id":2,"method":"stats"})");
+  ASSERT_TRUE(stats.is_result());
+  const json::Value doc = json::parse(stats.payload);
+  ASSERT_NE(doc.find("server"), nullptr);
+  ASSERT_NE(doc.find("prep_cache"), nullptr);
+  ASSERT_NE(doc.find("model_pool"), nullptr);
+
+  const serve::Response missing =
+      call(server.endpoint(), R"({"id":3,"method":"frobnicate"})");
+  ASSERT_TRUE(missing.is_error());
+  EXPECT_EQ(missing.error_code, 404);
+  EXPECT_EQ(missing.error_kind, "not_found");
+  server.stop();
+}
+
+TEST(ServeE2e, BadRequestsGetTypedErrorsAndConnectionSurvives) {
+  serve::Server server = make_server();
+  server.start();
+
+  net::Socket socket = net::connect(server.endpoint());
+  // Well-framed garbage: typed 400, connection stays usable.
+  serve::write_frame(socket, "this is not json");
+  std::optional<std::string> frame = serve::read_frame(socket);
+  ASSERT_TRUE(frame.has_value());
+  serve::Response response = serve::parse_response(*frame);
+  ASSERT_TRUE(response.is_error());
+  EXPECT_EQ(response.error_code, 400);
+
+  // Unknown model and unknown platform map to 400 as well.
+  serve::write_frame(
+      socket,
+      R"({"id":2,"method":"profile","params":{"model":"no_such_model","platform":"a100"}})");
+  frame = serve::read_frame(socket);
+  ASSERT_TRUE(frame.has_value());
+  response = serve::parse_response(*frame);
+  ASSERT_TRUE(response.is_error());
+  EXPECT_EQ(response.error_code, 400);
+
+  // Same connection still answers pings afterwards.
+  serve::write_frame(socket, R"({"id":3,"method":"ping"})");
+  frame = serve::read_frame(socket);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(serve::parse_response(*frame).is_result());
+  server.stop();
+}
+
+// --- shared caches under concurrency -----------------------------------------
+
+TEST(ServeE2e, ConcurrentClientsShareCachesAndAllSucceed) {
+  serve::ServerOptions options;
+  options.max_inflight = 16;
+  serve::Server server = make_server(std::move(options));
+  server.start();
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<int> ok(kClients, 0);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      // Half profile (heavy, cache-sharing), half stats (light, never gated).
+      const std::string payload =
+          i % 2 == 0
+              ? R"({"id":1,"method":"profile","params":{"model":"resnet50","platform":"a100","batch":4}})"
+              : R"({"id":1,"method":"stats"})";
+      const serve::Response response = call(server.endpoint(), payload);
+      ok[i] = response.is_result() ? 1 : 0;
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(ok[i], 1) << "client " << i;
+  }
+
+  // All four profile clients shared one prepared engine: 1 miss, 3 hits.
+  const serve::Response stats =
+      call(server.endpoint(), R"({"id":2,"method":"stats"})");
+  ASSERT_TRUE(stats.is_result());
+  const json::Value doc = json::parse(stats.payload);
+  const json::Value* cache = doc.find("prep_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->get_int("engine_misses"), 1);
+  EXPECT_EQ(cache->get_int("engine_hits"), 3);
+  EXPECT_EQ(cache->get_int("engine_lookups"),
+            cache->get_int("engine_hits") + cache->get_int("engine_misses"));
+  server.stop();
+}
+
+// --- admission control --------------------------------------------------------
+
+TEST(ServeE2e, OverloadedRequestsAreRejectedWithTyped429) {
+  serve::ServerOptions options;
+  options.max_inflight = 1;
+  serve::Server server = make_server(std::move(options));
+  server.start();
+
+  // Client A occupies the single admission slot (debug_sleep_ms stretches the
+  // request deterministically).
+  net::Socket slow = net::connect(server.endpoint());
+  serve::write_frame(
+      slow,
+      R"({"id":1,"method":"profile","params":{"model":"shufflenetv2_10","platform":"a100","debug_sleep_ms":800}})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Client B is rejected immediately — admission control fails fast instead
+  // of queueing behind A.
+  const serve::Response rejected = call(
+      server.endpoint(),
+      R"({"id":2,"method":"profile","params":{"model":"shufflenetv2_10","platform":"a100"}})");
+  ASSERT_TRUE(rejected.is_error());
+  EXPECT_EQ(rejected.error_code, 429);
+  EXPECT_EQ(rejected.error_kind, "overloaded");
+  EXPECT_NE(rejected.error_message.find("max_inflight"), std::string::npos);
+
+  // Light methods are never admission-gated: observability works while the
+  // server is saturated.
+  const serve::Response stats =
+      call(server.endpoint(), R"({"id":3,"method":"stats"})");
+  ASSERT_TRUE(stats.is_result());
+  EXPECT_EQ(json::parse(stats.payload).find("server")->get_int("inflight"), 1);
+
+  // A finishes fine; its slot frees and B's retry succeeds.
+  const std::optional<std::string> frame = serve::read_frame(slow);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(serve::parse_response(*frame).is_result());
+  const serve::Response retry = call(
+      server.endpoint(),
+      R"({"id":4,"method":"profile","params":{"model":"shufflenetv2_10","platform":"a100"}})");
+  EXPECT_TRUE(retry.is_result());
+
+  const serve::Response after =
+      call(server.endpoint(), R"({"id":5,"method":"stats"})");
+  EXPECT_EQ(json::parse(after.payload)
+                .find("server")
+                ->get_int("rejected_overloaded"),
+            1);
+  server.stop();
+}
+
+// --- deadlines ----------------------------------------------------------------
+
+TEST(ServeE2e, DeadlineCancelsSweepBetweenPointsWithoutPoisoningCaches) {
+  serve::Server server = make_server();
+  server.start();
+
+  // 4 points x 100 ms of injected sleep against a 150 ms deadline: the sweep
+  // must die between points with a 408 after streaming at least some progress.
+  const std::vector<serve::Response> frames = roundtrip(
+      server.endpoint(),
+      R"({"id":1,"method":"sweep","params":{"model":"shufflenetv2_10","platform":"a100","batches":[1,2,4,8],"debug_sleep_ms":100,"deadline_ms":150}})");
+  ASSERT_FALSE(frames.empty());
+  const serve::Response& last = frames.back();
+  ASSERT_TRUE(last.is_error());
+  EXPECT_EQ(last.error_code, 408);
+  EXPECT_EQ(last.error_kind, "deadline_exceeded");
+  EXPECT_LT(frames.size() - 1, 4u);  // progress frames: fewer than all points
+
+  // The caches only ever publish fully built entries, so the identical sweep
+  // without a deadline succeeds and reuses whatever the cancelled run built.
+  const serve::Response ok = call(
+      server.endpoint(),
+      R"({"id":2,"method":"sweep","params":{"model":"shufflenetv2_10","platform":"a100","batches":[1,2,4,8]}})");
+  ASSERT_TRUE(ok.is_result())
+      << ok.error_code << ": " << ok.error_message;
+  const json::Value doc = json::parse(ok.payload);
+  EXPECT_EQ(doc.find("points")->array.size(), 4u);
+  EXPECT_GT(doc.get_int("optimal_batch"), 0);
+
+  const serve::Response stats =
+      call(server.endpoint(), R"({"id":3,"method":"stats"})");
+  EXPECT_EQ(json::parse(stats.payload)
+                .find("server")
+                ->get_int("deadline_exceeded"),
+            1);
+  server.stop();
+}
+
+// --- graceful shutdown --------------------------------------------------------
+
+TEST(ServeE2e, ShutdownDrainsAndRejectsNewHeavyWork) {
+  serve::ServerOptions options;
+  options.drain_timeout_s = 5.0;
+  serve::Server server = make_server(std::move(options));
+  server.start();
+
+  // Park a slow request, then ask for shutdown while it is in flight.
+  net::Socket slow = net::connect(server.endpoint());
+  serve::write_frame(
+      slow,
+      R"({"id":1,"method":"profile","params":{"model":"shufflenetv2_10","platform":"a100","debug_sleep_ms":400}})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  net::Socket admin = net::connect(server.endpoint());
+  serve::write_frame(admin, R"({"id":2,"method":"shutdown"})");
+  std::optional<std::string> frame = serve::read_frame(admin);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(serve::parse_response(*frame).is_result());
+
+  // New heavy work on the draining server gets a typed 503 on an already
+  // established connection.
+  serve::write_frame(
+      admin,
+      R"({"id":3,"method":"profile","params":{"model":"shufflenetv2_10","platform":"a100"}})");
+  frame = serve::read_frame(admin);
+  ASSERT_TRUE(frame.has_value());
+  const serve::Response rejected = serve::parse_response(*frame);
+  ASSERT_TRUE(rejected.is_error());
+  EXPECT_EQ(rejected.error_code, 503);
+  EXPECT_EQ(rejected.error_kind, "shutting_down");
+
+  // The in-flight request still completes: drain means finish, not abort.
+  frame = serve::read_frame(slow);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(serve::parse_response(*frame).is_result());
+
+  server.wait();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeE2e, StopIsIdempotentAndDestructorIsSafe) {
+  serve::Server server = make_server();
+  server.start();
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+}  // destructor runs on a stopped server
+
+// --- stats ledger -------------------------------------------------------------
+
+TEST(ServeE2e, RequestCountersReconcile) {
+  serve::Server server = make_server();
+  server.start();
+
+  (void)call(server.endpoint(), R"({"id":1,"method":"ping"})");
+  (void)call(server.endpoint(), R"({"id":2,"method":"nope"})");
+  (void)call(
+      server.endpoint(),
+      R"({"id":3,"method":"profile","params":{"model":"shufflenetv2_10","platform":"a100"}})");
+
+  // A session writes the terminal frame first and bumps the ok/error tallies
+  // just after, so a client can observe its reply before the accounting
+  // lands; wait for the ledger of the three finished requests to settle.
+  for (int i = 0; i < 400; ++i) {
+    const serve::ServerStats s = server.stats();
+    if (s.requests_ok + s.requests_error >= 3) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const serve::Response stats =
+      call(server.endpoint(), R"({"id":4,"method":"stats"})");
+  ASSERT_TRUE(stats.is_result());
+  const json::Value doc = json::parse(stats.payload);
+  const json::Value* s = doc.find("server");
+  ASSERT_NE(s, nullptr);
+  // The stats request itself is number 4 and counts as in-progress total.
+  EXPECT_EQ(s->get_int("requests_total"), 4);
+  EXPECT_EQ(s->get_int("requests_ok"), 2);     // ping + profile
+  EXPECT_EQ(s->get_int("requests_error"), 1);  // unknown method
+  EXPECT_EQ(s->get_int("connections"), 4);
+  EXPECT_EQ(s->get_int("inflight"), 0);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace proof

@@ -43,6 +43,14 @@ using namespace proof;
       "  summarize print the model-design node table (pre-optimization)\n"
       "  stats     run a profile (or sweep with --batches) and print the\n"
       "            framework's own self-profile: per-stage spans + counters\n"
+      "  serve     run the profiling daemon (see docs/SERVE.md):\n"
+      "            --listen unix:/path|host:port (default 127.0.0.1:0)\n"
+      "            --max-inflight <n> --deadline-s <s> --drain-timeout <s>\n"
+      "            --preload <ids|all> --verbose 0|1\n"
+      "  client    send one request to a running daemon:\n"
+      "            --connect <endpoint> --method ping|stats|shutdown|profile|\n"
+      "            analyze|sweep plus the profile options below, or a raw\n"
+      "            --params '<json>'; result JSON goes to stdout\n"
       "\n"
       "options:\n"
       "  --model <id|file.pg>   zoo model id or serialized graph file\n"
@@ -354,6 +362,120 @@ int cmd_inspect(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  serve::ServerOptions opt;
+  opt.listen = args.get("listen").value_or("127.0.0.1:0");
+  if (const auto v = args.get("max-inflight")) {
+    const int64_t n = strings::parse_int(*v);
+    if (n < 1) {
+      usage("--max-inflight needs a positive value");
+    }
+    opt.max_inflight = static_cast<unsigned>(n);
+  }
+  if (const auto v = args.get("deadline-s")) {
+    opt.default_deadline_s = strings::parse_double(*v);
+  }
+  if (const auto v = args.get("drain-timeout")) {
+    opt.drain_timeout_s = strings::parse_double(*v);
+  }
+  if (const auto v = args.get("preload")) {
+    opt.preload = strings::split_trimmed(*v, ',');
+  }
+  opt.verbose = args.get("verbose").value_or("1") == "1";
+
+  serve::Server server(std::move(opt));
+  server.install_signal_handlers();
+  server.start();
+  // The one stdout line scripts parse to discover the bound endpoint
+  // (ephemeral TCP ports in particular).
+  std::cout << "listening " << server.endpoint().describe() << "\n"
+            << std::flush;
+  server.wait();
+  return 0;
+}
+
+/// Assembles the request payload from CLI options (or --params verbatim).
+std::string client_request(const Args& args, const std::string& method) {
+  std::ostringstream out;
+  out << "{\"id\":1,\"method\":" << json::quote(method) << ",\"params\":";
+  if (const auto params = args.get("params")) {
+    (void)json::parse(*params);  // fail client-side with a clear message
+    out << *params;
+  } else {
+    out << "{";
+    bool first = true;
+    const auto field = [&](const char* key, const std::string& raw) {
+      out << (first ? "" : ",") << "\"" << key << "\":" << raw;
+      first = false;
+    };
+    if (const auto v = args.get("model")) field("model", json::quote(*v));
+    if (const auto v = args.get("platform")) field("platform", json::quote(*v));
+    if (const auto v = args.get("backend")) field("backend", json::quote(*v));
+    if (const auto v = args.get("dtype")) field("dtype", json::quote(*v));
+    if (const auto v = args.get("mode")) field("mode", json::quote(*v));
+    if (const auto v = args.get("batch")) {
+      field("batch", std::to_string(strings::parse_int(*v)));
+    }
+    if (const auto v = args.get("gpu-mhz")) {
+      (void)strings::parse_double(*v);
+      field("gpu_mhz", *v);
+    }
+    if (const auto v = args.get("mem-mhz")) {
+      (void)strings::parse_double(*v);
+      field("mem_mhz", *v);
+    }
+    if (const auto v = args.get("deadline-ms")) {
+      (void)strings::parse_double(*v);
+      field("deadline_ms", *v);
+    }
+    if (const auto v = args.get("debug-sleep-ms")) {
+      field("debug_sleep_ms", std::to_string(strings::parse_int(*v)));
+    }
+    if (const auto v = args.get("batches")) {
+      std::string list;
+      for (const auto& b : strings::split_trimmed(*v, ',')) {
+        list += (list.empty() ? "" : ",") + std::to_string(strings::parse_int(b));
+      }
+      field("batches", "[" + list + "]");
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+int cmd_client(const Args& args) {
+  const std::string method = args.get("method").value_or("ping");
+  const std::string payload = client_request(args, method);
+  net::Socket socket = net::connect(net::Endpoint::parse(args.require("connect")));
+  serve::write_frame(socket, payload);
+  while (true) {
+    const std::optional<std::string> frame = serve::read_frame(socket);
+    if (!frame.has_value()) {
+      std::cerr << "error: server closed the connection without a result\n";
+      return 1;
+    }
+    const serve::Response response = serve::parse_response(*frame);
+    if (response.is_progress()) {
+      std::cerr << "progress: " << response.payload << "\n";
+      continue;
+    }
+    if (response.is_error()) {
+      std::cerr << "error " << response.error_code << " ("
+                << response.error_kind << "): " << response.error_message
+                << "\n";
+      return 1;
+    }
+    if (const auto path = args.get("json")) {
+      save_json(response.payload, *path);
+      std::cerr << "wrote " << *path << "\n";
+    } else {
+      std::cout << response.payload << "\n";
+    }
+    return 0;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -389,6 +511,12 @@ int main(int argc, char** argv) {
     }
     if (args.command == "stats") {
       return cmd_stats(args);
+    }
+    if (args.command == "serve") {
+      return cmd_serve(args);
+    }
+    if (args.command == "client") {
+      return cmd_client(args);
     }
     usage("unknown command '" + args.command + "'");
   } catch (const proof::Error& e) {
