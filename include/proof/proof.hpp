@@ -30,6 +30,8 @@
 #pragma once
 
 #include "analysis/analyze_representation.hpp"
+#include "analysis/critical_path/critical_path.hpp"
+#include "analysis/critical_path/timeline.hpp"
 #include "analysis/memory_footprint.hpp"
 #include "analysis/optimized_representation.hpp"
 #include "analysis/quantize.hpp"

@@ -5,9 +5,11 @@
 # dedicated concurrency suite), the observability layer's sharded
 # metrics/trace buffer, and the serve daemon (protocol framing over real
 # sockets plus the full client/server e2e suite — acceptor, sessions,
-# admission ledger, drain).  Any data race in the pool, the cache's shared
-# PreparedEngine entries, the graphs' lazy index maps, the obs shards or the
-# daemon's session teardown fails the run.
+# admission ledger, drain), and the critical-path engine (multi-stream
+# schedule + DAG reconstruction from several threads over one shared built
+# engine).  Any data race in the pool, the cache's shared PreparedEngine
+# entries, the graphs' lazy index maps, the obs shards or the daemon's
+# session teardown fails the run.
 #
 # Usage: scripts/check_tsan.sh [extra gtest filter]
 set -euo pipefail
@@ -15,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*}"
+FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*:CriticalPathConcurrency.*:CriticalPath.ReconstructsProgramOrderAndSyncEdges}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

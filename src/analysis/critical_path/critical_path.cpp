@@ -1,0 +1,239 @@
+#include "analysis/critical_path/critical_path.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/span.hpp"
+#include "support/error.hpp"
+
+namespace proof::critpath {
+
+namespace {
+
+/// Kahn topological order over the reconstructed DAG, lowest event index
+/// first among ready events — deterministic and independent of how the
+/// timeline happened to order its event list.
+std::vector<int> topo_order(const Dag& dag) {
+  const size_t n = dag.preds.size();
+  std::vector<int> in_degree(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    in_degree[v] = static_cast<int>(dag.preds[v].size());
+  }
+  // Ready set kept sorted by draining a min-heap-free sweep: indices enter in
+  // increasing order and the queue is consumed front to back; ties resolve by
+  // insertion order, which is ascending for the initial sources.
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> ready;
+  for (size_t v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) {
+      ready.push_back(static_cast<int>(v));
+    }
+  }
+  size_t head = 0;
+  while (head < ready.size()) {
+    const int u = ready[head++];
+    order.push_back(u);
+    for (const int v : dag.succs[u]) {
+      if (--in_degree[v] == 0) {
+        ready.push_back(v);
+      }
+    }
+  }
+  PROOF_CHECK(order.size() == n,
+              "execution timeline DAG has a cycle (" << order.size() << " of "
+                                                     << n << " events ordered)");
+  return order;
+}
+
+}  // namespace
+
+Dag reconstruct_dag(const ExecutionTimeline& timeline) {
+  const size_t n = timeline.events.size();
+  Dag dag;
+  dag.preds.resize(n);
+  dag.succs.resize(n);
+  if (n == 0) {
+    return dag;
+  }
+
+  const auto add_edge = [&](int u, int v) {
+    if (u < 0 || v < 0 || u == v) {
+      return;
+    }
+    std::vector<int>& out = dag.succs[static_cast<size_t>(u)];
+    if (std::find(out.begin(), out.end(), v) == out.end()) {
+      out.push_back(v);
+      dag.preds[static_cast<size_t>(v)].push_back(u);
+      ++dag.num_edges;
+    }
+  };
+
+  // Program order: consecutive events on the same stream, by start time.
+  int max_stream = 0;
+  int max_layer = -1;
+  for (const TimelineEvent& e : timeline.events) {
+    max_stream = std::max(max_stream, e.stream);
+    max_layer = std::max(max_layer, e.layer);
+  }
+  std::vector<std::vector<int>> by_stream(static_cast<size_t>(max_stream) + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const int stream = timeline.events[i].stream;
+    PROOF_CHECK(stream >= 0, "timeline event " << i << " has negative stream");
+    by_stream[static_cast<size_t>(stream)].push_back(static_cast<int>(i));
+  }
+  for (std::vector<int>& lane : by_stream) {
+    std::stable_sort(lane.begin(), lane.end(), [&](int a, int b) {
+      return timeline.events[static_cast<size_t>(a)].start_ns <
+             timeline.events[static_cast<size_t>(b)].start_ns;
+    });
+    for (size_t i = 1; i < lane.size(); ++i) {
+      add_edge(lane[i - 1], lane[i]);
+    }
+  }
+
+  // Cross-stream sync edges, resolved from layer ids to event indices.
+  std::vector<int> event_of_layer(static_cast<size_t>(max_layer) + 1, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const int layer = timeline.events[i].layer;
+    if (layer >= 0) {
+      event_of_layer[static_cast<size_t>(layer)] = static_cast<int>(i);
+    }
+  }
+  const auto event_of = [&](int layer) {
+    return layer >= 0 && layer <= max_layer
+               ? event_of_layer[static_cast<size_t>(layer)]
+               : -1;
+  };
+  for (const SyncEvent& sync : timeline.syncs) {
+    add_edge(event_of(sync.from_layer), event_of(sync.to_layer));
+  }
+  return dag;
+}
+
+Report analyze(const ExecutionTimeline& timeline) {
+  PROOF_SPAN("critical_path.analyze");
+  PROOF_COUNT("critical_path.runs", 1);
+  PROOF_COUNT("critical_path.events",
+              static_cast<int64_t>(timeline.events.size()));
+  PROOF_COUNT("critical_path.sync_edges",
+              static_cast<int64_t>(timeline.syncs.size()));
+
+  Report report;
+  report.num_streams = timeline.num_streams;
+  report.sync_count = timeline.syncs.size();
+  const size_t n = timeline.events.size();
+  if (n == 0) {
+    return report;
+  }
+
+  const Dag dag = reconstruct_dag(timeline);
+  report.edge_count = dag.num_edges;
+  const std::vector<int> order = topo_order(dag);
+
+  // Forward pass: earliest start/finish; the longest finish is the critical
+  // path length.  Backward pass: latest finish that preserves it.
+  std::vector<double> earliest_start(n, 0.0);
+  std::vector<double> earliest_finish(n, 0.0);
+  for (const int u : order) {
+    const size_t ui = static_cast<size_t>(u);
+    double start = 0.0;
+    for (const int p : dag.preds[ui]) {
+      start = std::max(start, earliest_finish[static_cast<size_t>(p)]);
+    }
+    earliest_start[ui] = start;
+    earliest_finish[ui] = start + timeline.events[ui].dur_ns;
+  }
+  double critical_path = 0.0;
+  double makespan = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    critical_path = std::max(critical_path, earliest_finish[i]);
+    makespan = std::max(makespan, timeline.events[i].end_ns());
+  }
+  std::vector<double> latest_start(n, 0.0);
+  {
+    std::vector<double> latest_finish(n, critical_path);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const size_t ui = static_cast<size_t>(*it);
+      double finish = critical_path;
+      for (const int s : dag.succs[ui]) {
+        finish = std::min(finish, latest_start[static_cast<size_t>(s)]);
+      }
+      latest_finish[ui] = finish;
+      latest_start[ui] = finish - timeline.events[ui].dur_ns;
+    }
+  }
+
+  report.critical_path_ns = critical_path;
+  report.makespan_ns = makespan;
+  report.serial_sum_ns = timeline.serial_sum_ns();
+  report.parallel_speedup =
+      critical_path > 0.0 ? report.serial_sum_ns / critical_path : 1.0;
+
+  // Extract one longest path: start from the sink with the maximal earliest
+  // finish, walk back through the predecessor that set each earliest start.
+  // Ties break toward the lowest event index, so the path is deterministic.
+  int cursor = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (earliest_finish[i] > earliest_finish[static_cast<size_t>(cursor)]) {
+      cursor = static_cast<int>(i);
+    }
+  }
+  std::vector<int> path_events;
+  while (cursor >= 0) {
+    path_events.push_back(cursor);
+    const std::vector<int>& preds = dag.preds[static_cast<size_t>(cursor)];
+    int best = -1;
+    for (const int p : preds) {
+      if (best < 0 ||
+          earliest_finish[static_cast<size_t>(p)] >
+              earliest_finish[static_cast<size_t>(best)] ||
+          (earliest_finish[static_cast<size_t>(p)] ==
+               earliest_finish[static_cast<size_t>(best)] &&
+           p < best)) {
+        best = p;
+      }
+    }
+    cursor = best;
+  }
+  std::reverse(path_events.begin(), path_events.end());
+
+  // Per-layer stats, indexed by backend layer id.
+  int max_layer = -1;
+  for (const TimelineEvent& e : timeline.events) {
+    max_layer = std::max(max_layer, e.layer);
+  }
+  report.layers.assign(static_cast<size_t>(max_layer) + 1, LayerStats{});
+  const double tolerance = 1e-9 * std::max(critical_path, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const TimelineEvent& event = timeline.events[i];
+    if (event.layer < 0) {
+      continue;
+    }
+    LayerStats& stats = report.layers[static_cast<size_t>(event.layer)];
+    stats.layer = event.layer;
+    stats.stream = event.stream;
+    stats.start_ns = event.start_ns;
+    stats.dur_ns = event.dur_ns;
+    stats.earliest_start_ns = earliest_start[i];
+    stats.latest_start_ns = latest_start[i];
+    stats.slack_ns = std::max(0.0, latest_start[i] - earliest_start[i]);
+    if (stats.slack_ns <= tolerance) {
+      stats.slack_ns = 0.0;
+    }
+    stats.criticality = event.dur_ns > 0.0
+                            ? event.dur_ns / (event.dur_ns + stats.slack_ns)
+                            : (stats.slack_ns == 0.0 ? 1.0 : 0.0);
+  }
+  report.critical_layers.reserve(path_events.size());
+  for (const int e : path_events) {
+    const int layer = timeline.events[static_cast<size_t>(e)].layer;
+    if (layer >= 0) {
+      report.critical_layers.push_back(layer);
+      report.layers[static_cast<size_t>(layer)].on_critical_path = true;
+    }
+  }
+  return report;
+}
+
+}  // namespace proof::critpath

@@ -1,0 +1,70 @@
+// Critical-path engine over multi-stream execution timelines.
+//
+// Reconstructs the execution DAG from an emitted timeline — program-order
+// edges between consecutive events on the same stream plus the explicit
+// cross-stream sync edges — and runs classic CPM over it: forward pass for
+// earliest start/finish (the longest path gives `critical_path_ns`), backward
+// pass for latest start/finish, and per-layer slack = latest − earliest
+// start.  Layers with zero slack gate the end-to-end latency; layers with
+// large slack are free to get slower without moving the makespan, which is
+// exactly the prioritization signal a time-based roofline wants (Wang et al.,
+// arXiv:2009.04598; DAG mining after DeepProf, arXiv:1707.03750).
+//
+// On a single-stream timeline the DAG degenerates to a chain, so
+// critical_path_ns equals the serial latency sum and every layer is critical
+// — the seed-faithful baseline the tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/critical_path/timeline.hpp"
+
+namespace proof::critpath {
+
+/// Execution DAG reconstructed from a timeline; indices are event indices.
+struct Dag {
+  std::vector<std::vector<int>> preds;
+  std::vector<std::vector<int>> succs;
+  size_t num_edges = 0;
+};
+
+/// Program order per stream (events sorted by start time) + sync edges,
+/// deduplicated.  Uses only what the timeline records — stream ids, start
+/// times and syncs — never the scheduler's internal dependency lists.
+[[nodiscard]] Dag reconstruct_dag(const ExecutionTimeline& timeline);
+
+/// CPM result for one backend layer (one timeline event).
+struct LayerStats {
+  int layer = -1;
+  int stream = 0;
+  double start_ns = 0.0;
+  double dur_ns = 0.0;
+  double earliest_start_ns = 0.0;  ///< forward-pass earliest dispatch time
+  double latest_start_ns = 0.0;    ///< latest dispatch that keeps the makespan
+  double slack_ns = 0.0;           ///< total float: latest − earliest start
+  /// dur / (dur + slack) ∈ (0, 1]: 1 on the critical path, → 0 as the layer
+  /// drowns in float.  The ranking weight for the layer-wise roofline.
+  double criticality = 0.0;
+  bool on_critical_path = false;   ///< member of the extracted longest path
+};
+
+struct Report {
+  int num_streams = 1;
+  double critical_path_ns = 0.0;  ///< longest path through the execution DAG
+  double makespan_ns = 0.0;       ///< observed wall-clock span of the timeline
+  double serial_sum_ns = 0.0;     ///< sum of all layer durations
+  /// serial_sum / critical_path — how much the multi-stream dispatch bought.
+  double parallel_speedup = 1.0;
+  size_t sync_count = 0;          ///< cross-stream sync edges in the timeline
+  size_t edge_count = 0;          ///< edges of the reconstructed DAG
+  /// Indexed by backend layer (same order as ProfileReport::layers).
+  std::vector<LayerStats> layers;
+  /// Layer indices along the extracted critical path, in execution order.
+  std::vector<int> critical_layers;
+};
+
+/// Full analysis: DAG reconstruction + CPM + slack/criticality assignment.
+[[nodiscard]] Report analyze(const ExecutionTimeline& timeline);
+
+}  // namespace proof::critpath

@@ -1,0 +1,69 @@
+// Multi-stream execution timeline — the data the backend sims emit and the
+// critical-path engine consumes (ROADMAP: trace-derived execution DAG).
+//
+// Real inference runtimes dispatch independent branches on separate hardware
+// queues (CUDA streams, OpenVINO infer streams, ONNX Runtime inter-op
+// threads).  A timeline records what actually executed: one event per backend
+// layer with its stream, start time and duration, plus the explicit
+// cross-stream synchronization edges the schedule required.  Timestamps are
+// double nanoseconds so a single-stream timeline sums to the serial latency
+// exactly (no per-event integer rounding).
+//
+// The types live under analysis/ (not backends/) so the critical-path engine
+// can consume timelines without depending on the backend library; backends
+// depend on analysis already.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace proof {
+
+/// How a backend dispatches independent work — each simulated runtime
+/// declares the concurrency surface of the engine it models.
+struct StreamPolicy {
+  /// Hardware queues the runtime can target (1 = strictly serial).
+  int max_streams = 1;
+  /// Trace lane naming: "<lane_name> <index>" (e.g. "cuda stream 2").
+  std::string lane_name = "stream";
+};
+
+/// One backend-layer execution on a stream.
+struct TimelineEvent {
+  int layer = -1;    ///< index into Engine::layers() / ProfileReport::layers
+  int stream = 0;    ///< 0-based stream the layer was dispatched on
+  double start_ns = 0.0;
+  double dur_ns = 0.0;
+  /// Data dependencies (producer layer indices) this dispatch waited on.
+  std::vector<int> deps;
+
+  [[nodiscard]] double end_ns() const { return start_ns + dur_ns; }
+};
+
+/// An explicit cross-stream wait: `to_layer`'s stream blocked on an event
+/// recorded at `from_layer`'s completion (cudaStreamWaitEvent-style).
+struct SyncEvent {
+  int from_layer = -1;
+  int to_layer = -1;
+};
+
+/// Everything a backend emits about one simulated execution.
+struct ExecutionTimeline {
+  int num_streams = 1;
+  std::string lane_name = "stream";  ///< from the backend's StreamPolicy
+  /// In dispatch order (layer order); per-stream starts are nondecreasing.
+  std::vector<TimelineEvent> events;
+  std::vector<SyncEvent> syncs;
+  double makespan_ns = 0.0;  ///< max end_ns over events (wall-clock span)
+
+  /// Sum of all event durations — the serial execution time.
+  [[nodiscard]] double serial_sum_ns() const {
+    double total = 0.0;
+    for (const TimelineEvent& e : events) {
+      total += e.dur_ns;
+    }
+    return total;
+  }
+};
+
+}  // namespace proof

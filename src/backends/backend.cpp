@@ -4,17 +4,20 @@
 
 #include "backends/builtin.hpp"
 #include "backends/prepare.hpp"
+#include "backends/stream_schedule.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace proof::backends {
 
 Engine::Engine(std::string backend_id, Graph analysis_graph,
-               std::vector<BackendLayer> layers, BuildConfig config)
+               std::vector<BackendLayer> layers, BuildConfig config,
+               StreamPolicy stream_policy)
     : backend_id_(std::move(backend_id)),
       analysis_graph_(std::move(analysis_graph)),
       layers_(std::move(layers)),
-      config_(config) {}
+      config_(config),
+      stream_policy_(std::move(stream_policy)) {}
 
 EngineProfile Engine::profile(const hw::PlatformState& state, int iterations) const {
   PROOF_CHECK(iterations > 0, "iterations must be positive");
@@ -47,6 +50,12 @@ EngineProfile Engine::profile(const hw::PlatformState& state, int iterations) co
         std::min(1.0, (memory_busy + 0.35 * compute_busy) / result.total_latency_s);
   }
   return result;
+}
+
+ExecutionTimeline Engine::profile_timeline(const hw::PlatformState& state,
+                                           int iterations, int streams) const {
+  const EngineProfile profile_result = profile(state, iterations);
+  return schedule_streams(*this, profile_result.layer_latency_s, streams);
 }
 
 std::vector<hw::KernelWork> Engine::all_kernels() const {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/critical_path/timeline.hpp"
 #include "graph/graph.hpp"
 #include "hw/counters.hpp"
 #include "hw/latency_model.hpp"
@@ -56,10 +57,15 @@ struct EngineProfile {
 class Engine {
  public:
   Engine(std::string backend_id, Graph analysis_graph, std::vector<BackendLayer> layers,
-         BuildConfig config);
+         BuildConfig config, StreamPolicy stream_policy = {});
 
   [[nodiscard]] const std::string& backend_id() const { return backend_id_; }
   [[nodiscard]] const BuildConfig& config() const { return config_; }
+
+  /// The runtime's dispatch concurrency surface (stream count + lane names).
+  [[nodiscard]] const StreamPolicy& stream_policy() const {
+    return stream_policy_;
+  }
 
   /// The batch/dtype-converted model graph the layers reference (same node
   /// names as the input model).
@@ -72,6 +78,15 @@ class Engine {
   [[nodiscard]] EngineProfile profile(const hw::PlatformState& state,
                                       int iterations = 50) const;
 
+  /// Multi-stream execution timeline: the same simulated latencies as
+  /// profile(), dispatched onto up to `streams` streams (0 = the backend's
+  /// stream_policy() maximum; clamped to it otherwise) with explicit
+  /// cross-stream sync events.  streams == 1 reproduces the seed's serial
+  /// cursor exactly.  See backends/stream_schedule.hpp.
+  [[nodiscard]] ExecutionTimeline profile_timeline(const hw::PlatformState& state,
+                                                   int iterations = 50,
+                                                   int streams = 0) const;
+
   /// All kernels in execution order (for the counter profiler).
   [[nodiscard]] std::vector<hw::KernelWork> all_kernels() const;
 
@@ -80,6 +95,7 @@ class Engine {
   Graph analysis_graph_;
   std::vector<BackendLayer> layers_;
   BuildConfig config_;
+  StreamPolicy stream_policy_;
 };
 
 /// Batch-independent half of a backend build: the fused-group structure the

@@ -131,7 +131,10 @@ class OrtSimBackend final : public Backend {
       }
       layers.push_back(std::move(layer));
     }
-    return Engine(id(), std::move(g), std::move(layers), config);
+    // ONNX Runtime's parallel executor runs independent nodes on the
+    // inter-op thread pool (session_options.inter_op_num_threads = 3 here).
+    return Engine(id(), std::move(g), std::move(layers), config,
+                  StreamPolicy{3, "inter-op thread"});
   }
 };
 

@@ -77,7 +77,10 @@ class OvSimBackend final : public Backend {
       }
       layers.push_back(std::move(layer));
     }
-    return Engine(id(), std::move(g), std::move(layers), config);
+    // OpenVINO's throughput hint splits the compiled model across two infer
+    // streams per socket; branch-level concurrency is bounded accordingly.
+    return Engine(id(), std::move(g), std::move(layers), config,
+                  StreamPolicy{2, "infer stream"});
   }
 };
 

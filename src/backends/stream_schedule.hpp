@@ -1,0 +1,37 @@
+// Multi-stream dispatch simulation for built engines.
+//
+// Derives the backend-layer dependency DAG from the engine's tensor dataflow
+// (id-indexed through the analysis graph's interned tensor table, with a
+// name-map fallback for backend-renamed tensors such as ort_sim's "_r"
+// reorder outputs or ov_sim's "/convert" inputs), then list-schedules the
+// layers onto up to N streams: each layer starts as soon as its producers
+// have finished and a stream is free, preferring the stream of its
+// latest-finishing producer so dependent chains stay sync-free.  Cross-stream
+// dependencies become explicit SyncEvents — the cudaStreamWaitEvent edges the
+// critical-path engine later reconstructs the DAG from.
+//
+// With streams == 1 this degenerates to the seed's serial cursor: one lane,
+// no syncs, makespan == serial latency sum.
+#pragma once
+
+#include <vector>
+
+#include "analysis/critical_path/timeline.hpp"
+#include "backends/backend.hpp"
+
+namespace proof::backends {
+
+/// Producer layer indices for every backend layer, deduplicated and sorted.
+/// Every dependency precedes its consumer (the sims emit layers in
+/// topological order); violations throw ModelError.
+[[nodiscard]] std::vector<std::vector<int>> layer_dependencies(
+    const Engine& engine);
+
+/// Schedules the engine's layers (with the given simulated per-layer
+/// latencies, parallel to Engine::layers()) onto up to `streams` streams.
+/// `streams` is clamped to [1, engine.stream_policy().max_streams].
+[[nodiscard]] ExecutionTimeline schedule_streams(
+    const Engine& engine, const std::vector<double>& layer_latency_s,
+    int streams);
+
+}  // namespace proof::backends

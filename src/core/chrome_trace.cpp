@@ -5,31 +5,176 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 namespace proof {
 
 namespace {
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
+// All string interpolation goes through json::escape (support/json.cpp) —
+// the trace emitter used to carry its own incomplete copy that dropped \t,
+// \r, \b, \f and other control characters, producing invalid JSON for any
+// model whose node names contained them.
+
+/// Streams one complete ('X') event; `args_json` is pre-serialized.
+class EventStream {
+ public:
+  explicit EventStream(std::ostringstream& out) : out_(out) {}
+
+  void raw(const std::string& json) {
+    if (!first_) {
+      out_ << ',';
+    }
+    first_ = false;
+    out_ << json;
+  }
+
+  void complete(const std::string& name, const char* cat, int pid, int tid,
+                double start_us, double dur_us, const std::string& args_json) {
+    raw("");  // separator bookkeeping only
+    out_ << "{\"name\":\"" << json::escape(name) << "\",\"cat\":\"" << cat
+         << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"ts\":" << start_us << ",\"dur\":" << dur_us << ",\"args\":{"
+         << args_json << "}}";
+  }
+
+  void thread_name(int pid, int tid, const std::string& name) {
+    raw("");
+    out_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+         << json::escape(name) << "\"}}";
+  }
+
+  /// One half of a flow arrow ('s' start / 'f' finish); Chrome pairs the two
+  /// halves by (cat, name, id).
+  void flow(char phase, size_t id, int tid, double ts_us) {
+    raw("");
+    out_ << "{\"name\":\"sync\",\"cat\":\"proof_sync\",\"ph\":\"" << phase
+         << "\",\"id\":" << id << ",\"pid\":1,\"tid\":" << tid
+         << ",\"ts\":" << ts_us;
+    if (phase == 'f') {
+      out_ << ",\"bp\":\"e\"";  // bind to the enclosing slice's end
+    }
+    out_ << "}";
+  }
+
+ private:
+  std::ostringstream& out_;
+  bool first_ = true;
+};
+
+std::string layer_args(const ProfileReport& report, size_t layer_index) {
+  const LayerReport& layer = report.layers[layer_index];
+  const roofline::Point& pt = report.roofline.layers[layer_index];
+  std::ostringstream args;
+  args.precision(4);
+  args << "\"class\":\"" << op_class_name(layer.cls) << "\",\"mapped_via\":\""
+       << mapping::map_method_name(layer.method) << "\",\"model_nodes\":\""
+       << json::escape(strings::join(layer.model_nodes, " + "))
+       << "\",\"ai\":" << pt.arithmetic_intensity()
+       << ",\"gflops\":" << layer.flops / 1e9;
+  return args.str();
+}
+
+/// Seed-faithful serial emission: one "backend layers" lane, one "device
+/// kernels" lane, a running cursor tiling the total latency.
+void emit_serial(EventStream& events, const ProfileReport& report) {
+  events.thread_name(1, 1, "backend layers");
+  events.thread_name(1, 2, "device kernels");
+  double cursor_us = 0.0;
+  for (size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerReport& layer = report.layers[i];
+    const double dur_us = layer.latency_s * 1e6;
+    events.complete(layer.backend_layer, "proof", 1, 1, cursor_us, dur_us,
+                    layer_args(report, i));
+    // Kernel sub-events share the layer's span proportionally.
+    const size_t kernels = layer.kernels.size();
+    if (kernels > 0) {
+      const double slice = dur_us / static_cast<double>(kernels);
+      for (size_t k = 0; k < kernels; ++k) {
+        events.complete(layer.kernels[k], "proof", 1, 2,
+                        cursor_us + slice * static_cast<double>(k), slice,
+                        "\"layer\":\"" + json::escape(layer.backend_layer) +
+                            "\"");
+      }
+    }
+    cursor_us += dur_us;
+  }
+}
+
+/// Multi-stream emission: one lane per stream under pid 1 at the scheduled
+/// timestamps, device kernels nested inside their layer's slice, and a flow
+/// arrow per cross-stream sync edge.
+void emit_timeline(EventStream& events, const ProfileReport& report) {
+  const ExecutionTimeline& timeline = *report.timeline;
+  for (int s = 0; s < timeline.num_streams; ++s) {
+    events.thread_name(1, s + 1,
+                       timeline.lane_name + " " + std::to_string(s));
+  }
+  for (const TimelineEvent& event : timeline.events) {
+    if (event.layer < 0 ||
+        static_cast<size_t>(event.layer) >= report.layers.size()) {
+      continue;
+    }
+    const size_t li = static_cast<size_t>(event.layer);
+    const LayerReport& layer = report.layers[li];
+    const double start_us = event.start_ns / 1e3;
+    const double dur_us = event.dur_ns / 1e3;
+    std::string args = layer_args(report, li);
+    {
+      std::ostringstream extra;
+      extra.precision(6);
+      extra << ",\"stream\":" << event.stream;
+      if (report.critical_path &&
+          li < report.critical_path->layers.size()) {
+        const critpath::LayerStats& stats = report.critical_path->layers[li];
+        extra << ",\"slack_us\":" << stats.slack_ns / 1e3
+              << ",\"criticality\":" << stats.criticality
+              << ",\"on_critical_path\":"
+              << (stats.on_critical_path ? "true" : "false");
+      }
+      args += extra.str();
+    }
+    events.complete(layer.backend_layer, "proof", 1, event.stream + 1,
+                    start_us, dur_us, args);
+    // Kernels nest inside the layer slice on the same stream lane.
+    const size_t kernels = layer.kernels.size();
+    if (kernels > 0) {
+      const double slice = dur_us / static_cast<double>(kernels);
+      for (size_t k = 0; k < kernels; ++k) {
+        events.complete(layer.kernels[k], "proof", 1, event.stream + 1,
+                        start_us + slice * static_cast<double>(k), slice,
+                        "\"layer\":\"" + json::escape(layer.backend_layer) +
+                            "\"");
+      }
     }
   }
-  return out;
+  // Sync flow arrows: recorded at the producer's completion, consumed at the
+  // dependent layer's dispatch.
+  std::vector<const TimelineEvent*> event_of_layer(report.layers.size(),
+                                                   nullptr);
+  for (const TimelineEvent& event : timeline.events) {
+    if (event.layer >= 0 &&
+        static_cast<size_t>(event.layer) < event_of_layer.size()) {
+      event_of_layer[static_cast<size_t>(event.layer)] = &event;
+    }
+  }
+  for (size_t i = 0; i < timeline.syncs.size(); ++i) {
+    const SyncEvent& sync = timeline.syncs[i];
+    if (sync.from_layer < 0 || sync.to_layer < 0 ||
+        static_cast<size_t>(sync.from_layer) >= event_of_layer.size() ||
+        static_cast<size_t>(sync.to_layer) >= event_of_layer.size()) {
+      continue;
+    }
+    const TimelineEvent* from = event_of_layer[static_cast<size_t>(sync.from_layer)];
+    const TimelineEvent* to = event_of_layer[static_cast<size_t>(sync.to_layer)];
+    if (from == nullptr || to == nullptr) {
+      continue;
+    }
+    events.flow('s', i, from->stream + 1, from->end_ns() / 1e3);
+    events.flow('f', i, to->stream + 1, to->start_ns / 1e3);
+  }
 }
 
 }  // namespace
@@ -45,69 +190,36 @@ std::string report_to_chrome_trace(
   out.precision(6);
   out << std::fixed;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
-  const auto emit = [&](const std::string& name, int tid, double start_us,
-                        double dur_us, const std::string& args_json) {
-    if (!first) {
-      out << ',';
-    }
-    first = false;
-    out << "{\"name\":\"" << json_escape(name)
-        << "\",\"cat\":\"proof\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
-        << ",\"ts\":" << start_us << ",\"dur\":" << dur_us << ",\"args\":{"
-        << args_json << "}}";
-  };
+  EventStream events(out);
 
   // Track metadata.
-  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
-      << json_escape(report.model_name + " on " + report.platform_name)
-      << "\"}},";
-  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
-         "\"args\":{\"name\":\"backend layers\"}},";
-  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
-         "\"args\":{\"name\":\"device kernels\"}}";
-  first = false;
-
-  double cursor_us = 0.0;
-  for (size_t i = 0; i < report.layers.size(); ++i) {
-    const LayerReport& layer = report.layers[i];
-    const roofline::Point& pt = report.roofline.layers[i];
-    const double dur_us = layer.latency_s * 1e6;
-    std::ostringstream args;
-    args.precision(4);
-    args << "\"class\":\"" << op_class_name(layer.cls) << "\",\"mapped_via\":\""
-         << mapping::map_method_name(layer.method) << "\",\"model_nodes\":\""
-         << json_escape(strings::join(layer.model_nodes, " + "))
-         << "\",\"ai\":" << pt.arithmetic_intensity()
-         << ",\"gflops\":" << layer.flops / 1e9;
-    emit(layer.backend_layer, 1, cursor_us, dur_us, args.str());
-    // Kernel sub-events share the layer's span proportionally.
-    const size_t kernels = layer.kernels.size();
-    if (kernels > 0) {
-      const double slice = dur_us / static_cast<double>(kernels);
-      for (size_t k = 0; k < kernels; ++k) {
-        emit(layer.kernels[k], 2, cursor_us + slice * static_cast<double>(k),
-             slice, "\"layer\":\"" + json_escape(layer.backend_layer) + "\"");
-      }
-    }
-    cursor_us += dur_us;
+  events.raw(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"" +
+      json::escape(report.model_name + " on " + report.platform_name) +
+      "\"}}");
+  if (report.timeline) {
+    emit_timeline(events, report);
+  } else {
+    emit_serial(events, report);
   }
 
   // Self-profile process: the profiler's own pipeline spans on their real OS
   // threads (pid 2), so parallel sweeps render as per-thread lanes.
   if (!self_spans.empty()) {
-    out << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
-           "\"args\":{\"name\":\"proof self-profile\"}}";
+    events.raw(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+        "\"args\":{\"name\":\"proof self-profile\"}}");
     uint32_t max_tid = 0;
     for (const obs::TraceEvent& event : self_spans) {
       max_tid = std::max(max_tid, event.tid);
     }
     for (uint32_t tid = 1; tid <= max_tid; ++tid) {
-      out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":" << tid
-          << ",\"args\":{\"name\":\"thread " << tid << "\"}}";
+      events.thread_name(2, static_cast<int>(tid),
+                         "thread " + std::to_string(tid));
     }
     for (const obs::TraceEvent& event : self_spans) {
-      out << ",{\"name\":\"" << json_escape(event.name)
+      events.raw("");
+      out << "{\"name\":\"" << json::escape(event.name)
           << "\",\"cat\":\"proof_self\",\"ph\":\"X\",\"pid\":2,\"tid\":"
           << event.tid << ",\"ts\":" << static_cast<double>(event.start_ns) / 1e3
           << ",\"dur\":" << static_cast<double>(event.dur_ns) / 1e3 << "}";
@@ -121,6 +233,10 @@ void save_chrome_trace(const std::string& trace, const std::string& path) {
   std::ofstream out(path);
   PROOF_CHECK(out.good(), "cannot open '" << path << "' for writing");
   out << trace << "\n";
+  out.flush();
+  // A full disk or a closed pipe only surfaces on the stream state after the
+  // write — checking good() at open time alone silently drops the trace.
+  PROOF_CHECK(out.good(), "failed writing Chrome trace to '" << path << "'");
 }
 
 }  // namespace proof

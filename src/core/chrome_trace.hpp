@@ -1,9 +1,13 @@
 // Chrome-trace timeline export (chrome://tracing / Perfetto).
 //
 // The paper obtains kernel-to-layer correspondence through Nsight Systems'
-// timeline; this emits the equivalent view of a profiled run: one track of
-// backend layers and one track of device kernels, aligned on the simulated
-// timeline, each event annotated with the mapped model-design nodes.
+// timeline; this emits the equivalent view of a profiled run.  Serial-mode
+// reports render as one track of backend layers plus one track of device
+// kernels, tiled by a running cursor.  Multi-stream reports (profiled with
+// options.streams != 1) render one lane per execution stream under pid 1,
+// kernels nested inside their layer's slice, and a flow arrow per
+// cross-stream sync edge; layer events carry slack/criticality args from the
+// critical-path analysis.  See docs/TRACING.md.
 #pragma once
 
 #include <string>

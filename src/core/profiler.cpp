@@ -1,5 +1,6 @@
 #include "core/profiler.hpp"
 
+#include "backends/stream_schedule.hpp"
 #include "core/prep_cache.hpp"
 #include "hw/counters.hpp"
 #include "hw/platform.hpp"
@@ -151,6 +152,22 @@ ProfileReport Profiler::run(const Graph& model) const {
   }
   report.roofline.end_to_end =
       roofline::aggregate(report.roofline.layers, model.name());
+
+  // 6. Multi-stream dispatch + critical-path analysis (options.streams != 1;
+  // the serial default skips this entirely so reports match the seed
+  // byte-for-byte).  Reuses the per-layer latencies already simulated above.
+  if (options_.streams != 1) {
+    report.timeline = backends::schedule_streams(
+        engine, profile.layer_latency_s, options_.streams);
+    report.critical_path = critpath::analyze(*report.timeline);
+    for (const critpath::LayerStats& stats : report.critical_path->layers) {
+      if (stats.layer >= 0 &&
+          static_cast<size_t>(stats.layer) < report.roofline.layers.size()) {
+        report.roofline.layers[static_cast<size_t>(stats.layer)].criticality =
+            stats.criticality;
+      }
+    }
+  }
   return report;
 }
 

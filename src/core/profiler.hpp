@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "analysis/analyze_representation.hpp"
+#include "analysis/critical_path/critical_path.hpp"
+#include "analysis/critical_path/timeline.hpp"
 #include "backends/backend.hpp"
 #include "hw/power.hpp"
 #include "mapping/layer_mapping.hpp"
@@ -36,6 +38,12 @@ struct ProfileOptions {
   MetricMode mode = MetricMode::kPredicted;
   hw::ClockSetting clocks;          ///< DVFS overrides (§4.6)
   int iterations = 50;              ///< built-in profiler averaging length
+  /// Execution streams to simulate.  1 (default) is the seed-faithful serial
+  /// mode: no timeline, no critical_path report section, byte-identical
+  /// output.  0 = the backend's StreamPolicy maximum; N > 1 is clamped to
+  /// it.  Multi-stream runs attach an ExecutionTimeline plus a critical-path
+  /// analysis to the report (see analysis/critical_path/).
+  int streams = 1;
 };
 
 /// Per-backend-layer profiling result.
@@ -62,6 +70,12 @@ struct ProfileReport {
 
   std::vector<LayerReport> layers;
   roofline::Analysis roofline;      ///< ceilings + layer points + end-to-end
+
+  /// Multi-stream mode only (options.streams != 1): the emitted execution
+  /// timeline and its critical-path analysis.  Absent in serial mode so
+  /// serial reports stay byte-identical to the seed.
+  std::optional<ExecutionTimeline> timeline;
+  std::optional<critpath::Report> critical_path;
 
   // Mapping quality.
   double mapping_coverage = 0.0;    ///< fraction of model nodes claimed

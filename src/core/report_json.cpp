@@ -17,6 +17,12 @@ class JsonWriter {
   explicit JsonWriter(std::ostringstream& out) : out_(out) { out_.precision(12); }
 
   void begin_object() { separator(); out_ << '{'; fresh_ = true; }
+  void begin_object(const std::string& key) {
+    separator();
+    emit_key(key);
+    out_ << '{';
+    fresh_ = true;
+  }
   void end_object() { out_ << '}'; fresh_ = false; }
   void begin_array(const std::string& key) {
     separator();
@@ -162,6 +168,47 @@ std::string report_to_json(const ProfileReport& report,
     w.end_object();
   }
   w.end_array();
+
+  // Multi-stream runs: the critical-path analysis over the emitted execution
+  // timeline.  Serial-mode reports omit the section entirely, keeping them
+  // byte-identical to the pre-timeline goldens.
+  if (report.critical_path) {
+    const critpath::Report& cp = *report.critical_path;
+    w.begin_object("critical_path");
+    w.field("num_streams", static_cast<int64_t>(cp.num_streams));
+    w.field("critical_path_ns", cp.critical_path_ns);
+    w.field("makespan_ns", cp.makespan_ns);
+    w.field("serial_sum_ns", cp.serial_sum_ns);
+    w.field("parallel_speedup", cp.parallel_speedup);
+    w.field("sync_count", static_cast<int64_t>(cp.sync_count));
+    w.field("dag_edges", static_cast<int64_t>(cp.edge_count));
+    w.begin_array("critical_layers");
+    for (const int layer : cp.critical_layers) {
+      if (layer >= 0 && static_cast<size_t>(layer) < report.layers.size()) {
+        w.string_element(report.layers[static_cast<size_t>(layer)].backend_layer);
+      }
+    }
+    w.end_array();
+    w.begin_array("layers");
+    for (const critpath::LayerStats& stats : cp.layers) {
+      w.begin_object();
+      const std::string name =
+          stats.layer >= 0 &&
+                  static_cast<size_t>(stats.layer) < report.layers.size()
+              ? report.layers[static_cast<size_t>(stats.layer)].backend_layer
+              : std::string();
+      w.field("name", name);
+      w.field("stream", static_cast<int64_t>(stats.stream));
+      w.field("start_ns", stats.start_ns);
+      w.field("dur_ns", stats.dur_ns);
+      w.field("slack_ns", stats.slack_ns);
+      w.field("criticality", stats.criticality);
+      w.field("on_critical_path", stats.on_critical_path);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   if (include_self_profile) {
     w.raw_field("self_profile", obs::self_profile_json());
   }
@@ -173,6 +220,8 @@ void save_json(const std::string& json, const std::string& path) {
   std::ofstream out(path);
   PROOF_CHECK(out.good(), "cannot open '" << path << "' for writing");
   out << json << "\n";
+  out.flush();
+  PROOF_CHECK(out.good(), "failed writing JSON to '" << path << "'");
 }
 
 }  // namespace proof

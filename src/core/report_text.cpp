@@ -1,5 +1,7 @@
 #include "core/report_text.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <sstream>
 
 #include "report/table.hpp"
@@ -32,6 +34,15 @@ std::string summary_text(const ProfileReport& report) {
       << " W  mapping coverage: "
       << units::fixed(report.mapping_coverage * 100.0, 1) << "% ("
       << report.unmapped_layers << " unmapped layers)\n";
+  if (report.critical_path) {
+    const critpath::Report& cp = *report.critical_path;
+    out << "streams: " << cp.num_streams
+        << "  critical path: " << units::ms(cp.critical_path_ns / 1e9)
+        << "  (" << units::fixed(cp.parallel_speedup, 2)
+        << "x vs serial, " << cp.sync_count << " sync edges, "
+        << cp.critical_layers.size() << " of " << cp.layers.size()
+        << " layers critical)\n";
+  }
   if (report.counter_profiling_time_s > 0.0) {
     out << "counter profiling overhead: "
         << units::fixed(report.counter_profiling_time_s, 0) << " s\n";
@@ -40,10 +51,36 @@ std::string summary_text(const ProfileReport& report) {
 }
 
 std::string layer_table_text(const ProfileReport& report, size_t max_rows) {
-  report::TextTable table({"backend layer", "nodes", "class", "latency", "share",
-                           "FLOP/s", "BW", "AI", "mapped via"});
+  // Multi-stream reports rank layers by criticality — the layers that gate
+  // the critical path come first, regardless of raw latency.  Serial reports
+  // keep the seed's execution order and column set.
+  const bool ranked = report.critical_path.has_value();
+  std::vector<std::string> header = {"backend layer", "nodes",  "class",
+                                     "latency",       "share",  "FLOP/s",
+                                     "BW",            "AI",     "mapped via"};
+  if (ranked) {
+    header.push_back("slack");
+    header.push_back("crit");
+  }
+  report::TextTable table(header);
+
+  std::vector<size_t> order(report.layers.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (ranked) {
+    const std::vector<critpath::LayerStats>& stats = report.critical_path->layers;
+    const auto criticality = [&](size_t i) {
+      return i < stats.size() ? stats[i].criticality : 0.0;
+    };
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (criticality(a) != criticality(b)) {
+        return criticality(a) > criticality(b);
+      }
+      return report.layers[a].latency_s > report.layers[b].latency_s;
+    });
+  }
+
   size_t rows = 0;
-  for (size_t i = 0; i < report.layers.size(); ++i) {
+  for (const size_t i : order) {
     const LayerReport& layer = report.layers[i];
     const roofline::Point& pt = report.roofline.layers[i];
     if (max_rows > 0 && rows >= max_rows) {
@@ -54,14 +91,22 @@ std::string layer_table_text(const ProfileReport& report, size_t max_rows) {
     if (name.size() > 42) {
       name = name.substr(0, 39) + "...";
     }
-    table.add_row({name, std::to_string(layer.model_nodes.size()),
-                   std::string(op_class_name(layer.cls)),
-                   units::ms(layer.latency_s),
-                   units::fixed(pt.latency_share * 100.0, 1) + "%",
-                   units::tflops(pt.attained_flops()),
-                   units::gbps(pt.attained_bandwidth()),
-                   units::fixed(pt.arithmetic_intensity(), 1),
-                   std::string(mapping::map_method_name(layer.method))});
+    std::vector<std::string> row = {
+        name, std::to_string(layer.model_nodes.size()),
+        std::string(op_class_name(layer.cls)), units::ms(layer.latency_s),
+        units::fixed(pt.latency_share * 100.0, 1) + "%",
+        units::tflops(pt.attained_flops()),
+        units::gbps(pt.attained_bandwidth()),
+        units::fixed(pt.arithmetic_intensity(), 1),
+        std::string(mapping::map_method_name(layer.method))};
+    if (ranked) {
+      const std::vector<critpath::LayerStats>& stats =
+          report.critical_path->layers;
+      const bool have = i < stats.size();
+      row.push_back(have ? units::ms(stats[i].slack_ns / 1e9) : "-");
+      row.push_back(have ? units::fixed(stats[i].criticality, 2) : "-");
+    }
+    table.add_row(row);
   }
   return table.to_string();
 }

@@ -12,6 +12,42 @@ namespace proof::report {
 
 namespace {
 
+/// Escapes text/attribute interpolations for XML.  Model, platform and layer
+/// names are user-controlled (ONNX node names routinely contain '<', '&',
+/// quotes); streaming them raw into <text> elements yields malformed SVG.
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        // Control characters are not representable in XML 1.0 at all (not
+        // even as character references); drop them rather than emit an
+        // unparseable document.
+        if (static_cast<unsigned char>(c) >= 0x20 || c == '\n' || c == '\t' ||
+            c == '\r') {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 constexpr int kMarginLeft = 70;
 constexpr int kMarginRight = 20;
 constexpr int kMarginTop = 40;
@@ -68,7 +104,8 @@ void draw_frame(std::ostringstream& svg, const SvgOptions& opt, const LogScale& 
   svg << "<rect width='" << opt.width << "' height='" << opt.height
       << "' fill='white'/>\n";
   svg << "<text x='" << opt.width / 2 << "' y='22' text-anchor='middle' "
-      << "font-size='15' font-family='sans-serif'>" << title << "</text>\n";
+      << "font-size='15' font-family='sans-serif'>" << xml_escape(title)
+      << "</text>\n";
   // Decade gridlines.
   for (int e = static_cast<int>(std::ceil(xs.lo_log));
        e <= static_cast<int>(std::floor(xs.hi_log)); ++e) {
@@ -122,7 +159,8 @@ void draw_roof(std::ostringstream& svg, const roofline::Ceilings& c,
     svg << "<text x='" << xs.map(label_ai) + 4 << "' y='"
         << clamp_y(ys.map(label_ai * c.extra_bw_lines[i].second)) - 5
         << "' font-size='10' fill='" << kExtraColors[i % 3]
-        << "' font-family='sans-serif'>" << c.extra_bw_lines[i].first << "</text>\n";
+        << "' font-family='sans-serif'>" << xml_escape(c.extra_bw_lines[i].first)
+        << "</text>\n";
   }
   const double ridge = c.ridge_ai();
   svg << "<line x1='" << xs.map(std::max(ridge, std::pow(10.0, xs.lo_log)))
@@ -143,14 +181,26 @@ void draw_points(std::ostringstream& svg, const std::vector<roofline::Point>& po
     if (ai <= 0.0 || perf <= 0.0) {
       continue;
     }
+    // With a critical-path analysis attached, opacity tracks criticality —
+    // layers that gate the schedule render solid, slack-rich layers fade.
+    // Serial runs fall back to latency share.
     const double opacity =
-        0.25 + 0.75 * std::min(1.0, p.latency_share > 0 ? p.latency_share * 8.0 : 1.0);
+        p.criticality >= 0.0
+            ? 0.25 + 0.75 * std::min(1.0, p.criticality)
+            : 0.25 + 0.75 *
+                  std::min(1.0, p.latency_share > 0 ? p.latency_share * 8.0 : 1.0);
     svg << "<circle cx='" << xs.map(ai) << "' cy='" << ys.map(perf)
         << "' r='5' fill='" << class_color(p.cls) << "' fill-opacity='" << opacity
         << "'/>\n";
+    if (p.criticality >= 0.9995) {
+      // Critical-path marker ring.
+      svg << "<circle cx='" << xs.map(ai) << "' cy='" << ys.map(perf)
+          << "' r='7.5' fill='none' stroke='#c62828' stroke-width='1.5'/>\n";
+    }
     if (label) {
       svg << "<text x='" << xs.map(ai) + 7 << "' y='" << ys.map(perf) + 3
-          << "' font-size='9' font-family='sans-serif'>" << p.name << "</text>\n";
+          << "' font-size='9' font-family='sans-serif'>" << xml_escape(p.name)
+          << "</text>\n";
     }
   }
 }
@@ -205,6 +255,8 @@ void save_svg(const std::string& svg, const std::string& path) {
   std::ofstream out(path);
   PROOF_CHECK(out.good(), "cannot open '" << path << "' for writing");
   out << svg;
+  out.flush();
+  PROOF_CHECK(out.good(), "failed writing SVG to '" << path << "'");
 }
 
 }  // namespace proof::report

@@ -17,6 +17,9 @@ struct Point {
   double bytes = 0.0;      ///< DRAM traffic
   double latency_s = 0.0;
   double latency_share = 0.0;  ///< fraction of total model latency
+  /// Critical-path weight in [0, 1] when a multi-stream timeline was
+  /// analyzed (1 = on the critical path); negative = not computed.
+  double criticality = -1.0;
   OpClass cls = OpClass::kElementwise;
 
   /// Arithmetic intensity (FLOP/byte); 0 when no traffic.

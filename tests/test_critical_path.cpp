@@ -1,0 +1,320 @@
+// Critical-path engine tests: DAG reconstruction from hand-built timelines,
+// CPM slack/criticality math, the serial-degenerate invariant
+// (critical_path_ns == serial latency sum), and multi-stream scheduling of
+// real zoo models across all three backend sims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "analysis/critical_path/critical_path.hpp"
+#include "backends/backend.hpp"
+#include "backends/stream_schedule.hpp"
+#include "core/profiler.hpp"
+#include "hw/platform.hpp"
+#include "models/zoo.hpp"
+
+namespace proof {
+namespace {
+
+TimelineEvent event(int layer, int stream, double start_ns, double dur_ns) {
+  TimelineEvent e;
+  e.layer = layer;
+  e.stream = stream;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  return e;
+}
+
+/// Diamond: A feeds both B (same stream) and C (stream 1); D joins them.
+///
+///   stream 0:  A[0,10)  B[10,30)          D[30,40)
+///   stream 1:           C[10,15)
+///   syncs:     A -> C, C -> D
+ExecutionTimeline diamond() {
+  ExecutionTimeline t;
+  t.num_streams = 2;
+  t.events = {event(0, 0, 0.0, 10.0), event(1, 0, 10.0, 20.0),
+              event(2, 1, 10.0, 5.0), event(3, 0, 30.0, 10.0)};
+  t.syncs = {{0, 2}, {2, 3}};
+  t.makespan_ns = 40.0;
+  return t;
+}
+
+TEST(CriticalPath, ReconstructsProgramOrderAndSyncEdges) {
+  const critpath::Dag dag = critpath::reconstruct_dag(diamond());
+  ASSERT_EQ(dag.preds.size(), 4u);
+  // Program order on stream 0: A->B->D; stream 1 has only C.  Syncs add
+  // A->C and C->D.
+  EXPECT_EQ(dag.succs[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(dag.succs[1], (std::vector<int>{3}));
+  EXPECT_EQ(dag.succs[2], (std::vector<int>{3}));
+  EXPECT_TRUE(dag.succs[3].empty());
+  EXPECT_EQ(dag.preds[3].size(), 2u);  // B and C join at D
+  EXPECT_EQ(dag.num_edges, 4u);
+}
+
+TEST(CriticalPath, DiamondSlackAndCriticality) {
+  const critpath::Report cp = critpath::analyze(diamond());
+  EXPECT_EQ(cp.num_streams, 2);
+  // Longest path A->B->D = 10 + 20 + 10.
+  EXPECT_DOUBLE_EQ(cp.critical_path_ns, 40.0);
+  EXPECT_DOUBLE_EQ(cp.makespan_ns, 40.0);
+  EXPECT_DOUBLE_EQ(cp.serial_sum_ns, 45.0);
+  EXPECT_NEAR(cp.parallel_speedup, 45.0 / 40.0, 1e-12);
+  EXPECT_EQ(cp.sync_count, 2u);
+  EXPECT_EQ(cp.edge_count, 4u);
+
+  ASSERT_EQ(cp.layers.size(), 4u);
+  for (const int layer : {0, 1, 3}) {
+    EXPECT_DOUBLE_EQ(cp.layers[layer].slack_ns, 0.0) << "layer " << layer;
+    EXPECT_DOUBLE_EQ(cp.layers[layer].criticality, 1.0) << "layer " << layer;
+    EXPECT_TRUE(cp.layers[layer].on_critical_path) << "layer " << layer;
+  }
+  // C may start as late as 25 (D starts at 30, C takes 5): slack 15.
+  EXPECT_DOUBLE_EQ(cp.layers[2].slack_ns, 15.0);
+  EXPECT_NEAR(cp.layers[2].criticality, 5.0 / 20.0, 1e-12);
+  EXPECT_FALSE(cp.layers[2].on_critical_path);
+  EXPECT_EQ(cp.critical_layers, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(CriticalPath, SerialChainIsFullyCritical) {
+  ExecutionTimeline t;
+  t.num_streams = 1;
+  t.events = {event(0, 0, 0.0, 3.5), event(1, 0, 3.5, 1.25),
+              event(2, 0, 4.75, 7.25)};
+  t.makespan_ns = 12.0;
+  const critpath::Report cp = critpath::analyze(t);
+  EXPECT_DOUBLE_EQ(cp.critical_path_ns, 12.0);
+  EXPECT_DOUBLE_EQ(cp.serial_sum_ns, 12.0);
+  EXPECT_DOUBLE_EQ(cp.parallel_speedup, 1.0);
+  EXPECT_EQ(cp.sync_count, 0u);
+  for (const critpath::LayerStats& stats : cp.layers) {
+    EXPECT_DOUBLE_EQ(stats.slack_ns, 0.0);
+    EXPECT_DOUBLE_EQ(stats.criticality, 1.0);
+    EXPECT_TRUE(stats.on_critical_path);
+  }
+  EXPECT_EQ(cp.critical_layers.size(), 3u);
+}
+
+TEST(CriticalPath, EmptyTimelineYieldsEmptyReport) {
+  const critpath::Report cp = critpath::analyze(ExecutionTimeline{});
+  EXPECT_DOUBLE_EQ(cp.critical_path_ns, 0.0);
+  EXPECT_TRUE(cp.layers.empty());
+  EXPECT_TRUE(cp.critical_layers.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Real engines: dependency derivation + scheduling across all three sims.
+
+struct BackendCase {
+  const char* backend;
+  const char* platform;
+};
+
+class StreamSchedule : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  static backends::Engine build(const char* backend, const char* platform,
+                                const char* model_id) {
+    backends::BuildConfig config;
+    const auto& desc = hw::PlatformRegistry::instance().get(platform);
+    config.dtype = desc.supports(DType::kF16) ? DType::kF16 : DType::kF32;
+    config.batch = 4;
+    return backends::BackendRegistry::instance().get(backend).build(
+        models::build_model(model_id), config, desc);
+  }
+};
+
+TEST_P(StreamSchedule, DependenciesPrecedeConsumers) {
+  const auto& [backend, platform] = GetParam();
+  const backends::Engine engine = build(backend, platform, "resnet18");
+  const std::vector<std::vector<int>> deps =
+      backends::layer_dependencies(engine);
+  ASSERT_EQ(deps.size(), engine.layers().size());
+  size_t edges = 0;
+  for (size_t i = 0; i < deps.size(); ++i) {
+    for (const int dep : deps[i]) {
+      EXPECT_GE(dep, 0);
+      EXPECT_LT(dep, static_cast<int>(i));
+      ++edges;
+    }
+  }
+  // A connected model: every layer but the first has at least one producer.
+  EXPECT_GE(edges, deps.size() - 1);
+}
+
+// The acceptance invariant: a single-stream timeline's critical path equals
+// the serial latency sum to 1e-9 relative tolerance (timestamps are double
+// nanoseconds precisely so no rounding accumulates).
+TEST_P(StreamSchedule, SerialCriticalPathEqualsLatencySum) {
+  const auto& [backend, platform] = GetParam();
+  const backends::Engine engine = build(backend, platform, "resnet18");
+  const hw::PlatformState state(
+      hw::PlatformRegistry::instance().get(platform), {});
+  const backends::EngineProfile profile = engine.profile(state, 5);
+
+  const ExecutionTimeline timeline =
+      backends::schedule_streams(engine, profile.layer_latency_s, 1);
+  EXPECT_EQ(timeline.num_streams, 1);
+  EXPECT_TRUE(timeline.syncs.empty());
+
+  double sum_ns = 0.0;
+  for (const double latency_s : profile.layer_latency_s) {
+    sum_ns += latency_s * 1e9;
+  }
+  const critpath::Report cp = critpath::analyze(timeline);
+  EXPECT_NEAR(cp.critical_path_ns, sum_ns, sum_ns * 1e-9);
+  EXPECT_NEAR(timeline.makespan_ns, sum_ns, sum_ns * 1e-9);
+  EXPECT_EQ(cp.critical_layers.size(), engine.layers().size());
+}
+
+TEST_P(StreamSchedule, MultiStreamRespectsDependenciesAndPolicy) {
+  const auto& [backend, platform] = GetParam();
+  const backends::Engine engine = build(backend, platform, "resnet18");
+  const hw::PlatformState state(
+      hw::PlatformRegistry::instance().get(platform), {});
+  const backends::EngineProfile profile = engine.profile(state, 5);
+  const ExecutionTimeline timeline =
+      backends::schedule_streams(engine, profile.layer_latency_s, 0);
+
+  EXPECT_GE(timeline.num_streams, 1);
+  EXPECT_LE(timeline.num_streams, engine.stream_policy().max_streams);
+  EXPECT_EQ(timeline.lane_name, engine.stream_policy().lane_name);
+  ASSERT_EQ(timeline.events.size(), engine.layers().size());
+
+  // Every event starts after all of its recorded dependencies finish.
+  std::vector<const TimelineEvent*> by_layer(timeline.events.size(), nullptr);
+  for (const TimelineEvent& e : timeline.events) {
+    ASSERT_GE(e.layer, 0);
+    by_layer[static_cast<size_t>(e.layer)] = &e;
+  }
+  for (const TimelineEvent& e : timeline.events) {
+    for (const int dep : e.deps) {
+      ASSERT_NE(by_layer[static_cast<size_t>(dep)], nullptr);
+      EXPECT_GE(e.start_ns, by_layer[static_cast<size_t>(dep)]->end_ns() -
+                                1e-6)
+          << "layer " << e.layer << " started before producer " << dep;
+    }
+  }
+  // Makespan can only shrink versus serial, never grow.
+  EXPECT_LE(timeline.makespan_ns, timeline.serial_sum_ns() * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StreamSchedule,
+    ::testing::Values(BackendCase{"trt_sim", "a100"},
+                      BackendCase{"ov_sim", "xeon6330"},
+                      BackendCase{"ort_sim", "a100"}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return std::string(info.param.backend);
+    });
+
+// resnet50's residual downsample branches run concurrently with the main
+// path, so at least one layer must pick up strictly positive slack.
+TEST(CriticalPathProfile, Resnet50ResidualBranchHasSlack) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.backend_id = "trt_sim";
+  opt.dtype = DType::kF16;
+  opt.batch = 4;
+  opt.mode = MetricMode::kPredicted;
+  opt.streams = 4;
+  const ProfileReport report = Profiler(opt).run_zoo("resnet50");
+
+  ASSERT_TRUE(report.timeline.has_value());
+  ASSERT_TRUE(report.critical_path.has_value());
+  const critpath::Report& cp = *report.critical_path;
+  EXPECT_GT(cp.num_streams, 1);
+  EXPECT_GT(cp.sync_count, 0u);
+
+  // Slack + criticality reported for every backend layer.
+  ASSERT_EQ(cp.layers.size(), report.layers.size());
+  size_t with_slack = 0;
+  for (const critpath::LayerStats& stats : cp.layers) {
+    EXPECT_GE(stats.slack_ns, 0.0);
+    EXPECT_GT(stats.criticality, 0.0);
+    EXPECT_LE(stats.criticality, 1.0);
+    if (stats.slack_ns > 0.0) {
+      ++with_slack;
+    }
+  }
+  EXPECT_GT(with_slack, 0u) << "no layer gained slack from 4 streams";
+  EXPECT_LT(cp.critical_path_ns, cp.serial_sum_ns);
+  EXPECT_GT(cp.parallel_speedup, 1.0);
+  // Criticality is wired into the roofline points for SVG/table ranking.
+  ASSERT_EQ(report.roofline.layers.size(), report.layers.size());
+  for (const roofline::Point& pt : report.roofline.layers) {
+    EXPECT_GE(pt.criticality, 0.0);
+    EXPECT_LE(pt.criticality, 1.0);
+  }
+}
+
+// TSan target: schedule + DAG reconstruction + CPM from several threads over
+// one shared built engine (read-only, like parallel sweep workers).  Every
+// thread must derive the identical timeline and critical path.
+TEST(CriticalPathConcurrency, SharedEngineScheduledFromManyThreads) {
+  backends::BuildConfig config;
+  config.dtype = DType::kF16;
+  config.batch = 4;
+  const backends::Engine engine =
+      backends::BackendRegistry::instance().get("trt_sim").build(
+          models::build_model("resnet18"), config,
+          hw::PlatformRegistry::instance().get("a100"));
+  const hw::PlatformState state(
+      hw::PlatformRegistry::instance().get("a100"), {});
+  const backends::EngineProfile profile = engine.profile(state, 5);
+
+  constexpr int kThreads = 4;
+  std::vector<critpath::Report> reports(kThreads);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      workers.emplace_back([&, i] {
+        const ExecutionTimeline timeline =
+            backends::schedule_streams(engine, profile.layer_latency_s, 0);
+        reports[static_cast<size_t>(i)] = critpath::analyze(timeline);
+      });
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_DOUBLE_EQ(reports[i].critical_path_ns, reports[0].critical_path_ns);
+    EXPECT_EQ(reports[i].critical_layers, reports[0].critical_layers);
+    EXPECT_EQ(reports[i].sync_count, reports[0].sync_count);
+  }
+}
+
+TEST(CriticalPathProfile, SerialModeOmitsSection) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.backend_id = "trt_sim";
+  opt.dtype = DType::kF16;
+  opt.batch = 4;
+  opt.mode = MetricMode::kPredicted;
+  ASSERT_EQ(opt.streams, 1);  // the seed-faithful default
+  const ProfileReport report = Profiler(opt).run_zoo("mobilenetv2_05");
+  EXPECT_FALSE(report.timeline.has_value());
+  EXPECT_FALSE(report.critical_path.has_value());
+  for (const roofline::Point& pt : report.roofline.layers) {
+    EXPECT_LT(pt.criticality, 0.0);  // sentinel: not computed
+  }
+}
+
+TEST(CriticalPathProfile, StreamsZeroUsesBackendMaximum) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.backend_id = "trt_sim";
+  opt.dtype = DType::kF16;
+  opt.batch = 4;
+  opt.mode = MetricMode::kPredicted;
+  opt.streams = 0;
+  const ProfileReport report = Profiler(opt).run_zoo("mobilenetv2_05");
+  ASSERT_TRUE(report.timeline.has_value());
+  EXPECT_EQ(report.timeline->num_streams, 4);  // trt_sim's policy maximum
+}
+
+}  // namespace
+}  // namespace proof

@@ -59,6 +59,20 @@ TEST(ChromeTrace, EscapesLayerNames) {
   EXPECT_NE(trace.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
 }
 
+// Regression: the emitter's old private escaper handled \n and quotes but
+// passed \t, \r and other control characters straight through, producing
+// invalid JSON.  It now routes through json::escape like every serializer.
+TEST(ChromeTrace, EscapesTabsCarriageReturnsAndControlChars) {
+  ProfileReport r = sample_report();
+  r.layers[0].backend_layer = "tab\tcr\rctrl\x1b!";
+  const std::string trace = report_to_chrome_trace(r);
+  EXPECT_NE(trace.find("tab\\tcr\\rctrl\\u001b!"), std::string::npos);
+  for (const char c : {'\t', '\r', '\x1b'}) {
+    EXPECT_EQ(trace.find(c), std::string::npos)
+        << "raw control byte " << static_cast<int>(c) << " leaked";
+  }
+}
+
 TEST(ModelSummary, PerNodeTableAndTotals) {
   const Graph g = models::build_model("resnet18");
   const std::string summary = models::model_summary(g);

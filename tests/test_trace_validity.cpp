@@ -1,0 +1,249 @@
+// Trace-validity suite: every Chrome trace the framework emits — all four
+// golden zoo models, serial and multi-stream — must round-trip through the
+// in-tree JSON parser, carry sane timestamps, and pair up its sync flow
+// events.  Plus the escaping regressions this PR fixes: hostile node names
+// (tabs, carriage returns, quotes, control characters) through the trace
+// emitter, and hostile model names through the SVG renderer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/chrome_trace.hpp"
+#include "core/profiler.hpp"
+#include "report/svg_roofline.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace proof {
+namespace {
+
+ProfileReport profile_model(const std::string& model_id, int streams) {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.backend_id = "trt_sim";
+  opt.dtype = DType::kF16;
+  opt.batch = model_id == "sd_unet" ? 2 : 4;
+  opt.mode = MetricMode::kPredicted;
+  opt.streams = streams;
+  return Profiler(opt).run_zoo(model_id);
+}
+
+/// Structural checks shared by every emitted trace: parseable, non-negative
+/// timestamps/durations, and every sync flow start ('s') paired with exactly
+/// one finish ('f') at a later-or-equal timestamp.
+void check_trace(const std::string& trace) {
+  const json::Value doc = json::parse(trace);
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array.empty());
+
+  std::map<int64_t, double> flow_start;
+  std::map<int64_t, double> flow_finish;
+  for (const json::Value& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    const std::string phase = event.get_string("ph");
+    if (phase == "X") {
+      EXPECT_GE(event.get_double("ts", -1.0), 0.0);
+      EXPECT_GE(event.get_double("dur", -1.0), 0.0);
+    } else if (phase == "s" || phase == "f") {
+      EXPECT_EQ(event.get_string("cat"), "proof_sync");
+      auto& side = phase == "s" ? flow_start : flow_finish;
+      const int64_t id = event.get_int("id", -1);
+      EXPECT_GE(id, 0);
+      EXPECT_TRUE(side.emplace(id, event.get_double("ts", -1.0)).second)
+          << "duplicate flow id " << id;
+    }
+  }
+  EXPECT_EQ(flow_start.size(), flow_finish.size());
+  for (const auto& [id, start_ts] : flow_start) {
+    const auto it = flow_finish.find(id);
+    ASSERT_NE(it, flow_finish.end()) << "unpaired flow start id " << id;
+    EXPECT_GE(it->second, start_ts) << "sync arrives before it departs";
+  }
+  for (const auto& [id, finish_ts] : flow_finish) {
+    EXPECT_TRUE(flow_start.count(id)) << "unpaired flow finish id " << id;
+  }
+}
+
+struct TraceCase {
+  const char* model;
+  int streams;
+};
+
+class TraceValidity : public ::testing::TestWithParam<TraceCase> {};
+
+TEST_P(TraceValidity, RoundTripsThroughJsonParser) {
+  const auto& [model, streams] = GetParam();
+  const ProfileReport report = profile_model(model, streams);
+  check_trace(report_to_chrome_trace(report));
+  if (streams != 1) {
+    ASSERT_TRUE(report.timeline.has_value());
+    // Multi-stream traces carry one flow pair per recorded sync edge.
+    const std::string trace = report_to_chrome_trace(report);
+    size_t starts = 0;
+    size_t pos = 0;
+    while ((pos = trace.find("\"ph\":\"s\"", pos)) != std::string::npos) {
+      ++starts;
+      pos += 8;
+    }
+    EXPECT_EQ(starts, report.timeline->syncs.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoldenZooSerialAndStreams, TraceValidity,
+    ::testing::Values(TraceCase{"resnet50", 1}, TraceCase{"resnet50", 0},
+                      TraceCase{"bert_base", 1}, TraceCase{"bert_base", 0},
+                      TraceCase{"shufflenetv2_10", 1},
+                      TraceCase{"shufflenetv2_10", 0},
+                      TraceCase{"sd_unet", 1}, TraceCase{"sd_unet", 0}),
+    [](const ::testing::TestParamInfo<TraceCase>& info) {
+      return std::string(info.param.model) +
+             (info.param.streams == 1 ? "_serial" : "_streams");
+    });
+
+// The bug this PR fixes: the trace emitter's private escaper dropped \t, \r
+// and other control characters, so any model with hostile node names emitted
+// unparseable JSON.  Everything now routes through json::escape.
+TEST(TraceValidityHostile, HostileNamesStillParse) {
+  for (const int streams : {1, 0}) {
+    ProfileReport report = profile_model("mobilenetv2_05", streams);
+    report.model_name = "model\twith\rhostile \"chars\" \x01\x1f\\end";
+    ASSERT_GE(report.layers.size(), 3u);
+    report.layers[0].backend_layer = "tab\there";
+    report.layers[1].backend_layer = "cr\rlf\n quote\" back\\slash";
+    report.layers[2].backend_layer =
+        std::string("nul\x01") + "ctrl\x1f" + "bell\x07";
+    if (!report.layers[0].kernels.empty()) {
+      report.layers[0].kernels[0] = "kernel\twith\rctrl\x02";
+    }
+    if (!report.layers[0].model_nodes.empty()) {
+      report.layers[0].model_nodes[0] = "node\"with\tstuff";
+    }
+    const std::string trace = report_to_chrome_trace(report);
+    SCOPED_TRACE(streams == 1 ? "serial" : "multi-stream");
+    check_trace(trace);
+    // Escaped forms present, raw control bytes absent.
+    EXPECT_NE(trace.find("tab\\there"), std::string::npos);
+    EXPECT_NE(trace.find("cr\\rlf\\n quote\\\" back\\\\slash"),
+              std::string::npos);
+    EXPECT_NE(trace.find("\\u0001"), std::string::npos);
+    for (const char c : {'\t', '\r', '\x01', '\x02', '\x07', '\x1f'}) {
+      EXPECT_EQ(trace.find(c), std::string::npos)
+          << "raw control byte " << static_cast<int>(c) << " leaked";
+    }
+  }
+}
+
+TEST(TraceValidityHostile, SaveReportsWriteFailureWithPath) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  try {
+    save_chrome_trace("{\"traceEvents\":[]}", "/dev/full");
+    FAIL() << "writing to /dev/full did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos)
+        << "error message must name the path: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SVG escaping (satellite: xml_escape in the roofline renderer).
+
+/// Minimal stack-based XML well-formedness check — tags balance, entities
+/// are known, no raw '<'/'&' inside text.
+void check_xml(const std::string& xml) {
+  std::vector<std::string> stack;
+  size_t i = 0;
+  while (i < xml.size()) {
+    const char c = xml[i];
+    if (c == '<') {
+      const size_t end = xml.find('>', i);
+      ASSERT_NE(end, std::string::npos) << "unterminated tag at byte " << i;
+      std::string tag = xml.substr(i + 1, end - i - 1);
+      ASSERT_FALSE(tag.empty());
+      if (tag[0] == '/') {
+        ASSERT_FALSE(stack.empty()) << "close without open: " << tag;
+        EXPECT_EQ(stack.back(), tag.substr(1)) << "mismatched close";
+        stack.pop_back();
+      } else if (tag.back() != '/' && tag[0] != '?' && tag[0] != '!') {
+        const size_t space = tag.find_first_of(" \t\n");
+        stack.push_back(space == std::string::npos ? tag
+                                                   : tag.substr(0, space));
+      }
+      i = end + 1;
+    } else if (c == '&') {
+      const size_t semi = xml.find(';', i);
+      ASSERT_NE(semi, std::string::npos) << "raw '&' at byte " << i;
+      const std::string entity = xml.substr(i + 1, semi - i - 1);
+      EXPECT_TRUE(entity == "amp" || entity == "lt" || entity == "gt" ||
+                  entity == "quot" || entity == "apos")
+          << "unknown entity &" << entity << ";";
+      i = semi + 1;
+    } else {
+      ASSERT_NE(c, '>') << "stray '>' outside tag at byte " << i;
+      ++i;
+    }
+  }
+  EXPECT_TRUE(stack.empty()) << "unclosed tag " << stack.back();
+}
+
+TEST(SvgEscaping, HostileTitleAndPointNamesStayWellFormed) {
+  roofline::Ceilings ceilings;
+  ceilings.peak_flops = 312e12;
+  ceilings.peak_bw = 2039e9;
+  ceilings.extra_bw_lines = {{"L2 <cache> & \"friends\"", 4000e9}};
+
+  roofline::Point hostile;
+  hostile.name = "layer <0> & 'co' \"quoted\"";
+  hostile.flops = 1e9;
+  hostile.bytes = 1e6;
+  hostile.latency_s = 1e-4;
+  hostile.latency_share = 0.5;
+  roofline::Point critical = hostile;
+  critical.name = "critical </text><script>";
+  critical.criticality = 1.0;
+
+  report::SvgOptions opt;
+  opt.title = "model <evil> & \"hostile\" 'name'";
+  opt.label_points = true;
+  const std::string svg =
+      report::render_points_svg(ceilings, {hostile, critical}, opt);
+  check_xml(svg);
+  // Escaped forms present, raw markup from the names absent.
+  EXPECT_NE(svg.find("&lt;evil&gt; &amp; &quot;hostile&quot;"),
+            std::string::npos);
+  EXPECT_EQ(svg.find("<evil>"), std::string::npos);
+  EXPECT_EQ(svg.find("<script>"), std::string::npos);
+  // The critical point gets its marker ring.
+  EXPECT_NE(svg.find("stroke='#c62828'"), std::string::npos);
+}
+
+TEST(SvgEscaping, ControlCharactersAreDropped) {
+  roofline::Ceilings ceilings;
+  ceilings.peak_flops = 1e12;
+  ceilings.peak_bw = 1e11;
+  roofline::Point p;
+  p.name = "ctrl\x01\x02name";
+  p.flops = 1e9;
+  p.bytes = 1e6;
+  p.latency_s = 1e-4;
+  report::SvgOptions opt;
+  opt.title = "bad\x1ftitle";
+  opt.label_points = true;
+  const std::string svg = report::render_points_svg(ceilings, {p}, opt);
+  check_xml(svg);
+  EXPECT_NE(svg.find("ctrlname"), std::string::npos);
+  EXPECT_NE(svg.find("badtitle"), std::string::npos);
+  for (const char c : {'\x01', '\x02', '\x1f'}) {
+    EXPECT_EQ(svg.find(c), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace proof

@@ -61,6 +61,9 @@ using namespace proof;
       "  --dtype <t>            fp32 fp16 bf16 int8 (default fp16/fp32)\n"
       "  --batch <n>            batch size (default 1)\n"
       "  --mode <m>             predicted | measured | auto (default auto)\n"
+      "  --streams <n>          execution streams: 1 = serial (default),\n"
+      "                         0 = backend maximum, N = clamp to backend max;\n"
+      "                         != 1 adds the critical-path analysis\n"
       "  --jobs <n>             parallel profiling jobs for sweeps (default:\n"
       "                         hardware concurrency; also via PROOF_JOBS)\n"
       "  --gpu-mhz <f>          GPU clock override (DVFS)\n"
@@ -161,6 +164,13 @@ ProfileOptions options_from(const Args& args) {
     }
   } else {
     opt.mode = MetricMode::kAuto;
+  }
+  if (const auto streams = args.get("streams")) {
+    const int64_t n = strings::parse_int(*streams);
+    if (n < 0) {
+      usage("--streams needs a non-negative value (0 = backend maximum)");
+    }
+    opt.streams = static_cast<int>(n);
   }
   if (const auto gpu = args.get("gpu-mhz")) {
     opt.clocks.gpu_mhz = strings::parse_double(*gpu);
