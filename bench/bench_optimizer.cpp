@@ -1,0 +1,110 @@
+// Guarded-optimizer bench: runs `proof optimize` end to end over the two
+// paper case studies plus a batch-tuning scenario and reports what the loop
+// found (accepted chain, objective improvement, variants tried) and what it
+// cost (wall time, variants measured per second with the shared PrepCache).
+//
+// `--smoke` runs the §4.5 scenario only, at a reduced batch.
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <cstring>
+
+using namespace proof;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Scenario {
+  std::string name;
+  std::string model;
+  opt::OptimizeOptions options;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::banner("guarded closed-loop optimizer");
+
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "§4.5 shuffle removal";
+    s.model = "shufflenetv2_10";
+    s.options.base.platform_id = "a100";
+    s.options.base.dtype = DType::kF16;
+    s.options.base.batch = smoke ? 256 : 2048;
+    s.options.base.mode = MetricMode::kPredicted;
+    scenarios.push_back(std::move(s));
+  }
+  if (!smoke) {
+    Scenario s;
+    s.name = "§4.6 clocks under 15 W";
+    s.model = "efficientnetv2_t";
+    s.options.base.platform_id = "orin_nx16";
+    s.options.base.dtype = DType::kF16;
+    s.options.base.batch = 128;
+    s.options.base.mode = MetricMode::kPredicted;
+    s.options.base.clocks.gpu_mhz = 918.0;
+    s.options.base.clocks.mem_mhz = 3199.0;
+    s.options.base.clocks.cpu_cluster_mhz = {729.0, 0.0};
+    s.options.power_budget_w = 15.0;
+    s.options.axes = opt::axes_from_string("clocks");
+    scenarios.push_back(std::move(s));
+
+    Scenario t;
+    t.name = "batch tuning (overhead-bound)";
+    t.model = "mobilenetv2_05";
+    t.options.base.platform_id = "a100";
+    t.options.base.dtype = DType::kF16;
+    t.options.base.batch = 1;
+    t.options.base.mode = MetricMode::kPredicted;
+    t.options.axes = opt::axes_from_string("batch,backend");
+    scenarios.push_back(std::move(t));
+  }
+
+  report::TextTable table({"scenario", "classified", "accepted chain",
+                           "improvement", "tried", "rounds", "wall",
+                           "variants/s"});
+  for (const Scenario& s : scenarios) {
+    const double t0 = now_s();
+    const opt::OptimizeResult result = opt::optimize(s.model, s.options);
+    const double wall = now_s() - t0;
+
+    const opt::OptimizationLog& log = result.log;
+    std::string chain;
+    for (const std::string& id : log.accepted_chain) {
+      chain += (chain.empty() ? "" : " -> ") + id;
+    }
+    if (chain.empty()) {
+      chain = "(baseline kept)";
+    }
+    const std::string classified =
+        log.rounds.empty()
+            ? std::string("-")
+            : std::string(bottleneck_name(log.rounds[0].classification.kind));
+    const double improvement =
+        log.final_best.score > 0.0 && log.baseline.feasible
+            ? log.baseline.score / log.final_best.score
+            : 0.0;
+    table.add_row(
+        {s.name, classified, chain,
+         improvement > 0.0 ? units::fixed(improvement, 2) + "x" : "n/a",
+         std::to_string(log.variants_evaluated),
+         std::to_string(log.rounds.size()), units::fixed(wall, 2) + " s",
+         units::fixed(wall > 0.0 ? static_cast<double>(log.variants_evaluated) /
+                                       wall
+                                 : 0.0,
+                      1)});
+  }
+  std::cout << table.to_string();
+
+  std::cout << "\njobs: " << ThreadPool::global().jobs()
+            << "  (PROOF_JOBS or --jobs to change)\n";
+  return 0;
+}

@@ -26,6 +26,7 @@
 //   * roofline / report   — roofline math, tables, CSV, SVG charts
 //   * obs                 — the framework's own metrics/span self-profiling
 //   * core                — the Profiler orchestrator tying it together
+//   * opt                 — the guarded closed-loop optimizer (proof optimize)
 //   * serve               — the profiling-as-a-service daemon (proof serve)
 #pragma once
 
@@ -61,6 +62,10 @@
 #include "obs/self_profile.hpp"
 #include "obs/span.hpp"
 #include "ops/op_def.hpp"
+#include "opt/bottleneck.hpp"
+#include "opt/guard.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/variant.hpp"
 #include "report/csv.hpp"
 #include "report/svg_roofline.hpp"
 #include "report/table.hpp"

@@ -7,7 +7,9 @@
 # sockets plus the full client/server e2e suite — acceptor, sessions,
 # admission ledger, drain), and the critical-path engine (multi-stream
 # schedule + DAG reconstruction from several threads over one shared built
-# engine).  Any data race in the pool, the cache's shared PreparedEngine
+# engine), and the guarded optimizer (variants measured concurrently on the
+# pool against a shared incumbent graph, plus its jobs-1-vs-4 byte-identity
+# suite).  Any data race in the pool, the cache's shared PreparedEngine
 # entries, the graphs' lazy index maps, the obs shards or the daemon's
 # session teardown fails the run.
 #
@@ -17,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*:CriticalPathConcurrency.*:CriticalPath.ReconstructsProgramOrderAndSyncEdges}"
+FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*:CriticalPathConcurrency.*:CriticalPath.ReconstructsProgramOrderAndSyncEdges:OptGuard.*:OptDeterminism.*}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

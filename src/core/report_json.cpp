@@ -111,7 +111,8 @@ class JsonWriter {
 }  // namespace
 
 std::string report_to_json(const ProfileReport& report,
-                           bool include_self_profile) {
+                           bool include_self_profile,
+                           const std::string& optimization_section) {
   std::ostringstream out;
   JsonWriter w(out);
   w.begin_object();
@@ -208,6 +209,9 @@ std::string report_to_json(const ProfileReport& report,
     }
     w.end_array();
     w.end_object();
+  }
+  if (!optimization_section.empty()) {
+    w.raw_field("optimization", optimization_section);
   }
   if (include_self_profile) {
     w.raw_field("self_profile", obs::self_profile_json());

@@ -16,8 +16,14 @@ namespace proof {
 /// where the profiler itself spent time.  Off by default: the self-profile is
 /// wall-clock-dependent, and the default output stays byte-reproducible for
 /// golden-regression diffing.
-[[nodiscard]] std::string report_to_json(const ProfileReport& report,
-                                         bool include_self_profile = false);
+///
+/// A non-empty `optimization_section` (a complete JSON value, from
+/// opt::optimization_section_json) is spliced in as the "optimization" field
+/// — the guarded-optimizer history for `proof optimize` reports.  Empty (the
+/// default) emits no such field, keeping plain-profile documents unchanged.
+[[nodiscard]] std::string report_to_json(
+    const ProfileReport& report, bool include_self_profile = false,
+    const std::string& optimization_section = "");
 
 void save_json(const std::string& json, const std::string& path);
 

@@ -1,0 +1,100 @@
+#include "opt/bottleneck.hpp"
+
+#include <algorithm>
+
+#include "hw/platform.hpp"
+
+namespace proof::opt {
+
+namespace {
+
+/// Overhead-bound when at least this fraction of the wall time is kernel
+/// dispatch.  The work shares (compute/bandwidth/reorder) partition the
+/// kernel time and always sum to 1; launch overhead is measured against the
+/// wall clock, an independent dimension, so it wins outright past the floor
+/// (the remedy — batching — differs from both work-bound remedies).
+constexpr double kOverheadFloor = 0.35;
+
+/// How many layer names the report carries for the "dominant layers" view.
+constexpr size_t kDominantLayers = 3;
+
+bool is_reorder_like(const LayerReport& layer) {
+  return layer.is_reorder || layer.cls == OpClass::kDataMovement ||
+         layer.cls == OpClass::kCopy;
+}
+
+}  // namespace
+
+std::string_view bottleneck_name(Bottleneck kind) {
+  switch (kind) {
+    case Bottleneck::kCompute:
+      return "compute";
+    case Bottleneck::kBandwidth:
+      return "bandwidth";
+    case Bottleneck::kOverhead:
+      return "overhead";
+  }
+  return "unknown";
+}
+
+BottleneckReport classify(const ProfileReport& report,
+                          const hw::PlatformDesc& platform) {
+  BottleneckReport out;
+  const double total = report.total_latency_s;
+  if (total <= 0.0 || report.layers.empty()) {
+    return out;
+  }
+
+  // Latency-share split: reorder/movement layers first, the remainder by
+  // roofline position against the active ceilings.
+  size_t kernel_count = 0;
+  for (size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerReport& layer = report.layers[i];
+    kernel_count += std::max<size_t>(layer.kernels.size(), 1);
+    const double share = layer.latency_s / total;
+    if (is_reorder_like(layer)) {
+      out.reorder_share += share;
+    } else if (report.roofline.ceilings.memory_bound(
+                   report.roofline.layers[i])) {
+      out.bandwidth_share += share;
+    } else {
+      out.compute_share += share;
+    }
+  }
+
+  // Launch-overhead share: per-kernel dispatch cost against the latency
+  // basis.  Multi-stream runs overlap launches across streams, so the basis
+  // is the measured critical path rather than the serial layer sum.
+  const double basis = report.critical_path
+                           ? report.critical_path->critical_path_ns * 1e-9
+                           : total;
+  if (basis > 0.0) {
+    out.overhead_share = std::min(
+        1.0, platform.kernel_overhead_s * static_cast<double>(kernel_count) /
+                 basis);
+  }
+
+  // Dominant layers: top-k by latency, ties broken by layer order.
+  std::vector<size_t> order(report.layers.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return report.layers[a].latency_s > report.layers[b].latency_s;
+  });
+  for (size_t i = 0; i < order.size() && i < kDominantLayers; ++i) {
+    out.dominant_layers.push_back(report.layers[order[i]].backend_layer);
+  }
+
+  const double memory_like = out.bandwidth_share + out.reorder_share;
+  if (out.overhead_share > kOverheadFloor) {
+    out.kind = Bottleneck::kOverhead;
+  } else if (memory_like >= out.compute_share) {
+    out.kind = Bottleneck::kBandwidth;
+  } else {
+    out.kind = Bottleneck::kCompute;
+  }
+  return out;
+}
+
+}  // namespace proof::opt

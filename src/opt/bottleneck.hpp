@@ -1,0 +1,47 @@
+// Deterministic rule-based bottleneck classifier over a profile report.
+//
+// Labels a profiled model as compute-bound, bandwidth-bound or
+// overhead-bound from three latency-share signals, in the spirit of the
+// time-based roofline's bound-ness diagnosis (Wang et al., arXiv:2009.04598):
+//   * roofline position of each layer (left/right of the ridge point),
+//     weighted by its latency share;
+//   * reorder share: time spent in backend-inserted conversion layers and
+//     data-movement/copy operators (the §4.5 Shuffle signature);
+//   * launch-overhead share: per-kernel dispatch cost versus the run's
+//     latency basis (the critical path when a multi-stream timeline was
+//     analyzed, else total latency).
+//
+// The classification is a pure function of the report — no randomness, no
+// wall clock — so the optimizer's proposals are reproducible byte-for-byte.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace proof::opt {
+
+enum class Bottleneck : uint8_t {
+  kCompute,    ///< dominant layers sit right of the ridge (compute roof)
+  kBandwidth,  ///< dominant layers sit under the memory roof (incl. reorders)
+  kOverhead,   ///< kernel launch/dispatch cost dominates useful work
+};
+
+[[nodiscard]] std::string_view bottleneck_name(Bottleneck kind);
+
+struct BottleneckReport {
+  Bottleneck kind = Bottleneck::kCompute;
+  double compute_share = 0.0;    ///< latency share of compute-bound layers
+  double bandwidth_share = 0.0;  ///< latency share of memory-bound layers
+  double reorder_share = 0.0;    ///< latency share of reorder/movement layers
+  double overhead_share = 0.0;   ///< estimated launch-overhead share
+  std::vector<std::string> dominant_layers;  ///< top layers by latency
+};
+
+/// Classifies `report` (profiled on `platform`).  Deterministic.
+[[nodiscard]] BottleneckReport classify(const ProfileReport& report,
+                                        const hw::PlatformDesc& platform);
+
+}  // namespace proof::opt

@@ -1,0 +1,113 @@
+#include "opt/guard.hpp"
+
+#include "obs/span.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace proof::opt {
+
+bool guard_improves(const Measurement& candidate, const Measurement& incumbent,
+                    double noise_threshold) {
+  if (!candidate.feasible) {
+    return false;  // infeasible candidates never displace anything
+  }
+  if (!incumbent.feasible) {
+    return true;  // feasibility dominates score (§4.6 power-cap escape)
+  }
+  return candidate.score < incumbent.score * (1.0 - noise_threshold);
+}
+
+bool guard_better(const Measurement& a, const Measurement& b) {
+  if (a.feasible != b.feasible) {
+    return a.feasible;
+  }
+  return a.score < b.score;
+}
+
+OptimizationLog run_guarded_loop(VariantSource& source,
+                                 const Measurement& baseline,
+                                 const GuardConfig& config) {
+  PROOF_CHECK(config.noise_threshold >= 0.0 && config.noise_threshold < 1.0,
+              "noise_threshold must be in [0, 1)");
+  PROOF_CHECK(config.max_rounds >= 0, "max_rounds must be non-negative");
+  PROOF_SPAN("opt.run");
+  PROOF_COUNT("opt.runs", 1);
+
+  OptimizationLog log;
+  log.objective = config.objective;
+  log.noise_threshold = config.noise_threshold;
+  log.power_budget_w = config.power_budget_w;
+  log.baseline = baseline;
+  log.final_best = baseline;
+
+  Measurement incumbent = baseline;
+  for (int round = 0; round < config.max_rounds; ++round) {
+    if (config.round_hook) {
+      config.round_hook(round);
+    }
+    std::vector<Variant> variants = source.propose(round, incumbent);
+    if (variants.empty()) {
+      break;
+    }
+    PROOF_SPAN("opt.round");
+    PROOF_COUNT("opt.variants.proposed", variants.size());
+
+    RoundLog round_log;
+    round_log.classification = source.classify_incumbent();
+
+    // Measure every variant concurrently; results land by proposal index so
+    // the scan below is independent of scheduling.
+    const std::vector<Measurement> measured =
+        ThreadPool::global().parallel_map(variants.size(), [&](size_t i) {
+          PROOF_SPAN("opt.measure");
+          return source.measure(variants[i]);
+        });
+
+    // Acceptance scan, proposal order: the single best candidate that clears
+    // the guard wins; ties keep the earliest proposal.
+    int best = -1;
+    for (size_t i = 0; i < variants.size(); ++i) {
+      if (guard_improves(measured[i], incumbent, config.noise_threshold) &&
+          (best < 0 ||
+           guard_better(measured[i], measured[static_cast<size_t>(best)]))) {
+        best = static_cast<int>(i);
+      }
+    }
+
+    round_log.variants.reserve(variants.size());
+    for (size_t i = 0; i < variants.size(); ++i) {
+      VariantResult result;
+      result.variant = variants[i];
+      result.measurement = measured[i];
+      result.accepted = static_cast<int>(i) == best;
+      result.delta_pct =
+          incumbent.score > 0.0
+              ? (measured[i].score / incumbent.score - 1.0) * 100.0
+              : 0.0;
+      round_log.variants.push_back(std::move(result));
+    }
+    log.variants_evaluated += variants.size();
+
+    if (best >= 0) {
+      const size_t b = static_cast<size_t>(best);
+      incumbent = measured[b];
+      round_log.accepted_id = variants[b].id;
+      log.accepted_chain.push_back(variants[b].id);
+      ++log.variants_accepted;
+      PROOF_COUNT("opt.variants.accepted", 1);
+      PROOF_COUNT("opt.variants.rejected", variants.size() - 1);
+      source.on_accept(variants[b]);
+    } else {
+      PROOF_COUNT("opt.variants.rejected", variants.size());
+    }
+    log.rounds.push_back(std::move(round_log));
+
+    if (best < 0) {
+      break;  // a round that improves nothing ends the search
+    }
+  }
+  log.final_best = incumbent;
+  return log;
+}
+
+}  // namespace proof::opt

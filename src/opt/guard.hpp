@@ -1,0 +1,132 @@
+// The guarded closed-loop optimizer core.
+//
+// Generalizes the paper's two hand-run case studies (§4.5 Shuffle-op
+// removal, §4.6 clock-under-power binary search) into one loop:
+//
+//   classify incumbent -> propose variants -> measure every variant ->
+//   accept the best variant ONLY if its measured objective improves on the
+//   incumbent beyond a noise threshold -> repeat.
+//
+// The guard's central invariant — an accepted variant is never worse than
+// the incumbent it replaced, under the documented objective order — is
+// machine-checked by the property/fuzz harness in tests/test_opt_guard.cpp
+// rather than asserted by example.  To make that possible the loop is
+// written against the VariantSource interface: the production source
+// profiles through the normal Profiler path (opt/optimizer.hpp); the test
+// sources fabricate adversarial proposals and measurements.
+//
+// Objective order ("is candidate better than incumbent?"):
+//   1. feasibility dominates: a feasible candidate beats an infeasible
+//      incumbent regardless of score (the §4.6 power-cap escape);
+//      an infeasible candidate is NEVER accepted;
+//   2. between feasible measurements, lower score wins, and acceptance
+//      additionally requires the improvement to clear the noise threshold:
+//      candidate.score < incumbent.score * (1 - noise_threshold).
+//
+// Determinism: variants are measured in parallel on the global ThreadPool
+// (slot-indexed results), but proposal order, the acceptance scan and the
+// recorded history are index-ordered — `--jobs N` changes cost, never the
+// report.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "opt/bottleneck.hpp"
+#include "opt/variant.hpp"
+
+namespace proof::opt {
+
+/// Measured outcome of one configuration (incumbent or variant).
+struct Measurement {
+  bool feasible = true;   ///< constraints (power budget) hold; failed builds
+                          ///< are recorded as infeasible with a note
+  double score = 0.0;     ///< objective scalar, lower is better
+  double latency_s = 0.0;
+  double power_w = 0.0;
+  double throughput_per_s = 0.0;
+  std::string note;       ///< e.g. the build error for infeasible variants
+};
+
+/// The guard predicate: true when `candidate` improves on `incumbent` under
+/// the objective order above.  This is the ONLY way a variant is accepted.
+[[nodiscard]] bool guard_improves(const Measurement& candidate,
+                                  const Measurement& incumbent,
+                                  double noise_threshold);
+
+/// Strict "better" order used to pick the single best improving candidate of
+/// a round (no noise band — the band applies against the incumbent only).
+[[nodiscard]] bool guard_better(const Measurement& a, const Measurement& b);
+
+/// What the guarded loop talks to.  Production: ProfilingVariantSource
+/// (optimizer.hpp).  Tests: scripted/adversarial fakes.
+class VariantSource {
+ public:
+  virtual ~VariantSource() = default;
+
+  /// Deterministic bottleneck label for the current incumbent; recorded in
+  /// the round log.  Called once per round, after propose().
+  [[nodiscard]] virtual BottleneckReport classify_incumbent() = 0;
+
+  /// Variants to evaluate this round.  An empty list ends the loop.
+  [[nodiscard]] virtual std::vector<Variant> propose(
+      int round, const Measurement& incumbent) = 0;
+
+  /// Measures one variant.  Called concurrently for distinct variants of a
+  /// round; must not mutate shared state.
+  [[nodiscard]] virtual Measurement measure(const Variant& variant) = 0;
+
+  /// The loop accepted `variant`: fold it into the incumbent configuration.
+  /// Called on the loop thread, never concurrently with measure().
+  virtual void on_accept(const Variant& /*variant*/) {}
+};
+
+struct GuardConfig {
+  double noise_threshold = 0.02;  ///< fractional improvement required
+  int max_rounds = 4;
+  // Informational fields copied into the log (the loop itself only needs the
+  // two knobs above; feasibility is the source's concern).
+  Objective objective = Objective::kLatency;
+  double power_budget_w = 0.0;
+  /// Called at the top of every round (cooperative cancellation: the serve
+  /// daemon checks its request deadline here).
+  std::function<void(int round)> round_hook;
+};
+
+/// One measured variant with its guard verdict, in proposal order.
+struct VariantResult {
+  Variant variant;
+  Measurement measurement;
+  bool accepted = false;
+  /// Score delta vs the round's incumbent, percent (negative = better).
+  double delta_pct = 0.0;
+};
+
+struct RoundLog {
+  BottleneckReport classification;
+  std::vector<VariantResult> variants;
+  std::string accepted_id;  ///< empty when the round accepted nothing
+};
+
+struct OptimizationLog {
+  Objective objective = Objective::kLatency;
+  double noise_threshold = 0.02;
+  double power_budget_w = 0.0;
+  Measurement baseline;
+  Measurement final_best;            ///< last accepted (or the baseline)
+  std::vector<RoundLog> rounds;
+  std::vector<std::string> accepted_chain;  ///< accepted variant ids in order
+  size_t variants_evaluated = 0;
+  size_t variants_accepted = 0;
+};
+
+/// Runs the guarded loop until a round accepts nothing, the source proposes
+/// nothing, or max_rounds is hit.  At most one variant is accepted per round
+/// (the best improving one); accepted AND rejected variants are recorded
+/// with per-variant deltas.
+[[nodiscard]] OptimizationLog run_guarded_loop(VariantSource& source,
+                                               const Measurement& baseline,
+                                               const GuardConfig& config);
+
+}  // namespace proof::opt

@@ -1,0 +1,227 @@
+#include "opt/variant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "backends/backend.hpp"
+#include "hw/platform.hpp"
+#include "models/zoo.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace proof::opt {
+
+namespace {
+
+constexpr int64_t kMaxBatch = 4096;
+
+/// Reorder time worth chasing with a model redesign even when the overall
+/// label is not bandwidth-bound.
+constexpr double kReorderProposalFloor = 0.15;
+
+std::string clock_id(double gpu, double mem) {
+  const auto whole = [](double v) { return std::to_string(llround(v)); };
+  return "clocks=gpu" + whole(gpu) + "/mem" + whole(mem);
+}
+
+bool zoo_has(const std::string& id) {
+  for (const models::ModelSpec& spec : models::model_zoo()) {
+    if (spec.id == id) {
+      return true;
+    }
+  }
+  for (const models::ModelSpec& spec : models::extended_model_zoo()) {
+    if (spec.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void propose_batch(const ProposalContext& ctx, const BottleneckReport& cls,
+                   std::vector<Variant>& out) {
+  // Overhead-bound runs want amortization (x2, x4); otherwise probe one step
+  // up for saturation and one step down for latency headroom.
+  std::vector<int64_t> candidates;
+  if (cls.kind == Bottleneck::kOverhead) {
+    candidates = {ctx.batch * 2, ctx.batch * 4};
+  } else {
+    candidates = {ctx.batch * 2, ctx.batch / 2};
+  }
+  for (const int64_t b : candidates) {
+    if (b < 1 || b > kMaxBatch || b == ctx.batch) {
+      continue;
+    }
+    Variant v;
+    v.id = "batch=" + std::to_string(b);
+    v.axis = "batch";
+    v.description = b > ctx.batch
+                        ? "amortize launch overhead / saturate occupancy"
+                        : "shrink batch for latency headroom";
+    v.batch = b;
+    out.push_back(std::move(v));
+  }
+}
+
+}  // namespace
+
+AxisConfig axes_from_string(const std::string& spec) {
+  AxisConfig axes;
+  if (spec.empty()) {
+    return axes;
+  }
+  axes = {false, false, false, false, false};
+  for (const std::string& name : strings::split_trimmed(spec, ',')) {
+    if (name == "model") {
+      axes.model = true;
+    } else if (name == "precision") {
+      axes.precision = true;
+    } else if (name == "batch") {
+      axes.batch = true;
+    } else if (name == "backend") {
+      axes.backend = true;
+    } else if (name == "clocks") {
+      axes.clocks = true;
+    } else {
+      throw ConfigError("unknown optimization axis '" + name +
+                        "' (expected model | precision | batch | backend | "
+                        "clocks)");
+    }
+  }
+  return axes;
+}
+
+std::string axes_to_string(const AxisConfig& axes) {
+  std::string out;
+  const auto add = [&](bool on, const char* name) {
+    if (on) {
+      out += (out.empty() ? "" : ",");
+      out += name;
+    }
+  };
+  add(axes.model, "model");
+  add(axes.precision, "precision");
+  add(axes.batch, "batch");
+  add(axes.backend, "backend");
+  add(axes.clocks, "clocks");
+  return out;
+}
+
+std::string_view objective_name(Objective objective) {
+  switch (objective) {
+    case Objective::kLatency:
+      return "latency";
+    case Objective::kPerfPerWatt:
+      return "perf_per_watt";
+  }
+  return "unknown";
+}
+
+Objective objective_from_name(const std::string& name) {
+  if (name == "latency") {
+    return Objective::kLatency;
+  }
+  if (name == "perf_per_watt") {
+    return Objective::kPerfPerWatt;
+  }
+  throw ConfigError("unknown objective '" + name +
+                    "' (expected latency | perf_per_watt)");
+}
+
+std::vector<Variant> propose_variants(const ProposalContext& ctx,
+                                      const BottleneckReport& cls) {
+  std::vector<Variant> out;
+
+  // 1. Model redesign (§4.5): the zoo sibling `<id>_mod` eliminates the
+  // reorder layers the classifier is pointing at.  Only proposed when the
+  // profile actually shows reorder/bandwidth pressure.
+  if (ctx.axes.model && !ctx.model_id.empty()) {
+    const std::string sibling = ctx.model_id + "_mod";
+    if ((cls.kind == Bottleneck::kBandwidth ||
+         cls.reorder_share > kReorderProposalFloor) &&
+        zoo_has(sibling)) {
+      Variant v;
+      v.id = "model=" + sibling;
+      v.axis = "model";
+      v.description =
+          "reorder-elimination redesign: drop shuffle/movement layers "
+          "(reorder share " +
+          std::to_string(llround(cls.reorder_share * 100.0)) + "%)";
+      v.model_substitute = sibling;
+      out.push_back(std::move(v));
+    }
+  }
+
+  // 2. Precision: int8 QDQ halves DRAM traffic and doubles the matrix peak —
+  // a candidate for both memory- and compute-bound runs.
+  if (ctx.axes.precision && !ctx.quantized && ctx.supports_int8) {
+    Variant v;
+    v.id = "precision=int8";
+    v.axis = "precision";
+    v.description = cls.kind == Bottleneck::kCompute
+                        ? "int8 QDQ rewrite: 2x matrix peak"
+                        : "int8 QDQ rewrite: halve DRAM traffic";
+    v.quantize = true;
+    out.push_back(std::move(v));
+  }
+
+  // 3. Batch size, keyed to the classification.
+  if (ctx.axes.batch) {
+    propose_batch(ctx, cls, out);
+  }
+
+  // 4. Backend choice — in this codebase also the fusion-aggressiveness
+  // axis: trt_sim composes the fusion passes most aggressively (epilogues +
+  // pointwise chains + Myelin-style regions), ov_sim and ort_sim less so.
+  if (ctx.axes.backend) {
+    for (const std::string& id :
+         backends::BackendRegistry::instance().ids()) {
+      if (id == ctx.backend_id) {
+        continue;
+      }
+      Variant v;
+      v.id = "backend=" + id;
+      v.axis = "backend";
+      v.description = "alternative runtime (different fusion aggressiveness)";
+      v.backend_id = id;
+      out.push_back(std::move(v));
+    }
+  }
+
+  // 5. Clock operating points (§4.6).  Only meaningful when the objective
+  // weighs power (perf-per-watt) or a power budget constrains the run —
+  // under a pure latency objective nominal clocks dominate trivially.
+  if (ctx.axes.clocks &&
+      (ctx.power_budget_w > 0.0 || ctx.objective == Objective::kPerfPerWatt)) {
+    const hw::PlatformDesc& platform =
+        hw::PlatformRegistry::instance().get(ctx.platform_id);
+    std::vector<double> gpu_steps = platform.gpu_clock.available_mhz;
+    std::vector<double> mem_steps = platform.mem_clock.available_mhz;
+    if (gpu_steps.empty()) {
+      gpu_steps.push_back(platform.gpu_clock.nominal_mhz);
+    }
+    if (mem_steps.empty()) {
+      mem_steps.push_back(platform.mem_clock.nominal_mhz);
+    }
+    std::sort(gpu_steps.begin(), gpu_steps.end());
+    std::sort(mem_steps.begin(), mem_steps.end());
+    for (const double gpu : gpu_steps) {
+      for (const double mem : mem_steps) {
+        if (gpu == ctx.gpu_mhz && mem == ctx.mem_mhz) {
+          continue;  // the incumbent operating point
+        }
+        Variant v;
+        v.id = clock_id(gpu, mem);
+        v.axis = "clocks";
+        v.description = "DVFS operating point";
+        v.gpu_mhz = gpu;
+        v.mem_mhz = mem;
+        out.push_back(std::move(v));
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace proof::opt

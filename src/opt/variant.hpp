@@ -1,0 +1,86 @@
+// Optimization variants: concrete, profile-checkable configuration changes.
+//
+// A Variant is a delta against the incumbent configuration along exactly one
+// axis — batch size, precision (the analysis/quantize QDQ pass), clock
+// operating point (hw::ClockSetting), backend choice (which, in this
+// codebase, is also the fusion-aggressiveness axis: each simulated runtime
+// composes the shared fusion passes at a different aggressiveness, see
+// backends/fusion.hpp), or a whole-model rewrite (the paper's §4.5
+// Shuffle-removal redesign, looked up as the zoo sibling `<id>_mod`).
+//
+// Variants are plain data: the guarded loop (guard.hpp) measures them
+// through whatever VariantSource it is driven by, so tests can fabricate
+// variants with arbitrary measured outcomes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opt/bottleneck.hpp"
+
+namespace proof::opt {
+
+struct Variant {
+  std::string id;           ///< stable key, e.g. "clocks=gpu612/mem2133"
+  std::string axis;         ///< "model" | "precision" | "batch" | "backend" | "clocks"
+  std::string description;  ///< human rationale tied to the classification
+
+  // Exactly the fields of this variant's axis are set; everything else keeps
+  // the incumbent's value.
+  std::optional<int64_t> batch;
+  bool quantize = false;            ///< rewrite the model to int8 QDQ form
+  std::optional<double> gpu_mhz;
+  std::optional<double> mem_mhz;
+  std::string backend_id;           ///< empty = keep incumbent backend
+  std::string model_substitute;     ///< zoo id, empty = keep incumbent model
+};
+
+/// Which proposal axes the generator may use (CLI `--axes`, serve "axes").
+struct AxisConfig {
+  bool model = true;
+  bool precision = true;
+  bool batch = true;
+  bool backend = true;
+  bool clocks = true;
+};
+
+/// Parses a comma-separated axis list ("model,clocks"); throws ConfigError
+/// on unknown names.  An empty string returns the all-enabled default.
+[[nodiscard]] AxisConfig axes_from_string(const std::string& spec);
+[[nodiscard]] std::string axes_to_string(const AxisConfig& axes);
+
+/// The guarded objective.  Scores are "lower is better":
+///   kLatency      — seconds per sample (total latency / batch), so batch
+///                   variants stay comparable;
+///   kPerfPerWatt  — joules per sample (power * latency / batch); minimizing
+///                   energy per inference maximizes inferences per watt.
+enum class Objective : uint8_t { kLatency, kPerfPerWatt };
+
+[[nodiscard]] std::string_view objective_name(Objective objective);
+/// Throws ConfigError on unknown names ("latency" | "perf_per_watt").
+[[nodiscard]] Objective objective_from_name(const std::string& name);
+
+/// Everything the deterministic generator may look at when proposing.
+struct ProposalContext {
+  std::string model_id;        ///< zoo id of the incumbent model ("" = raw graph)
+  bool quantized = false;      ///< incumbent already rewritten to QDQ
+  std::string platform_id;
+  std::string backend_id;      ///< effective (defaulted) incumbent backend
+  int64_t batch = 1;
+  double gpu_mhz = 0.0;        ///< effective incumbent clocks
+  double mem_mhz = 0.0;
+  bool supports_int8 = false;
+  Objective objective = Objective::kLatency;
+  double power_budget_w = 0.0;  ///< 0 = unconstrained
+  AxisConfig axes;
+};
+
+/// Deterministic rule-based proposal: variants keyed to the bottleneck
+/// classification, in a fixed axis order (model, precision, batch, backend,
+/// clocks) with fixed intra-axis ordering.  Never proposes the incumbent
+/// configuration itself.
+[[nodiscard]] std::vector<Variant> propose_variants(const ProposalContext& ctx,
+                                                    const BottleneckReport& cls);
+
+}  // namespace proof::opt

@@ -10,6 +10,7 @@
 #include "core/report_json.hpp"
 #include "core/sweep.hpp"
 #include "hw/platform.hpp"
+#include "opt/optimizer.hpp"
 #include "obs/span.hpp"
 #include "serve/server.hpp"
 #include "support/thread_pool.hpp"
@@ -29,7 +30,8 @@ double steady_now_s() {
 /// client grow the registry unboundedly.
 bool known_method(const std::string& method) {
   return method == "ping" || method == "stats" || method == "shutdown" ||
-         method == "profile" || method == "analyze" || method == "sweep";
+         method == "profile" || method == "analyze" || method == "sweep" ||
+         method == "optimize";
 }
 
 void count_metric(const std::string& name, uint64_t n = 1) {
@@ -235,7 +237,7 @@ void Session::handle(const Request& request) {
     server_.log("session " + std::to_string(id_) + ": shutdown requested");
     server_.request_stop();
   } else if (request.method == "profile" || request.method == "analyze" ||
-             request.method == "sweep") {
+             request.method == "sweep" || request.method == "optimize") {
     ok = execute_heavy(request);
   } else {
     send_payload(make_error(request.id, ErrorCode::kNotFound,
@@ -315,6 +317,9 @@ std::string Session::execute(const Request& request, const Deadline& deadline) {
   deadline.check("request start");
   if (request.method == "sweep") {
     return do_sweep(request, deadline);
+  }
+  if (request.method == "optimize") {
+    return do_optimize(request, deadline);
   }
   return do_profile(request, deadline, request.method == "analyze");
 }
@@ -429,6 +434,47 @@ std::string Session::do_sweep(const Request& request, const Deadline& deadline) 
       << ",\"optimal_batch\":" << optimal
       << ",\"completed\":" << points.size() << "}";
   return out.str();
+}
+
+std::string Session::do_optimize(const Request& request,
+                                 const Deadline& deadline) {
+  const json::Value& p = request.p();
+  const std::string model_id = require_string(p, "model");
+
+  opt::OptimizeOptions options;
+  options.base = options_from_params(p);
+  const std::string objective = p.get_string("objective");
+  if (!objective.empty()) {
+    options.objective = opt::objective_from_name(objective);
+  }
+  options.power_budget_w = p.get_double("power_budget_w", 0.0);
+  PROOF_CHECK(options.power_budget_w >= 0.0,
+              "power_budget_w must be non-negative");
+  options.noise_threshold = p.get_double("noise_threshold", 0.02);
+  PROOF_CHECK(
+      options.noise_threshold >= 0.0 && options.noise_threshold < 1.0,
+      "noise_threshold must be in [0, 1)");
+  options.max_rounds = static_cast<int>(p.get_int("max_rounds", 4));
+  PROOF_CHECK(options.max_rounds >= 0, "max_rounds must be non-negative");
+  const std::string axes = p.get_string("axes");
+  if (!axes.empty()) {
+    options.axes = opt::axes_from_string(axes);
+  }
+  // Cooperative cancellation between rounds — a round profiles its variants
+  // to completion (like a sweep point) before the deadline is re-checked.
+  options.round_hook = [&deadline, &p](int) {
+    deadline.check("optimize round");
+    debug_sleep(p);
+  };
+  debug_sleep(p);
+  deadline.check("before optimizing");
+
+  // Validates the model id against the shared pool (typed 400 on a bad id)
+  // and reuses its cached graph for the baseline-equivalent warm-up path.
+  (void)server_.models().get(model_id);
+  const opt::OptimizeResult result = opt::optimize(model_id, options);
+  return report_to_json(result.final_report, false,
+                        opt::optimization_section_json(result.log));
 }
 
 }  // namespace proof::serve

@@ -17,6 +17,7 @@
 
 #include "core/profiler.hpp"
 #include "core/report_json.hpp"
+#include "opt/optimizer.hpp"
 
 #ifndef PROOF_TEST_SOURCE_DIR
 #error "tests/CMakeLists.txt must define PROOF_TEST_SOURCE_DIR"
@@ -140,6 +141,50 @@ INSTANTIATE_TEST_SUITE_P(FourZooModels, GoldenReports,
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            return std::string(info.param);
                          });
+
+// The fifth golden freezes the guarded optimizer's report for the §4.5
+// model: full final-config report plus the "optimization" section (rounds,
+// classifications, accepted AND rejected variants with deltas).  The section
+// carries no wall-clock values by construction; the wrapping report is
+// normalized like the other goldens.
+std::string generate_optimize() {
+  opt::OptimizeOptions options;
+  options.base.platform_id = "a100";
+  options.base.backend_id = "trt_sim";
+  options.base.dtype = DType::kF16;
+  options.base.batch = 256;
+  options.base.mode = MetricMode::kPredicted;
+  const opt::OptimizeResult result = opt::optimize("shufflenetv2_10", options);
+  return normalize(report_to_json(result.final_report, false,
+                                  opt::optimization_section_json(result.log)));
+}
+
+TEST(GoldenReportsOptimize, MatchesFrozenJson) {
+  const std::string path = golden_path("optimize_shufflenetv2_10");
+  const std::string actual = generate_optimize();
+  ASSERT_FALSE(actual.empty());
+
+  if (update_goldens()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden " << path
+      << " — regenerate with PROOF_UPDATE_GOLDENS=1";
+  EXPECT_EQ(actual, expected)
+      << "optimization report drifted from " << path << "\n"
+      << first_diff(actual, expected)
+      << "\nIf the change is intentional, regenerate with "
+         "PROOF_UPDATE_GOLDENS=1 and review the diff.";
+}
+
+TEST(GoldenReportsOptimize, GenerationIsDeterministic) {
+  EXPECT_EQ(generate_optimize(), generate_optimize());
+}
 
 }  // namespace
 }  // namespace proof

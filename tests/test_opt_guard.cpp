@@ -1,0 +1,485 @@
+// Property/fuzz harness for the guarded optimization loop (ISSUE 8).
+//
+// The guard's contract — the loop NEVER accepts a variant whose measured
+// objective is worse than the incumbent's under the documented order — is
+// proved here by construction, not by example: hundreds of randomized runs
+// with scripted and adversarial VariantSources (including one whose every
+// proposal regresses) check the invariants on every loop output.
+//
+// Invariants checked on every run, whatever the source does:
+//   I1 an accepted variant strictly improves on the incumbent it replaced
+//      (feasibility-dominant order, noise threshold included);
+//   I2 the accepted chain is monotonically improving end to end;
+//   I3 an infeasible variant is never accepted;
+//   I4 the always-regress adversary gets nothing accepted, ever;
+//   I5 the recorded log is internally consistent (per-round accepted ids,
+//      counters, deltas, final == last accepted or baseline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "opt/guard.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace proof::opt {
+namespace {
+
+BottleneckReport fake_classification() {
+  BottleneckReport cls;
+  cls.kind = Bottleneck::kBandwidth;
+  cls.compute_share = 0.2;
+  cls.bandwidth_share = 0.6;
+  cls.reorder_share = 0.2;
+  cls.overhead_share = 0.05;
+  return cls;
+}
+
+Variant make_variant(const std::string& id) {
+  Variant v;
+  v.id = id;
+  v.axis = "scripted";
+  v.description = "scripted variant";
+  return v;
+}
+
+/// A scripted source: a fixed table of measurements keyed by variant id,
+/// proposals drawn from that table in a caller-chosen (possibly shuffled)
+/// order, round by round.
+class ScriptedSource : public VariantSource {
+ public:
+  struct Round {
+    std::vector<std::string> ids;
+  };
+
+  ScriptedSource(std::map<std::string, Measurement> table,
+                 std::vector<Round> rounds)
+      : table_(std::move(table)), rounds_(std::move(rounds)) {}
+
+  [[nodiscard]] BottleneckReport classify_incumbent() override {
+    return fake_classification();
+  }
+
+  [[nodiscard]] std::vector<Variant> propose(
+      int round, const Measurement& /*incumbent*/) override {
+    std::vector<Variant> out;
+    if (static_cast<size_t>(round) < rounds_.size()) {
+      for (const std::string& id : rounds_[static_cast<size_t>(round)].ids) {
+        out.push_back(make_variant(id));
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] Measurement measure(const Variant& variant) override {
+    const auto it = table_.find(variant.id);
+    if (it == table_.end()) {
+      Measurement m;
+      m.feasible = false;
+      m.note = "unknown variant";
+      return m;
+    }
+    return it->second;
+  }
+
+  void on_accept(const Variant& variant) override {
+    accepted_.push_back(variant.id);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& accepted() const {
+    return accepted_;
+  }
+
+ private:
+  std::map<std::string, Measurement> table_;
+  std::vector<Round> rounds_;
+  std::vector<std::string> accepted_;
+};
+
+/// Adversary: every proposal measures WORSE than the incumbent (or
+/// infeasible).  Nothing it offers may ever be accepted (I4).
+class AlwaysRegressSource : public VariantSource {
+ public:
+  AlwaysRegressSource(uint64_t seed, double baseline_score)
+      : rng_(seed), incumbent_score_(baseline_score) {}
+
+  [[nodiscard]] BottleneckReport classify_incumbent() override {
+    return fake_classification();
+  }
+
+  [[nodiscard]] std::vector<Variant> propose(
+      int round, const Measurement& incumbent) override {
+    incumbent_score_ = incumbent.score;
+    std::vector<Variant> out;
+    const size_t n = 1 + rng_.next_below(8);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(
+          make_variant("regress-" + std::to_string(round) + "-" +
+                       std::to_string(i)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] Measurement measure(const Variant& variant) override {
+    // Deterministic per-variant draw (measure() runs concurrently; the
+    // member rng_ must not be shared across threads).
+    Rng rng = Rng::from_string(variant.id, 17);
+    Measurement m;
+    if (rng.next_double() < 0.25) {
+      m.feasible = false;  // infeasible AND nominally "better": still barred
+      m.score = incumbent_score_ * rng.uniform(0.1, 0.9);
+      m.note = "adversarial infeasible";
+      return m;
+    }
+    // Worse than the incumbent, sometimes inside the noise band (equal or
+    // marginally better than threshold) — never a guard-clearing improvement.
+    m.score = incumbent_score_ * rng.uniform(1.0 - 0.0199, 3.0);
+    return m;
+  }
+
+  void on_accept(const Variant&) override { ++accepted_count_; }
+
+  [[nodiscard]] int accepted_count() const { return accepted_count_; }
+
+ private:
+  Rng rng_;
+  double incumbent_score_;
+  int accepted_count_ = 0;
+};
+
+/// Fuzz source: random mix of improvements, regressions, noise-band ties and
+/// infeasible points, deterministic per seed + variant id.
+class FuzzSource : public VariantSource {
+ public:
+  explicit FuzzSource(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  [[nodiscard]] BottleneckReport classify_incumbent() override {
+    return fake_classification();
+  }
+
+  [[nodiscard]] std::vector<Variant> propose(
+      int round, const Measurement& incumbent) override {
+    incumbent_score_ = incumbent.score;
+    incumbent_feasible_ = incumbent.feasible;
+    std::vector<Variant> out;
+    const size_t n = rng_.next_below(10);  // sometimes zero: ends the loop
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(make_variant("fuzz-" + std::to_string(seed_) + "-" +
+                                 std::to_string(round) + "-" +
+                                 std::to_string(i)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] Measurement measure(const Variant& variant) override {
+    Rng rng = Rng::from_string(variant.id, seed_);
+    Measurement m;
+    m.feasible = rng.next_double() > 0.3;
+    // Anywhere from a 70% improvement to a 2x regression.
+    m.score = incumbent_score_ * rng.uniform(0.3, 2.0);
+    if (!m.feasible) {
+      m.note = "fuzz infeasible";
+    }
+    return m;
+  }
+
+ private:
+  uint64_t seed_;
+  Rng rng_;
+  double incumbent_score_ = 1.0;
+  bool incumbent_feasible_ = true;
+};
+
+Measurement feasible_measurement(double score) {
+  Measurement m;
+  m.feasible = true;
+  m.score = score;
+  m.latency_s = score;
+  m.power_w = 100.0;
+  m.throughput_per_s = 1.0 / score;
+  return m;
+}
+
+/// I1/I2/I3/I5: structural invariants every OptimizationLog must satisfy,
+/// independent of what the source did.
+void check_invariants(const OptimizationLog& log, const GuardConfig& config) {
+  Measurement incumbent = log.baseline;
+  size_t accepted_seen = 0;
+  size_t evaluated = 0;
+  std::vector<std::string> chain;
+
+  for (const RoundLog& round : log.rounds) {
+    int accepted_in_round = 0;
+    for (const VariantResult& v : round.variants) {
+      ++evaluated;
+      if (v.accepted) {
+        ++accepted_in_round;
+        // I3: never an infeasible acceptance.
+        EXPECT_TRUE(v.measurement.feasible)
+            << v.variant.id << " accepted while infeasible";
+        // I1: the guard held against the round's incumbent.
+        EXPECT_TRUE(guard_improves(v.measurement, incumbent,
+                                   config.noise_threshold))
+            << v.variant.id << " accepted without clearing the guard";
+        // The accepted candidate is the BEST improving one of its round.
+        for (const VariantResult& other : round.variants) {
+          if (&other != &v &&
+              guard_improves(other.measurement, incumbent,
+                             config.noise_threshold)) {
+            EXPECT_FALSE(guard_better(other.measurement, v.measurement))
+                << other.variant.id << " was strictly better than accepted "
+                << v.variant.id;
+          }
+        }
+        EXPECT_EQ(round.accepted_id, v.variant.id);
+        chain.push_back(v.variant.id);
+        incumbent = v.measurement;
+        ++accepted_seen;
+      }
+    }
+    // At most one acceptance per round; none -> empty accepted_id.
+    EXPECT_LE(accepted_in_round, 1);
+    if (accepted_in_round == 0) {
+      EXPECT_TRUE(round.accepted_id.empty());
+    }
+  }
+
+  // I2: the chain is monotonically improving — replay proves each accepted
+  // measurement improved on its predecessor, so scores (once feasible) only
+  // go down, and feasibility never regresses from feasible to infeasible.
+  EXPECT_EQ(chain, log.accepted_chain);
+  EXPECT_EQ(accepted_seen, log.variants_accepted);
+  EXPECT_EQ(evaluated, log.variants_evaluated);
+
+  // I5: the final measurement is the last accepted one (or the baseline).
+  EXPECT_EQ(incumbent.feasible, log.final_best.feasible);
+  EXPECT_DOUBLE_EQ(incumbent.score, log.final_best.score);
+  if (log.baseline.feasible) {
+    // A feasible baseline is never traded for something worse.
+    EXPECT_TRUE(log.final_best.feasible);
+    EXPECT_LE(log.final_best.score, log.baseline.score);
+  }
+}
+
+GuardConfig config_with(double noise, int rounds) {
+  GuardConfig config;
+  config.noise_threshold = noise;
+  config.max_rounds = rounds;
+  return config;
+}
+
+TEST(OptGuard, AcceptsOnlyClearImprovement) {
+  std::map<std::string, Measurement> table;
+  table["big-win"] = feasible_measurement(0.5);
+  table["noise-band"] = feasible_measurement(0.99);  // inside 2% noise
+  table["worse"] = feasible_measurement(1.5);
+  ScriptedSource source(table, {{{"noise-band", "worse", "big-win"}}});
+
+  const OptimizationLog log =
+      run_guarded_loop(source, feasible_measurement(1.0), config_with(0.02, 3));
+  check_invariants(log, config_with(0.02, 3));
+  ASSERT_EQ(log.accepted_chain, std::vector<std::string>{"big-win"});
+  EXPECT_DOUBLE_EQ(log.final_best.score, 0.5);
+  EXPECT_EQ(log.variants_evaluated, 3u);
+}
+
+TEST(OptGuard, NoiseBandImprovementIsRejected) {
+  std::map<std::string, Measurement> table;
+  table["tiny-win"] = feasible_measurement(0.985);  // 1.5% < 2% threshold
+  ScriptedSource source(table, {{{"tiny-win"}}});
+
+  const OptimizationLog log =
+      run_guarded_loop(source, feasible_measurement(1.0), config_with(0.02, 3));
+  check_invariants(log, config_with(0.02, 3));
+  EXPECT_TRUE(log.accepted_chain.empty());
+  EXPECT_DOUBLE_EQ(log.final_best.score, 1.0);
+}
+
+TEST(OptGuard, FeasibilityDominatesScore) {
+  // Infeasible baseline: a feasible-but-slower variant must win (§4.6).
+  std::map<std::string, Measurement> table;
+  Measurement feasible_slow = feasible_measurement(2.0);
+  Measurement infeasible_fast = feasible_measurement(0.1);
+  infeasible_fast.feasible = false;
+  table["feasible-slow"] = feasible_slow;
+  table["infeasible-fast"] = infeasible_fast;
+  ScriptedSource source(table, {{{"infeasible-fast", "feasible-slow"}}});
+
+  Measurement baseline = feasible_measurement(1.0);
+  baseline.feasible = false;
+  const OptimizationLog log =
+      run_guarded_loop(source, baseline, config_with(0.02, 2));
+  check_invariants(log, config_with(0.02, 2));
+  ASSERT_EQ(log.accepted_chain, std::vector<std::string>{"feasible-slow"});
+  EXPECT_TRUE(log.final_best.feasible);
+}
+
+TEST(OptGuard, TieKeepsEarliestProposal) {
+  std::map<std::string, Measurement> table;
+  table["first"] = feasible_measurement(0.5);
+  table["second"] = feasible_measurement(0.5);
+  ScriptedSource source(table, {{{"first", "second"}}});
+
+  const OptimizationLog log =
+      run_guarded_loop(source, feasible_measurement(1.0), config_with(0.02, 1));
+  ASSERT_EQ(log.accepted_chain, std::vector<std::string>{"first"});
+}
+
+TEST(OptGuard, ZeroRoundsEvaluatesNothing) {
+  ScriptedSource source({}, {});
+  const OptimizationLog log =
+      run_guarded_loop(source, feasible_measurement(1.0), config_with(0.02, 0));
+  EXPECT_TRUE(log.rounds.empty());
+  EXPECT_EQ(log.variants_evaluated, 0u);
+  EXPECT_DOUBLE_EQ(log.final_best.score, 1.0);
+}
+
+TEST(OptGuard, AlwaysRegressAdversaryNeverGetsAccepted) {
+  // I4 across 128 seeds: whatever mix of regressions, noise-band teases and
+  // "infeasible but nominally faster" points the adversary produces, the
+  // guard accepts nothing and the baseline survives untouched.
+  for (uint64_t seed = 0; seed < 128; ++seed) {
+    AlwaysRegressSource source(seed, 1.0);
+    const GuardConfig config = config_with(0.02, 6);
+    const OptimizationLog log =
+        run_guarded_loop(source, feasible_measurement(1.0), config);
+    check_invariants(log, config);
+    EXPECT_EQ(source.accepted_count(), 0) << "seed " << seed;
+    EXPECT_TRUE(log.accepted_chain.empty()) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(log.final_best.score, 1.0) << "seed " << seed;
+    // The loop stops after the first barren round — no acceptance, no
+    // further rounds (bounded work against a hostile source).
+    EXPECT_LE(log.rounds.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(OptGuard, FuzzedSourcesAlwaysSatisfyInvariants) {
+  // The main property sweep: 160 randomized runs x randomized noise
+  // thresholds and round budgets, invariants checked on every log.
+  size_t accepted_total = 0;
+  for (uint64_t seed = 1; seed <= 160; ++seed) {
+    Rng knobs(seed * 7919);
+    const double noise = knobs.uniform(0.0, 0.2);
+    const int rounds = 1 + static_cast<int>(knobs.next_below(6));
+    const GuardConfig config = config_with(noise, rounds);
+
+    FuzzSource source(seed);
+    Measurement baseline = feasible_measurement(knobs.uniform(0.5, 2.0));
+    baseline.feasible = knobs.next_double() > 0.2;
+    const OptimizationLog log = run_guarded_loop(source, baseline, config);
+    check_invariants(log, config);
+    accepted_total += log.variants_accepted;
+  }
+  // Sanity: the property is not vacuous — plenty of runs DID accept variants.
+  EXPECT_GT(accepted_total, 50u);
+}
+
+TEST(OptGuard, ShuffledProposalOrderNeverChangesTheWinner) {
+  // Proposal order must not affect WHICH measurement wins (only tie-breaks
+  // between exactly-equal scores, which this table avoids).
+  std::map<std::string, Measurement> table;
+  table["a"] = feasible_measurement(0.9);
+  table["b"] = feasible_measurement(0.4);
+  table["c"] = feasible_measurement(0.7);
+  Measurement infeasible = feasible_measurement(0.2);
+  infeasible.feasible = false;
+  table["d"] = infeasible;
+
+  std::vector<std::string> ids = {"a", "b", "c", "d"};
+  std::sort(ids.begin(), ids.end());
+  do {
+    ScriptedSource source(table, {{ids}});
+    const OptimizationLog log = run_guarded_loop(
+        source, feasible_measurement(1.0), config_with(0.02, 1));
+    ASSERT_EQ(log.accepted_chain, std::vector<std::string>{"b"})
+        << "order: " << ids[0] << ids[1] << ids[2] << ids[3];
+    EXPECT_DOUBLE_EQ(log.final_best.score, 0.4);
+  } while (std::next_permutation(ids.begin(), ids.end()));
+}
+
+TEST(OptGuard, MultiRoundChainIsMonotone) {
+  std::map<std::string, Measurement> table;
+  table["r0-win"] = feasible_measurement(0.8);
+  table["r0-lose"] = feasible_measurement(1.2);
+  table["r1-win"] = feasible_measurement(0.6);
+  table["r1-noise"] = feasible_measurement(0.79);
+  table["r2-lose"] = feasible_measurement(0.9);
+  ScriptedSource source(table, {{{"r0-win", "r0-lose"}},
+                                {{"r1-win", "r1-noise"}},
+                                {{"r2-lose"}}});
+
+  const GuardConfig config = config_with(0.02, 5);
+  const OptimizationLog log =
+      run_guarded_loop(source, feasible_measurement(1.0), config);
+  check_invariants(log, config);
+  const std::vector<std::string> expected = {"r0-win", "r1-win"};
+  EXPECT_EQ(log.accepted_chain, expected);
+  EXPECT_EQ(source.accepted(), expected);
+  // Round 3 (all regressions) ended the loop.
+  EXPECT_EQ(log.rounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.final_best.score, 0.6);
+}
+
+TEST(OptGuard, ParallelMeasurementMatchesSerial) {
+  // The guard property holds at any job count AND the recorded log is
+  // identical — measurement runs on the pool, acceptance stays serial.
+  const auto run = [](unsigned jobs) {
+    ThreadPool::set_global_jobs(jobs);
+    FuzzSource source(42);
+    const OptimizationLog log = run_guarded_loop(
+        source, feasible_measurement(1.0), config_with(0.02, 4));
+    ThreadPool::set_global_jobs(0);
+    return log;
+  };
+  const OptimizationLog serial = run(1);
+  const OptimizationLog parallel = run(8);
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size());
+  EXPECT_EQ(serial.accepted_chain, parallel.accepted_chain);
+  for (size_t r = 0; r < serial.rounds.size(); ++r) {
+    ASSERT_EQ(serial.rounds[r].variants.size(),
+              parallel.rounds[r].variants.size());
+    for (size_t i = 0; i < serial.rounds[r].variants.size(); ++i) {
+      EXPECT_EQ(serial.rounds[r].variants[i].variant.id,
+                parallel.rounds[r].variants[i].variant.id);
+      EXPECT_DOUBLE_EQ(serial.rounds[r].variants[i].measurement.score,
+                       parallel.rounds[r].variants[i].measurement.score);
+      EXPECT_EQ(serial.rounds[r].variants[i].accepted,
+                parallel.rounds[r].variants[i].accepted);
+    }
+  }
+}
+
+TEST(OptGuard, GuardPredicateTotalOrderProperties) {
+  // guard_better is a strict weak ordering over randomized measurements;
+  // guard_improves is consistent with it (an improvement is always better).
+  Rng rng(2026);
+  std::vector<Measurement> points;
+  for (int i = 0; i < 64; ++i) {
+    Measurement m = feasible_measurement(rng.uniform(0.1, 3.0));
+    m.feasible = rng.next_double() > 0.3;
+    points.push_back(m);
+  }
+  for (const Measurement& a : points) {
+    EXPECT_FALSE(guard_better(a, a));  // irreflexive
+    for (const Measurement& b : points) {
+      if (guard_better(a, b)) {
+        EXPECT_FALSE(guard_better(b, a));  // asymmetric
+      }
+      if (guard_improves(a, b, 0.0) && a.score != b.score) {
+        EXPECT_TRUE(guard_better(a, b));
+      }
+      // With any threshold, improving on a feasible incumbent implies a
+      // strictly lower score — never equal, never higher.
+      if (b.feasible && guard_improves(a, b, 0.02)) {
+        EXPECT_LT(a.score, b.score);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proof::opt

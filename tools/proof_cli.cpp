@@ -39,6 +39,12 @@ using namespace proof;
       "  peaks     run the roofline peak probe on a platform\n"
       "  compare   profile two models/configs and print the delta\n"
       "  sweep     batch-size sweep with optimal-batch selection\n"
+      "  optimize  guarded closed-loop optimization: classify the bottleneck,\n"
+      "            propose variants (model/precision/batch/backend/clocks),\n"
+      "            measure each, accept only verified improvements:\n"
+      "            --objective latency|perf_per_watt (default latency)\n"
+      "            --power-budget <W> --noise <frac, default 0.02>\n"
+      "            --rounds <n, default 4> --axes <comma list, default all>\n"
       "  inspect   full-stack drill-down: model nodes -> layer -> kernels\n"
       "  summarize print the model-design node table (pre-optimization)\n"
       "  stats     run a profile (or sweep with --batches) and print the\n"
@@ -49,8 +55,8 @@ using namespace proof;
       "            --preload <ids|all> --verbose 0|1\n"
       "  client    send one request to a running daemon:\n"
       "            --connect <endpoint> --method ping|stats|shutdown|profile|\n"
-      "            analyze|sweep plus the profile options below, or a raw\n"
-      "            --params '<json>'; result JSON goes to stdout\n"
+      "            analyze|sweep|optimize plus the profile options below, or\n"
+      "            a raw --params '<json>'; result JSON goes to stdout\n"
       "\n"
       "options:\n"
       "  --model <id|file.pg>   zoo model id or serialized graph file\n"
@@ -356,6 +362,45 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_optimize(const Args& args) {
+  opt::OptimizeOptions options;
+  options.base = options_from(args);
+  if (const auto v = args.get("objective")) {
+    options.objective = opt::objective_from_name(*v);
+  }
+  if (const auto v = args.get("power-budget")) {
+    options.power_budget_w = strings::parse_double(*v);
+  }
+  if (const auto v = args.get("noise")) {
+    options.noise_threshold = strings::parse_double(*v);
+  }
+  if (const auto v = args.get("rounds")) {
+    options.max_rounds = static_cast<int>(strings::parse_int(*v));
+  }
+  if (const auto v = args.get("axes")) {
+    options.axes = opt::axes_from_string(*v);
+  }
+
+  // Zoo ids keep the model-rewrite axis (the optimizer looks up `<id>_mod`
+  // siblings); serialized .pg graphs optimize along the remaining axes.
+  const std::string spec = args.require("model");
+  const opt::OptimizeResult result =
+      strings::ends_with(spec, ".pg")
+          ? opt::optimize_graph(load_model_arg(args), options)
+          : opt::optimize(spec, options);
+
+  std::cout << opt::optimization_text(result) << "\n";
+  std::cout << "--- final configuration ---\n"
+            << summary_text(result.final_report);
+  if (const auto json = args.get("json")) {
+    save_json(report_to_json(result.final_report, obs::enabled(),
+                             opt::optimization_section_json(result.log)),
+              *json);
+    std::cout << "wrote " << *json << "\n";
+  }
+  return 0;
+}
+
 int cmd_summarize(const Args& args) {
   const Graph model = load_model_arg(args);
   const size_t rows =
@@ -433,6 +478,23 @@ std::string client_request(const Args& args, const std::string& method) {
     if (const auto v = args.get("mem-mhz")) {
       (void)strings::parse_double(*v);
       field("mem_mhz", *v);
+    }
+    if (const auto v = args.get("objective")) {
+      field("objective", json::quote(*v));
+    }
+    if (const auto v = args.get("power-budget")) {
+      (void)strings::parse_double(*v);
+      field("power_budget_w", *v);
+    }
+    if (const auto v = args.get("noise")) {
+      (void)strings::parse_double(*v);
+      field("noise_threshold", *v);
+    }
+    if (const auto v = args.get("rounds")) {
+      field("max_rounds", std::to_string(strings::parse_int(*v)));
+    }
+    if (const auto v = args.get("axes")) {
+      field("axes", json::quote(*v));
     }
     if (const auto v = args.get("deadline-ms")) {
       (void)strings::parse_double(*v);
@@ -512,6 +574,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "sweep") {
       return cmd_sweep(args);
+    }
+    if (args.command == "optimize") {
+      return cmd_optimize(args);
     }
     if (args.command == "inspect") {
       return cmd_inspect(args);
