@@ -1,0 +1,49 @@
+// LLM decode sweep across the full platform registry: tokens/s-vs-batch
+// curves per decode position, the prefill/decode split, and the headline
+// decode-bound-ness number on every platform (the time-based-roofline view
+// of autoregressive serving).
+//
+// `--smoke` shrinks the grid to gpt2 on a100 with a 2x2 grid — a
+// CI-friendly check that the sweep engine, both report renderers and the
+// cross-platform summary still run end to end.
+#include "bench_util.hpp"
+
+#include <cstring>
+#include <iostream>
+
+#include "core/decode_sweep.hpp"
+
+using namespace proof;
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::banner(smoke ? "LLM decode sweep (smoke)"
+                      : "LLM decode sweep: batch x position, all platforms");
+
+  DecodeSweepOptions options;
+  options.config_id = "gpt2";
+  if (smoke) {
+    options.prefill_len = 128;
+    options.batches = {1, 4};
+    options.positions = {64, 256};
+  }
+
+  // Deep dive on one platform: the full per-phase report.
+  options.platform_id = "a100";
+  const DecodeSweep sweep = sweep_decode(options);
+  std::cout << decode_sweep_text(sweep) << "\n";
+
+  // The cross-platform decode-bound-ness summary (per-platform errors are
+  // captured as rows, so the NPU's unsupported ops do not abort the table).
+  options.platform_id.clear();
+  std::cout << decode_platforms_text(sweep_decode_platforms(options));
+
+  if (!smoke) {
+    options.config_id = "llama7b";
+    options.platform_id = "a100";
+    options.batches = {1, 2, 4};
+    options.positions = {256, 1024};
+    std::cout << "\n" << decode_sweep_text(sweep_decode(options));
+  }
+  return 0;
+}

@@ -33,6 +33,7 @@
 #include "analysis/analyze_representation.hpp"
 #include "analysis/critical_path/critical_path.hpp"
 #include "analysis/critical_path/timeline.hpp"
+#include "analysis/llm_traffic.hpp"
 #include "analysis/memory_footprint.hpp"
 #include "analysis/optimized_representation.hpp"
 #include "analysis/quantize.hpp"
@@ -42,6 +43,7 @@
 #include "core/profiler.hpp"
 #include "core/chrome_trace.hpp"
 #include "core/compare.hpp"
+#include "core/decode_sweep.hpp"
 #include "core/html_report.hpp"
 #include "core/report_json.hpp"
 #include "core/report_text.hpp"
@@ -69,8 +71,10 @@
 #include "report/csv.hpp"
 #include "report/svg_roofline.hpp"
 #include "report/table.hpp"
+#include "report/time_view.hpp"
 #include "roofline/peak_test.hpp"
 #include "roofline/roofline.hpp"
+#include "roofline/time_roofline.hpp"
 #include "serve/model_pool.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"

@@ -9,7 +9,9 @@
 # schedule + DAG reconstruction from several threads over one shared built
 # engine), and the guarded optimizer (variants measured concurrently on the
 # pool against a shared incumbent graph, plus its jobs-1-vs-4 byte-identity
-# suite).  Any data race in the pool, the cache's shared PreparedEngine
+# suite), and the LLM decode sweep (batch x position grid fanned out over
+# the pool with index-written points, plus its own jobs-1-vs-4 byte-identity
+# test).  Any data race in the pool, the cache's shared PreparedEngine
 # entries, the graphs' lazy index maps, the obs shards or the daemon's
 # session teardown fails the run.
 #
@@ -19,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*:CriticalPathConcurrency.*:CriticalPath.ReconstructsProgramOrderAndSyncEdges:OptGuard.*:OptDeterminism.*}"
+FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*:CriticalPathConcurrency.*:CriticalPath.ReconstructsProgramOrderAndSyncEdges:OptGuard.*:OptDeterminism.*:DecodeSweep.*}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

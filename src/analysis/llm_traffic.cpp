@@ -1,0 +1,59 @@
+#include "analysis/llm_traffic.hpp"
+
+#include <string_view>
+
+namespace proof {
+
+namespace {
+
+bool has_prefix(std::string_view name, std::string_view prefix) {
+  return name.size() >= prefix.size() && name.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+bool is_kv_cache_input(const std::string& name) {
+  return has_prefix(name, "past_k_") || has_prefix(name, "past_v_");
+}
+
+DecodeTraffic audit_decode_traffic(const AnalyzeRepresentation& ar) {
+  const Graph& graph = ar.graph();
+  DecodeTraffic traffic;
+  for (const std::string& input : graph.inputs()) {
+    if (!is_kv_cache_input(input)) {
+      continue;
+    }
+    traffic.kv_cache_read_bytes += graph.tensor(input).size_bytes();
+    ++traffic.kv_cache_tensors;
+  }
+  // Write-back: graph outputs produced by a Concat that consumes a cache
+  // input (the `concat(past, new)` append in the decode builders).
+  for (const std::string& output : graph.outputs()) {
+    const NodeId producer = graph.producer(output);
+    if (producer == kInvalidNode) {
+      continue;
+    }
+    const Node& node = graph.nodes()[static_cast<size_t>(producer)];
+    if (!node.is("Concat")) {
+      continue;
+    }
+    bool appends_cache = false;
+    for (const std::string& in : node.inputs) {
+      if (is_kv_cache_input(in)) {
+        appends_cache = true;
+        break;
+      }
+    }
+    if (appends_cache) {
+      traffic.kv_cache_write_bytes += graph.tensor(output).size_bytes();
+    }
+  }
+  traffic.weight_bytes = graph.param_bytes();
+  traffic.total_bytes = static_cast<int64_t>(ar.total_memory().total());
+  const int64_t rest =
+      traffic.total_bytes - traffic.kv_cache_bytes() - traffic.weight_bytes;
+  traffic.activation_bytes = rest > 0 ? rest : 0;
+  return traffic;
+}
+
+}  // namespace proof

@@ -1,0 +1,50 @@
+// KV-cache traffic audit for autoregressive decode-step graphs.
+//
+// Decode graphs (models::build_llm_decode_step) carry their per-layer KV
+// cache as graph inputs named `past_k_<l>` / `past_v_<l>` and write the
+// appended caches back as graph outputs.  This audit splits the graph's DRAM
+// traffic into cache reads, cache write-backs, weights, and everything else,
+// so tests (and the decode sweep report) can assert the property that makes
+// decode memory-bound: cache bytes grow linearly with the decode position
+// while weights and activations stay flat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze_representation.hpp"
+#include "graph/graph.hpp"
+
+namespace proof {
+
+/// DRAM traffic of one decode step, split by source.  All byte counts use
+/// the graph's logical dtypes (Equation-1 accounting, matching
+/// AnalyzeRepresentation).
+struct DecodeTraffic {
+  int64_t kv_cache_read_bytes = 0;   ///< past_k_* / past_v_* inputs read
+  int64_t kv_cache_write_bytes = 0;  ///< appended caches written back
+  int64_t weight_bytes = 0;          ///< parameter tensors read
+  int64_t activation_bytes = 0;      ///< everything else (total - above)
+  int64_t total_bytes = 0;           ///< AnalyzeRepresentation total traffic
+  int64_t kv_cache_tensors = 0;      ///< number of past_* inputs found
+
+  [[nodiscard]] int64_t kv_cache_bytes() const {
+    return kv_cache_read_bytes + kv_cache_write_bytes;
+  }
+  /// Fraction of step traffic that is KV-cache movement.
+  [[nodiscard]] double kv_cache_fraction() const {
+    return total_bytes > 0 ? static_cast<double>(kv_cache_bytes()) /
+                                 static_cast<double>(total_bytes)
+                           : 0.0;
+  }
+};
+
+/// True for tensor names following the decode-graph cache convention.
+[[nodiscard]] bool is_kv_cache_input(const std::string& name);
+
+/// Audits a decode-step AR.  Works on any graph: one without past_* inputs
+/// simply reports zero cache traffic.
+[[nodiscard]] DecodeTraffic audit_decode_traffic(const AnalyzeRepresentation& ar);
+
+}  // namespace proof

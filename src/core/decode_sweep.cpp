@@ -1,0 +1,368 @@
+#include "core/decode_sweep.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/json_writer.hpp"
+#include "hw/platform.hpp"
+#include "models/zoo.hpp"
+#include "obs/span.hpp"
+#include "report/table.hpp"
+#include "report/time_view.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "support/units.hpp"
+
+namespace proof {
+
+namespace {
+
+/// Positive, ascending, deduplicated grid axis; throws naming the axis for
+/// an empty grid or any non-positive entry.
+std::vector<int64_t> clean_axis(std::vector<int64_t> values, const char* what) {
+  std::vector<int64_t> valid;
+  std::set<int64_t> seen;
+  for (const int64_t v : values) {
+    if (v <= 0) {
+      throw ConfigError(std::string("sweep_decode: ") + what +
+                        " must be positive, got " + std::to_string(v));
+    }
+    if (seen.insert(v).second) {
+      valid.push_back(v);
+    }
+  }
+  if (valid.empty()) {
+    throw ConfigError(std::string("sweep_decode: no valid ") + what +
+                      " (need at least one positive value)");
+  }
+  std::sort(valid.begin(), valid.end());
+  return valid;
+}
+
+ProfileOptions profile_options(const DecodeSweepOptions& options, int64_t batch) {
+  ProfileOptions opt;
+  opt.platform_id = options.platform_id;
+  opt.backend_id = options.backend_id;
+  opt.dtype = options.dtype;
+  opt.batch = batch;
+  opt.mode = MetricMode::kPredicted;  // deterministic, runs on every platform
+  return opt;
+}
+
+}  // namespace
+
+DecodeSweep sweep_decode(const DecodeSweepOptions& options) {
+  if (options.platform_id.empty()) {
+    throw ConfigError("sweep_decode: platform_id is required");
+  }
+  DecodeSweep sweep;
+  sweep.options = options;
+  sweep.options.batches = clean_axis(options.batches, "batch sizes");
+  sweep.options.positions = clean_axis(options.positions, "decode positions");
+  PROOF_CHECK(options.prefill_len >= 1,
+              "prefill length must be >= 1, got " << options.prefill_len);
+  const models::LlmConfig& cfg = models::llm_config(options.config_id);
+  sweep.model_display = cfg.display;
+
+  const std::vector<int64_t>& batches = sweep.options.batches;
+  const std::vector<int64_t>& positions = sweep.options.positions;
+
+  PROOF_SPAN("sweep.decode");
+  PROOF_COUNT("sweep.points",
+              batches.size() * positions.size() + batches.size());
+
+  // One graph per decode position plus the prefill graph; each is shared
+  // read-only across the batch fan-out (batch is applied during backend
+  // prepare, which copies), so warm the lazy indices up front.
+  const Graph prefill_graph =
+      models::build_llm_prefill(cfg, options.prefill_len);
+  prefill_graph.warm_indices();
+  std::vector<Graph> decode_graphs;
+  decode_graphs.reserve(positions.size());
+  for (const int64_t position : positions) {
+    decode_graphs.push_back(models::build_llm_decode_step(cfg, position));
+    decode_graphs.back().warm_indices();
+  }
+
+  sweep.prefill = ThreadPool::global().parallel_map(
+      batches.size(), [&](size_t i) {
+        const ProfileReport r =
+            Profiler(profile_options(options, batches[i])).run(prefill_graph);
+        PrefillPoint point;
+        point.batch = batches[i];
+        point.latency_s = r.total_latency_s;
+        point.tokens_per_s =
+            r.total_latency_s > 0.0
+                ? static_cast<double>(batches[i] * options.prefill_len) /
+                      r.total_latency_s
+                : 0.0;
+        point.bandwidth_bound_fraction =
+            roofline::time_analysis(r.roofline).bandwidth_bound_latency_fraction();
+        return point;
+      });
+
+  sweep.points = ThreadPool::global().parallel_map(
+      batches.size() * positions.size(), [&](size_t i) {
+        const int64_t batch = batches[i / positions.size()];
+        const size_t pos_idx = i % positions.size();
+        const ProfileReport r = Profiler(profile_options(options, batch))
+                                    .run(decode_graphs[pos_idx]);
+        const roofline::TimeAnalysis time = roofline::time_analysis(r.roofline);
+        DecodePoint point;
+        point.batch = batch;
+        point.position = positions[pos_idx];
+        point.latency_s = r.total_latency_s;
+        point.tokens_per_s = r.throughput_per_s();  // batch tokens per step
+        point.flops = r.roofline.end_to_end.flops;
+        point.bytes = r.roofline.end_to_end.bytes;
+        point.arithmetic_intensity =
+            r.roofline.end_to_end.arithmetic_intensity();
+        point.bandwidth_bound_fraction = time.bandwidth_bound_latency_fraction();
+        point.bandwidth_bound = point.bandwidth_bound_fraction > 0.5;
+        return point;
+      });
+
+  // Representative per-phase views (smallest batch; decode at the deepest
+  // position): full per-layer time analyses for the table/SVG renderers.
+  // PrepCache makes these re-runs cheap — the grid already prepared both.
+  {
+    const ProfileReport r = Profiler(profile_options(options, batches.front()))
+                                .run(prefill_graph);
+    sweep.prefill_time = roofline::time_analysis(r.roofline);
+  }
+  {
+    const ProfileReport r = Profiler(profile_options(options, batches.front()))
+                                .run(decode_graphs.back());
+    sweep.decode_time = roofline::time_analysis(r.roofline);
+  }
+
+  // Headline bound-ness: latency-weighted over the smallest-batch points.
+  double latency_sum = 0.0;
+  double weighted = 0.0;
+  for (const DecodePoint& point : sweep.points) {
+    if (point.batch != batches.front()) {
+      continue;
+    }
+    latency_sum += point.latency_s;
+    weighted += point.latency_s * point.bandwidth_bound_fraction;
+  }
+  sweep.decode_bound_fraction = latency_sum > 0.0 ? weighted / latency_sum : 0.0;
+
+  const hw::PlatformDesc& platform =
+      hw::PlatformRegistry::instance().get(options.platform_id);
+  sweep.platform_name = platform.name;
+  sweep.backend_name =
+      options.backend_id.empty() ? platform.runtime : options.backend_id;
+  return sweep;
+}
+
+std::string decode_sweep_text(const DecodeSweep& sweep) {
+  std::ostringstream out;
+  out << "LLM decode sweep: " << sweep.model_display << "  platform: "
+      << sweep.platform_name << "  backend: " << sweep.backend_name << "\n";
+  out << "prefill length: " << sweep.options.prefill_len
+      << "  dtype: " << dtype_name(sweep.options.dtype) << "\n\n";
+
+  report::TextTable prefill({"batch", "prefill latency", "prefill tokens/s",
+                             "bw-bound"});
+  for (const PrefillPoint& p : sweep.prefill) {
+    prefill.add_row({std::to_string(p.batch), units::ms(p.latency_s),
+                     units::fixed(p.tokens_per_s, 0) + "/s",
+                     units::percent(p.bandwidth_bound_fraction)});
+  }
+  out << "prefill phase:\n" << prefill.to_string() << "\n";
+
+  std::vector<std::string> headers = {"batch"};
+  for (const int64_t position : sweep.options.positions) {
+    headers.push_back("tok/s @p" + std::to_string(position));
+  }
+  headers.push_back("bw-bound @p" +
+                    std::to_string(sweep.options.positions.back()));
+  report::TextTable decode(std::move(headers));
+  for (const int64_t batch : sweep.options.batches) {
+    std::vector<std::string> row = {std::to_string(batch)};
+    double last_fraction = 0.0;
+    for (const DecodePoint& p : sweep.points) {
+      if (p.batch != batch) {
+        continue;
+      }
+      row.push_back(units::fixed(p.tokens_per_s, 0));
+      last_fraction = p.bandwidth_bound_fraction;
+    }
+    row.push_back(units::percent(last_fraction));
+    decode.add_row(std::move(row));
+  }
+  out << "decode phase (tokens/s per step):\n" << decode.to_string() << "\n";
+
+  out << "decode-bound-ness @ batch " << sweep.options.batches.front() << ": "
+      << units::percent(sweep.decode_bound_fraction)
+      << " of decode time bandwidth-bound -> "
+      << (sweep.decode_bandwidth_bound() ? "memory" : "compute") << "-bound\n\n";
+
+  out << "prefill time roofline (batch " << sweep.options.batches.front()
+      << ", S=" << sweep.options.prefill_len << "):\n"
+      << report::time_roofline_table_text(sweep.prefill_time, 10) << "\n";
+  out << "decode time roofline (batch " << sweep.options.batches.front()
+      << ", S_past=" << sweep.options.positions.back() << "):\n"
+      << report::time_roofline_table_text(sweep.decode_time, 10);
+  return out.str();
+}
+
+namespace {
+
+void emit_time_phase(JsonWriter& w, const std::string& key,
+                     const roofline::TimeAnalysis& time) {
+  w.begin_object(key);
+  w.field("flops", time.total.flops);
+  w.field("bytes", time.total.bytes);
+  w.field("latency_s", time.total.latency_s);
+  w.field("compute_time_s", time.total.compute_time_s);
+  w.field("memory_time_s", time.total.memory_time_s);
+  w.field("bound_time_s", time.total.bound_time_s);
+  w.field("bandwidth_bound", time.total.bandwidth_bound);
+  w.field("bandwidth_bound_time_fraction", time.bandwidth_bound_time_fraction());
+  w.field("bandwidth_bound_latency_fraction",
+          time.bandwidth_bound_latency_fraction());
+  w.field("layers", static_cast<int64_t>(time.layers.size()));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string decode_sweep_json(const DecodeSweep& sweep) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("config", sweep.options.config_id);
+  w.field("model", sweep.model_display);
+  w.field("platform", sweep.options.platform_id);
+  w.field("backend", sweep.backend_name);
+  w.field("dtype", std::string(dtype_name(sweep.options.dtype)));
+  w.field("prefill_len", sweep.options.prefill_len);
+  w.begin_array("prefill");
+  for (const PrefillPoint& p : sweep.prefill) {
+    w.begin_object();
+    w.field("batch", p.batch);
+    w.field("latency_s", p.latency_s);
+    w.field("tokens_per_s", p.tokens_per_s);
+    w.field("bandwidth_bound_fraction", p.bandwidth_bound_fraction);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("decode");
+  for (const DecodePoint& p : sweep.points) {
+    w.begin_object();
+    w.field("batch", p.batch);
+    w.field("position", p.position);
+    w.field("latency_s", p.latency_s);
+    w.field("tokens_per_s", p.tokens_per_s);
+    w.field("flops", p.flops);
+    w.field("bytes", p.bytes);
+    w.field("arithmetic_intensity", p.arithmetic_intensity);
+    w.field("bandwidth_bound_fraction", p.bandwidth_bound_fraction);
+    w.field("bandwidth_bound", p.bandwidth_bound);
+    w.end_object();
+  }
+  w.end_array();
+  emit_time_phase(w, "prefill_time_roofline", sweep.prefill_time);
+  emit_time_phase(w, "decode_time_roofline", sweep.decode_time);
+  w.field("decode_bound_fraction", sweep.decode_bound_fraction);
+  w.field("decode_bandwidth_bound", sweep.decode_bandwidth_bound());
+  w.end_object();
+  return out.str();
+}
+
+std::vector<PlatformDecodeSummary> sweep_decode_platforms(
+    const DecodeSweepOptions& base, std::vector<std::string> platform_ids) {
+  if (platform_ids.empty()) {
+    platform_ids = hw::PlatformRegistry::instance().ids();
+  }
+  PROOF_SPAN("sweep.decode_platforms");
+  std::vector<PlatformDecodeSummary> rows;
+  rows.reserve(platform_ids.size());
+  // Serial over platforms: each platform's sweep is itself a pool fan-out,
+  // and nesting fan-outs would only shuffle the same work.
+  for (const std::string& platform_id : platform_ids) {
+    PlatformDecodeSummary row;
+    row.platform_id = platform_id;
+    row.platform_name = platform_id;
+    try {
+      DecodeSweepOptions options = base;
+      options.platform_id = platform_id;
+      options.backend_id.clear();  // each platform uses its default runtime
+      const DecodeSweep sweep = sweep_decode(options);
+      row.platform_name = sweep.platform_name;
+      row.decode_bound_fraction = sweep.decode_bound_fraction;
+      row.decode_bandwidth_bound = sweep.decode_bandwidth_bound();
+      for (const DecodePoint& p : sweep.points) {
+        if (p.batch == sweep.options.batches.front() &&
+            p.position == sweep.options.positions.back()) {
+          row.decode_tokens_per_s = p.tokens_per_s;
+        }
+      }
+      row.prefill_latency_s = sweep.prefill.front().latency_s;
+    } catch (const Error& e) {
+      row.error = e.what();  // e.g. NPU compiler rejecting Gelu/Silu
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string decode_platforms_text(
+    const std::vector<PlatformDecodeSummary>& rows) {
+  if (rows.empty()) {
+    return "(no platforms)\n";
+  }
+  report::TextTable table({"platform", "decode tok/s", "prefill latency",
+                           "bw-bound time", "decode bound"});
+  size_t bandwidth_bound = 0;
+  size_t ran = 0;
+  for (const PlatformDecodeSummary& row : rows) {
+    if (!row.error.empty()) {
+      table.add_row({row.platform_name, "failed", "-", "-", "-"});
+      continue;
+    }
+    ++ran;
+    if (row.decode_bandwidth_bound) {
+      ++bandwidth_bound;
+    }
+    table.add_row({row.platform_name, units::fixed(row.decode_tokens_per_s, 0),
+                   units::ms(row.prefill_latency_s),
+                   units::percent(row.decode_bound_fraction),
+                   row.decode_bandwidth_bound ? "memory" : "compute"});
+  }
+  std::ostringstream out;
+  out << table.to_string();
+  out << "decode bandwidth-bound on " << bandwidth_bound << " of " << ran
+      << " platforms (" << rows.size() - ran << " failed)\n";
+  return out.str();
+}
+
+std::string decode_platforms_json(
+    const std::vector<PlatformDecodeSummary>& rows) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.begin_array("platforms");
+  for (const PlatformDecodeSummary& row : rows) {
+    w.begin_object();
+    w.field("platform", row.platform_id);
+    w.field("name", row.platform_name);
+    if (!row.error.empty()) {
+      w.field("error", row.error);
+    } else {
+      w.field("decode_tokens_per_s", row.decode_tokens_per_s);
+      w.field("prefill_latency_s", row.prefill_latency_s);
+      w.field("decode_bound_fraction", row.decode_bound_fraction);
+      w.field("decode_bandwidth_bound", row.decode_bandwidth_bound);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out.str();
+}
+
+}  // namespace proof

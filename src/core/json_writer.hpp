@@ -1,0 +1,110 @@
+// Minimal JSON writer: enough for flat objects/arrays of strings + numbers.
+// Shared by the report serializers (report_json.cpp, decode_sweep.cpp) so
+// every JSON section formats numbers identically (precision 12) — a
+// requirement for byte-reproducible golden diffing.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace proof {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostringstream& out) : out_(out) { out_.precision(12); }
+
+  void begin_object() { separator(); out_ << '{'; fresh_ = true; }
+  void begin_object(const std::string& key) {
+    separator();
+    emit_key(key);
+    out_ << '{';
+    fresh_ = true;
+  }
+  void end_object() { out_ << '}'; fresh_ = false; }
+  void begin_array(const std::string& key) {
+    separator();
+    emit_key(key);
+    out_ << '[';
+    fresh_ = true;
+  }
+  void end_array() { out_ << ']'; fresh_ = false; }
+
+  void field(const std::string& key, const std::string& value) {
+    separator();
+    emit_key(key);
+    emit_string(value);
+  }
+  void field(const std::string& key, double value) {
+    separator();
+    emit_key(key);
+    if (std::isfinite(value)) {
+      out_ << value;
+    } else {
+      out_ << "null";
+    }
+  }
+  void field(const std::string& key, int64_t value) {
+    separator();
+    emit_key(key);
+    out_ << value;
+  }
+  void field(const std::string& key, bool value) {
+    separator();
+    emit_key(key);
+    out_ << (value ? "true" : "false");
+  }
+  void string_element(const std::string& value) {
+    separator();
+    emit_string(value);
+  }
+  /// Splices a pre-serialized JSON value under `key` (self-profile section).
+  void raw_field(const std::string& key, const std::string& json) {
+    separator();
+    emit_key(key);
+    out_ << json;
+  }
+
+ private:
+  void separator() {
+    if (!fresh_) {
+      out_ << ',';
+    }
+    fresh_ = false;
+  }
+  void emit_key(const std::string& key) { emit_string(key); out_ << ':'; }
+  void emit_string(const std::string& value) {
+    out_ << '"';
+    for (const char c : value) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream& out_;
+  bool fresh_ = true;
+};
+
+}  // namespace proof

@@ -56,6 +56,38 @@ PlatformDesc make_a100() {
   return p;
 }
 
+/// Beyond the paper's seven platforms: the LLM decode sweep targets current
+/// serving hardware, so the registry also carries an H100 (kept out of
+/// paper_platform_ids() — Table 3-6 reproductions stay on the paper's set).
+PlatformDesc make_h100() {
+  PlatformDesc p;
+  p.id = "h100";
+  p.name = "NVIDIA H100 SXM5-80GB";
+  p.scenario = "Data center GPU";
+  p.runtime = "trt_sim";
+  p.arch = "hopper";
+  // Dense tensor-core peaks (sparsity excluded), SXM5 clocks.
+  p.tensor_peak_flops = {{DType::kF16, 989.4 * kT},
+                         {DType::kBF16, 989.4 * kT},
+                         {DType::kI8, 1978.9 * kT},
+                         {DType::kF32, 66.9 * kT}};
+  p.vector_peak_flops = {{DType::kF16, 133.8 * kT},
+                         {DType::kBF16, 133.8 * kT},
+                         {DType::kF32, 66.9 * kT},
+                         {DType::kI8, 133.8 * kT}};
+  p.dram_bw = 3352.0 * kG;  // HBM3, 5 stacks
+  p.kernel_overhead_s = 4.0e-6;
+  p.max_compute_eff = 0.80;
+  p.max_mem_eff = 0.85;
+  p.saturation_flops = 2.2e9;
+  p.conv_eff_scale = 0.80;
+  p.gpu_clock = {1980.0, {990.0, 1410.0, 1980.0}};
+  p.mem_clock = {2619.0, {2619.0}};
+  p.has_counter_profiler = true;
+  p.power = {80.0, 0.0, 620.0, 0.72, 150.0, 0.8, 0.2, 0.25};
+  return p;
+}
+
 PlatformDesc make_rtx4090() {
   PlatformDesc p;
   p.id = "rtx4090";
@@ -221,6 +253,7 @@ PlatformDesc make_npu3720() {
 
 PlatformRegistry::PlatformRegistry() {
   add(make_a100());
+  add(make_h100());
   add(make_rtx4090());
   add(make_xeon6330());
   add(make_xavier_nx());

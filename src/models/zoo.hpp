@@ -44,4 +44,39 @@ struct ModelSpec {
 /// large MatMuls and memory-copy operators of several sizes.
 [[nodiscard]] Graph build_peak_probe();
 
+// --- LLM serving workloads (zoo_llm.cpp) ------------------------------------
+
+/// Decoder-only transformer configuration for autoregressive generation.
+/// One config yields two graph families: a prefill graph at sequence length S
+/// and a decode-step graph whose attention reads a per-layer KV cache
+/// [B, heads, S_past, d_head] — bytes grow with the decode position while
+/// FLOPs stay nearly flat, which is what makes decode memory-bound.
+struct LlmConfig {
+  std::string id;         ///< zoo key, e.g. "llama7b"
+  std::string display;    ///< "LLaMA-7B (decoder)"
+  int64_t layers = 0;
+  int64_t dim = 0;        ///< model (hidden) dimension
+  int64_t heads = 0;
+  int64_t ffn = 0;        ///< MLP inner dimension
+  int64_t vocab = 0;
+  bool gated_mlp = false; ///< SwiGLU (llama) vs plain GELU MLP (gpt2)
+  bool rotary = false;    ///< RoPE vs learned absolute position embeddings
+  bool qkv_bias = false;  ///< biased attention/MLP projections (gpt2 style)
+  int64_t default_prefill = 512;  ///< prompt length used by the zoo entries
+};
+
+/// The registered decoder-only configs (llama7b, gpt2).
+[[nodiscard]] const std::vector<LlmConfig>& llm_zoo();
+
+/// Config lookup by id; throws ConfigError for unknown ids.
+[[nodiscard]] const LlmConfig& llm_config(const std::string& id);
+
+/// Prompt pass over `seq_len` tokens; outputs last-position logits plus the
+/// populated per-layer K/V cache tensors.
+[[nodiscard]] Graph build_llm_prefill(const LlmConfig& cfg, int64_t seq_len);
+
+/// One generation step at decode position `past_len` (cache already holds
+/// `past_len` tokens); outputs next-token logits plus the appended caches.
+[[nodiscard]] Graph build_llm_decode_step(const LlmConfig& cfg, int64_t past_len);
+
 }  // namespace proof::models

@@ -107,14 +107,20 @@ Graph build_bert_base() {
 }  // namespace
 
 const std::vector<ModelSpec>& extended_model_zoo() {
-  static const std::vector<ModelSpec>* specs = new std::vector<ModelSpec>{
-      {0, "resnet18", "ResNet-18", "CNN",
-       [] { return build_resnet_generic("resnet18", false, {2, 2, 2, 2}); }},
-      {0, "resnet101", "ResNet-101", "CNN",
-       [] { return build_resnet_generic("resnet101", true, {3, 4, 23, 3}); }},
-      {0, "vgg16", "VGG-16", "CNN", [] { return build_vgg16(); }},
-      {0, "bert_base", "BERT base", "Trans.", [] { return build_bert_base(); }},
-  };
+  static const std::vector<ModelSpec>* specs = [] {
+    auto* v = new std::vector<ModelSpec>{
+        {0, "resnet18", "ResNet-18", "CNN",
+         [] { return build_resnet_generic("resnet18", false, {2, 2, 2, 2}); }},
+        {0, "resnet101", "ResNet-101", "CNN",
+         [] { return build_resnet_generic("resnet101", true, {3, 4, 23, 3}); }},
+        {0, "vgg16", "VGG-16", "CNN", [] { return build_vgg16(); }},
+        {0, "bert_base", "BERT base", "Trans.",
+         [] { return build_bert_base(); }},
+    };
+    const std::vector<ModelSpec>& llm = llm_model_specs();
+    v->insert(v->end(), llm.begin(), llm.end());
+    return v;
+  }();
   return *specs;
 }
 

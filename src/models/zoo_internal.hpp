@@ -1,7 +1,10 @@
 // Internal: per-family model builder declarations.
 #pragma once
 
+#include <vector>
+
 #include "graph/graph.hpp"
+#include "models/zoo.hpp"
 
 namespace proof::models {
 
@@ -19,5 +22,9 @@ Graph build_distilbert_base();
 
 // zoo_diffusion.cpp
 Graph build_sd_unet();
+
+// zoo_llm.cpp — zoo entries for the LLM phase graphs at default lengths
+// (llama7b_prefill / llama7b_decode / gpt2_prefill / gpt2_decode).
+const std::vector<ModelSpec>& llm_model_specs();
 
 }  // namespace proof::models

@@ -10,8 +10,15 @@ namespace proof::report {
 
 namespace {
 
+/// RFC-4180 quoting: a field needs quotes when it contains a separator, a
+/// quote, or *either* line-break character — bare '\r' (old-Mac line ends,
+/// or hostile layer names) breaks row framing just as '\n' does.
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
 std::string escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) {
+  if (!needs_quoting(field)) {
     return field;
   }
   return "\"" + strings::replace_all(field, "\"", "\"\"") + "\"";
@@ -51,6 +58,8 @@ void CsvWriter::save(const std::string& path) const {
   std::ofstream out(path);
   PROOF_CHECK(out.good(), "cannot open '" << path << "' for writing");
   out << to_string();
+  out.flush();
+  PROOF_CHECK(out.good(), "failed writing CSV to '" << path << "'");
 }
 
 }  // namespace proof::report

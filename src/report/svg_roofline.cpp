@@ -10,8 +10,6 @@
 
 namespace proof::report {
 
-namespace {
-
 /// Escapes text/attribute interpolations for XML.  Model, platform and layer
 /// names are user-controlled (ONNX node names routinely contain '<', '&',
 /// quotes); streaming them raw into <text> elements yields malformed SVG.
@@ -47,6 +45,8 @@ std::string xml_escape(const std::string& text) {
   }
   return out;
 }
+
+namespace {
 
 constexpr int kMarginLeft = 70;
 constexpr int kMarginRight = 20;

@@ -35,4 +35,9 @@ struct SvgOptions {
 
 void save_svg(const std::string& svg, const std::string& path);
 
+/// Escapes text/attribute interpolations for XML (layer/model names are
+/// user-controlled); control characters are dropped.  Shared by every SVG
+/// emitter in this module.
+[[nodiscard]] std::string xml_escape(const std::string& text);
+
 }  // namespace proof::report

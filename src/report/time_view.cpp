@@ -1,0 +1,334 @@
+#include "report/time_view.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "report/table.hpp"
+#include "support/units.hpp"
+
+namespace proof::report {
+
+namespace {
+
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 50;
+
+struct LinLogScale {
+  double lo, hi;      ///< data range (log10 when logarithmic)
+  double px_lo, px_hi;
+  bool logarithmic = false;
+  [[nodiscard]] double map(double value) const {
+    const double v = logarithmic ? std::log10(value) : value;
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    return px_lo + t * (px_hi - px_lo);
+  }
+};
+
+const char* time_class_color(OpClass cls) {
+  switch (cls) {
+    case OpClass::kGemm:
+      return "#2e7d32";
+    case OpClass::kConv:
+      return "#c62828";
+    case OpClass::kConvPointwise:
+      return "#e65100";
+    case OpClass::kConvDepthwise:
+      return "#1565c0";
+    case OpClass::kElementwise:
+      return "#6a1b9a";
+    case OpClass::kReduction:
+    case OpClass::kNormalization:
+    case OpClass::kSoftmax:
+      return "#8e24aa";
+    case OpClass::kDataMovement:
+      return "#0277bd";
+    case OpClass::kCopy:
+      return "#2e8b57";
+    case OpClass::kNoOp:
+      return "#9e9e9e";
+  }
+  return "#000000";
+}
+
+std::string fmt_time_axis(int exp) {
+  std::ostringstream out;
+  switch (exp) {
+    case -3:
+      return "1 ms";
+    case -6:
+      return "1 us";
+    case -9:
+      return "1 ns";
+    case 0:
+      return "1 s";
+    default:
+      out << "1e" << exp << " s";
+      return out.str();
+  }
+}
+
+std::string us(double seconds) { return units::fixed(seconds * 1e6, 3); }
+
+}  // namespace
+
+std::string time_roofline_table_text(const roofline::TimeAnalysis& analysis,
+                                     size_t max_layers) {
+  std::vector<size_t> order(analysis.layers.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return analysis.layers[a].bound_time_s > analysis.layers[b].bound_time_s;
+  });
+  if (max_layers > 0 && order.size() > max_layers) {
+    order.resize(max_layers);
+  }
+  TextTable table({"layer", "class", "t_comp us", "t_mem us", "t_bound us",
+                   "bound", "share", "sim us", "roof eff"});
+  for (const size_t i : order) {
+    const roofline::TimePoint& p = analysis.layers[i];
+    table.add_row({p.name, std::string(op_class_name(p.cls)), us(p.compute_time_s),
+                   us(p.memory_time_s), us(p.bound_time_s),
+                   p.bandwidth_bound ? "memory" : "compute",
+                   units::percent(p.bound_share), us(p.latency_s),
+                   units::percent(p.bound_efficiency())});
+  }
+  table.add_rule();
+  const roofline::TimePoint& t = analysis.total;
+  table.add_row({"total", "-", us(t.compute_time_s), us(t.memory_time_s),
+                 us(t.bound_time_s), t.bandwidth_bound ? "memory" : "compute",
+                 units::percent(1.0), us(t.latency_s),
+                 units::percent(t.bound_efficiency())});
+  std::ostringstream out;
+  out << table.to_string();
+  out << "bandwidth-bound time: "
+      << units::percent(analysis.bandwidth_bound_time_fraction())
+      << " of roofline bound ("
+      << units::percent(analysis.bandwidth_bound_latency_fraction())
+      << " of simulated latency)\n";
+  if (max_layers > 0 && analysis.layers.size() > max_layers) {
+    out << "(showing top " << max_layers << " of " << analysis.layers.size()
+        << " layers by bound time)\n";
+  }
+  return out.str();
+}
+
+std::string render_time_roofline_svg(const roofline::TimeAnalysis& analysis,
+                                     const SvgOptions& opt) {
+  // y range: spans every positive time in the chart, padded a decade.
+  double min_t = 1.0;
+  double max_t = 1e-9;
+  for (const roofline::TimePoint& p : analysis.layers) {
+    for (const double t : {p.latency_s, p.bound_time_s}) {
+      if (t > 0.0) {
+        min_t = std::min(min_t, t);
+        max_t = std::max(max_t, t);
+      }
+    }
+  }
+  if (max_t <= min_t) {
+    min_t = 1e-7;
+    max_t = 1e-3;
+  }
+  min_t /= 3.0;
+  max_t *= 3.0;
+  const LinLogScale xs{std::log10(opt.min_ai), std::log10(opt.max_ai),
+                       static_cast<double>(kMarginLeft),
+                       static_cast<double>(opt.width - kMarginRight), true};
+  const LinLogScale ys{std::log10(min_t), std::log10(max_t),
+                       static_cast<double>(opt.height - kMarginBottom),
+                       static_cast<double>(kMarginTop), true};
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << opt.width
+      << "' height='" << opt.height << "'>\n";
+  svg << "<rect width='" << opt.width << "' height='" << opt.height
+      << "' fill='white'/>\n";
+  svg << "<text x='" << opt.width / 2 << "' y='22' text-anchor='middle' "
+      << "font-size='15' font-family='sans-serif'>" << xml_escape(opt.title)
+      << "</text>\n";
+  for (int e = static_cast<int>(std::ceil(xs.lo));
+       e <= static_cast<int>(std::floor(xs.hi)); ++e) {
+    const double x = xs.map(std::pow(10.0, e));
+    svg << "<line x1='" << x << "' y1='" << kMarginTop << "' x2='" << x
+        << "' y2='" << opt.height - kMarginBottom << "' stroke='#eeeeee'/>\n";
+    svg << "<text x='" << x << "' y='" << opt.height - kMarginBottom + 16
+        << "' text-anchor='middle' font-size='10' font-family='sans-serif'>1e"
+        << e << "</text>\n";
+  }
+  for (int e = static_cast<int>(std::ceil(ys.lo));
+       e <= static_cast<int>(std::floor(ys.hi)); ++e) {
+    const double y = ys.map(std::pow(10.0, e));
+    svg << "<line x1='" << kMarginLeft << "' y1='" << y << "' x2='"
+        << opt.width - kMarginRight << "' y2='" << y
+        << "' stroke='#eeeeee'/>\n";
+    svg << "<text x='" << kMarginLeft - 6 << "' y='" << y + 3
+        << "' text-anchor='end' font-size='10' font-family='sans-serif'>"
+        << fmt_time_axis(e) << "</text>\n";
+  }
+  svg << "<rect x='" << kMarginLeft << "' y='" << kMarginTop << "' width='"
+      << opt.width - kMarginLeft - kMarginRight << "' height='"
+      << opt.height - kMarginTop - kMarginBottom
+      << "' fill='none' stroke='#444444'/>\n";
+  svg << "<text x='" << (kMarginLeft + opt.width - kMarginRight) / 2 << "' y='"
+      << opt.height - 12
+      << "' text-anchor='middle' font-size='12' font-family='sans-serif'>"
+      << "Arithmetic intensity (FLOP/byte)</text>\n";
+  // Ridge: layers left of it are bandwidth-bound.
+  const double ridge = analysis.ceilings.ridge_ai();
+  if (ridge > std::pow(10.0, xs.lo) && ridge < std::pow(10.0, xs.hi)) {
+    const double x = xs.map(ridge);
+    svg << "<line x1='" << x << "' y1='" << kMarginTop << "' x2='" << x
+        << "' y2='" << opt.height - kMarginBottom
+        << "' stroke='#c62828' stroke-width='1.5' stroke-dasharray='6,3'/>\n";
+    svg << "<text x='" << x - 6 << "' y='" << kMarginTop + 14
+        << "' text-anchor='end' font-size='10' fill='#c62828' "
+        << "font-family='sans-serif'>bandwidth-bound</text>\n";
+    svg << "<text x='" << x + 6 << "' y='" << kMarginTop + 14
+        << "' font-size='10' fill='#555555' font-family='sans-serif'>"
+        << "compute-bound</text>\n";
+  }
+  for (const roofline::TimePoint& p : analysis.layers) {
+    const double ai = p.arithmetic_intensity();
+    if (ai <= 0.0) {
+      continue;
+    }
+    const double x = xs.map(std::min(std::max(ai, opt.min_ai), opt.max_ai));
+    // Roofline lower bound: hollow marker; simulated time: filled point; a
+    // faint stem joins them so the gap (launch overhead, efficiency loss)
+    // reads directly off the chart.
+    if (p.bound_time_s > 0.0 && p.latency_s > 0.0) {
+      svg << "<line x1='" << x << "' y1='" << ys.map(p.bound_time_s)
+          << "' x2='" << x << "' y2='" << ys.map(p.latency_s)
+          << "' stroke='#bbbbbb' stroke-width='1'/>\n";
+    }
+    if (p.bound_time_s > 0.0) {
+      svg << "<circle cx='" << x << "' cy='" << ys.map(p.bound_time_s)
+          << "' r='3.5' fill='none' stroke='" << time_class_color(p.cls)
+          << "' stroke-width='1.2'/>\n";
+    }
+    if (p.latency_s > 0.0) {
+      const double opacity =
+          0.25 + 0.75 * std::min(1.0, p.bound_share > 0 ? p.bound_share * 8.0 : 1.0);
+      svg << "<circle cx='" << x << "' cy='" << ys.map(p.latency_s)
+          << "' r='5' fill='" << time_class_color(p.cls) << "' fill-opacity='"
+          << opacity << "'/>\n";
+      if (opt.label_points) {
+        svg << "<text x='" << x + 7 << "' y='" << ys.map(p.latency_s) + 3
+            << "' font-size='9' font-family='sans-serif'>" << xml_escape(p.name)
+            << "</text>\n";
+      }
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_curves_svg(const std::vector<Curve>& curves,
+                              const std::string& title,
+                              const std::string& x_label,
+                              const std::string& y_label, int width,
+                              int height) {
+  double min_x = 0.0;
+  double max_x = 1.0;
+  double min_y = 1.0;
+  double max_y = 1e-9;
+  bool any = false;
+  for (const Curve& curve : curves) {
+    for (const auto& [x, y] : curve.points) {
+      if (y <= 0.0) {
+        continue;
+      }
+      if (!any) {
+        min_x = max_x = x;
+        min_y = max_y = y;
+        any = true;
+      } else {
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+      }
+    }
+  }
+  if (!any) {
+    min_x = 0.0;
+    max_x = 1.0;
+    min_y = 1.0;
+    max_y = 10.0;
+  }
+  if (max_x <= min_x) {
+    max_x = min_x + 1.0;
+  }
+  min_y /= 2.0;
+  max_y *= 2.0;
+  const LinLogScale xs{min_x, max_x, static_cast<double>(kMarginLeft),
+                       static_cast<double>(width - kMarginRight), false};
+  const LinLogScale ys{std::log10(min_y), std::log10(max_y),
+                       static_cast<double>(height - kMarginBottom),
+                       static_cast<double>(kMarginTop), true};
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width
+      << "' height='" << height << "'>\n";
+  svg << "<rect width='" << width << "' height='" << height
+      << "' fill='white'/>\n";
+  svg << "<text x='" << width / 2 << "' y='22' text-anchor='middle' "
+      << "font-size='15' font-family='sans-serif'>" << xml_escape(title)
+      << "</text>\n";
+  for (int e = static_cast<int>(std::ceil(ys.lo));
+       e <= static_cast<int>(std::floor(ys.hi)); ++e) {
+    const double y = ys.map(std::pow(10.0, e));
+    svg << "<line x1='" << kMarginLeft << "' y1='" << y << "' x2='"
+        << width - kMarginRight << "' y2='" << y << "' stroke='#eeeeee'/>\n";
+    svg << "<text x='" << kMarginLeft - 6 << "' y='" << y + 3
+        << "' text-anchor='end' font-size='10' font-family='sans-serif'>1e" << e
+        << "</text>\n";
+  }
+  svg << "<rect x='" << kMarginLeft << "' y='" << kMarginTop << "' width='"
+      << width - kMarginLeft - kMarginRight << "' height='"
+      << height - kMarginTop - kMarginBottom
+      << "' fill='none' stroke='#444444'/>\n";
+  svg << "<text x='" << (kMarginLeft + width - kMarginRight) / 2 << "' y='"
+      << height - 12
+      << "' text-anchor='middle' font-size='12' font-family='sans-serif'>"
+      << xml_escape(x_label) << "</text>\n";
+  svg << "<text x='16' y='" << kMarginTop - 10
+      << "' font-size='12' font-family='sans-serif'>" << xml_escape(y_label)
+      << "</text>\n";
+  static const char* kCurveColors[] = {"#2e7d32", "#c62828", "#1565c0",
+                                       "#e65100", "#6a1b9a", "#0277bd",
+                                       "#8e24aa", "#2e8b57"};
+  for (size_t c = 0; c < curves.size(); ++c) {
+    const char* color = kCurveColors[c % 8];
+    std::ostringstream path;
+    bool first = true;
+    for (const auto& [x, y] : curves[c].points) {
+      if (y <= 0.0) {
+        continue;
+      }
+      path << (first ? "M" : " L") << xs.map(x) << ' ' << ys.map(y);
+      first = false;
+      svg << "<circle cx='" << xs.map(x) << "' cy='" << ys.map(y)
+          << "' r='3.5' fill='" << color << "'/>\n";
+      // Tick mark + label for each x sample (batch sizes are sparse).
+      svg << "<text x='" << xs.map(x) << "' y='"
+          << height - kMarginBottom + 16
+          << "' text-anchor='middle' font-size='10' "
+          << "font-family='sans-serif'>" << units::fixed(x, 0) << "</text>\n";
+    }
+    if (!first) {
+      svg << "<path d='" << path.str() << "' fill='none' stroke='" << color
+          << "' stroke-width='1.5'/>\n";
+    }
+    svg << "<text x='" << width - kMarginRight - 4 << "' y='"
+        << kMarginTop + 14 + 13 * static_cast<int>(c)
+        << "' text-anchor='end' font-size='10' fill='" << color
+        << "' font-family='sans-serif'>" << xml_escape(curves[c].label)
+        << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace proof::report

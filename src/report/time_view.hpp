@@ -1,0 +1,45 @@
+// Report views for the time-based roofline (arXiv:2009.04598) and for the
+// decode-sweep curves, rendered next to the classic roofline chart.
+//
+// The time chart keeps the classic x-axis (arithmetic intensity, log) but
+// plots per-layer *time* on the y-axis: the simulated layer latency as a
+// filled point and the roofline lower bound max(t_comp, t_mem) as a hollow
+// marker below it.  The vertical ridge line splits the plane into the
+// bandwidth-bound region (left) and the compute-bound region (right) — for a
+// decode step almost everything sits left of it.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "report/svg_roofline.hpp"
+#include "roofline/time_roofline.hpp"
+
+namespace proof::report {
+
+/// Per-layer time-contribution table (top `max_layers` by bound time;
+/// 0 = all), ending with the aggregate row and the bound-ness summary.
+[[nodiscard]] std::string time_roofline_table_text(
+    const roofline::TimeAnalysis& analysis, size_t max_layers = 20);
+
+/// Renders the time-based roofline chart as a standalone SVG; reuses
+/// SvgOptions (min/max_flops are ignored — the y-axis is seconds).
+[[nodiscard]] std::string render_time_roofline_svg(
+    const roofline::TimeAnalysis& analysis, const SvgOptions& options);
+
+/// One polyline on a curves chart (e.g. tokens/s over batch size).
+struct Curve {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  ///< (x, y), x ascending
+};
+
+/// Generic multi-curve line chart (linear x, log y) used for the
+/// tokens/s-vs-batch view of the decode sweep.
+[[nodiscard]] std::string render_curves_svg(const std::vector<Curve>& curves,
+                                            const std::string& title,
+                                            const std::string& x_label,
+                                            const std::string& y_label,
+                                            int width = 760, int height = 520);
+
+}  // namespace proof::report

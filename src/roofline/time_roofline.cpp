@@ -1,0 +1,75 @@
+#include "roofline/time_roofline.hpp"
+
+namespace proof::roofline {
+
+double TimeAnalysis::bandwidth_bound_time_fraction() const {
+  double bound = 0.0;
+  double bw_bound = 0.0;
+  for (const TimePoint& layer : layers) {
+    bound += layer.bound_time_s;
+    if (layer.bandwidth_bound) {
+      bw_bound += layer.bound_time_s;
+    }
+  }
+  return bound > 0.0 ? bw_bound / bound : 0.0;
+}
+
+double TimeAnalysis::bandwidth_bound_latency_fraction() const {
+  double total = 0.0;
+  double bw_bound = 0.0;
+  for (const TimePoint& layer : layers) {
+    total += layer.latency_s;
+    if (layer.bandwidth_bound) {
+      bw_bound += layer.latency_s;
+    }
+  }
+  return total > 0.0 ? bw_bound / total : 0.0;
+}
+
+TimePoint time_point(const Point& p, const Ceilings& ceilings) {
+  TimePoint t;
+  t.name = p.name;
+  t.cls = p.cls;
+  t.flops = p.flops;
+  t.bytes = p.bytes;
+  t.latency_s = p.latency_s;
+  t.compute_time_s = ceilings.peak_flops > 0.0 ? p.flops / ceilings.peak_flops : 0.0;
+  t.memory_time_s = ceilings.peak_bw > 0.0 ? p.bytes / ceilings.peak_bw : 0.0;
+  t.bound_time_s =
+      t.compute_time_s > t.memory_time_s ? t.compute_time_s : t.memory_time_s;
+  t.bandwidth_bound = t.memory_time_s > t.compute_time_s;
+  return t;
+}
+
+TimeAnalysis time_analysis(const Analysis& analysis) {
+  TimeAnalysis out;
+  out.ceilings = analysis.ceilings;
+  out.layers.reserve(analysis.layers.size());
+  double bound_sum = 0.0;
+  double latency_sum = 0.0;
+  for (const Point& layer : analysis.layers) {
+    TimePoint t = time_point(layer, analysis.ceilings);
+    bound_sum += t.bound_time_s;
+    latency_sum += t.latency_s;
+    out.total.flops += t.flops;
+    out.total.bytes += t.bytes;
+    out.total.latency_s += t.latency_s;
+    out.total.compute_time_s += t.compute_time_s;
+    out.total.memory_time_s += t.memory_time_s;
+    out.total.bound_time_s += t.bound_time_s;
+    out.layers.push_back(std::move(t));
+  }
+  for (TimePoint& layer : out.layers) {
+    layer.bound_share = bound_sum > 0.0 ? layer.bound_time_s / bound_sum : 0.0;
+    layer.latency_share =
+        latency_sum > 0.0 ? layer.latency_s / latency_sum : 0.0;
+  }
+  out.total.name = analysis.end_to_end.name;
+  out.total.cls = analysis.end_to_end.cls;
+  out.total.bandwidth_bound = out.total.memory_time_s > out.total.compute_time_s;
+  out.total.bound_share = 1.0;
+  out.total.latency_share = 1.0;
+  return out;
+}
+
+}  // namespace proof::roofline

@@ -1,0 +1,73 @@
+// Time-based roofline (Wang et al., arXiv:2009.04598): instead of plotting
+// attained FLOP/s against arithmetic intensity, each layer is converted into
+// *time contributions* against the platform roofs —
+//
+//   t_comp = FLOP / peak_flops      (time if purely compute-limited)
+//   t_mem  = bytes / peak_bw        (time if purely bandwidth-limited)
+//   t_bound = max(t_comp, t_mem)    (roofline lower bound on layer time)
+//
+// and a layer is bandwidth-bound iff t_mem > t_comp.  For memory-bound
+// workloads (LLM decode above all) this view answers the question the
+// classic chart hides: *where does the time go, and how much of it is the
+// memory system*?  The aggregate "bandwidth-bound fraction" weights layers
+// by their time contribution, giving the decode-bound-ness number the sweep
+// reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "roofline/roofline.hpp"
+
+namespace proof::roofline {
+
+/// One layer (or a whole model) in time-contribution form.
+struct TimePoint {
+  std::string name;
+  OpClass cls = OpClass::kElementwise;
+  double flops = 0.0;
+  double bytes = 0.0;
+  double latency_s = 0.0;        ///< simulated/measured layer time
+  double compute_time_s = 0.0;   ///< t_comp against the compute roof
+  double memory_time_s = 0.0;    ///< t_mem against the bandwidth roof
+  double bound_time_s = 0.0;     ///< max(t_comp, t_mem)
+  bool bandwidth_bound = false;  ///< t_mem > t_comp
+  double bound_share = 0.0;      ///< bound_time_s / sum over layers
+  double latency_share = 0.0;    ///< latency_s / sum over layers
+
+  /// Arithmetic intensity, same x-axis as the classic chart.
+  [[nodiscard]] double arithmetic_intensity() const {
+    return bytes > 0.0 ? flops / bytes : 0.0;
+  }
+  /// How close the layer runs to its roofline bound (1 = at the roof).
+  [[nodiscard]] double bound_efficiency() const {
+    return latency_s > 0.0 ? bound_time_s / latency_s : 0.0;
+  }
+};
+
+/// Time-based roofline analysis of one model phase on one platform.
+struct TimeAnalysis {
+  Ceilings ceilings;
+  TimePoint total;               ///< summed times over all layers
+  std::vector<TimePoint> layers;
+
+  /// Fraction of roofline-bound time spent in bandwidth-bound layers; the
+  /// headline "decode-bound-ness" number in [0, 1].
+  [[nodiscard]] double bandwidth_bound_time_fraction() const;
+  /// Same fraction weighted by simulated latency instead of bound time.
+  [[nodiscard]] double bandwidth_bound_latency_fraction() const;
+  /// True when the phase as a whole spends most of its bound time on the
+  /// memory system.
+  [[nodiscard]] bool bandwidth_bound() const {
+    return bandwidth_bound_time_fraction() > 0.5;
+  }
+};
+
+/// Converts one classic roofline point into time form against `ceilings`.
+[[nodiscard]] TimePoint time_point(const Point& p, const Ceilings& ceilings);
+
+/// Converts a full classic analysis: per-layer time contributions, shares,
+/// and the summed total.
+[[nodiscard]] TimeAnalysis time_analysis(const Analysis& analysis);
+
+}  // namespace proof::roofline

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/decode_sweep.hpp"
 #include "core/profiler.hpp"
 #include "core/report_json.hpp"
 #include "core/sweep.hpp"
@@ -31,7 +32,7 @@ double steady_now_s() {
 bool known_method(const std::string& method) {
   return method == "ping" || method == "stats" || method == "shutdown" ||
          method == "profile" || method == "analyze" || method == "sweep" ||
-         method == "optimize";
+         method == "sweep_decode" || method == "optimize";
 }
 
 void count_metric(const std::string& name, uint64_t n = 1) {
@@ -237,7 +238,8 @@ void Session::handle(const Request& request) {
     server_.log("session " + std::to_string(id_) + ": shutdown requested");
     server_.request_stop();
   } else if (request.method == "profile" || request.method == "analyze" ||
-             request.method == "sweep" || request.method == "optimize") {
+             request.method == "sweep" || request.method == "sweep_decode" ||
+             request.method == "optimize") {
     ok = execute_heavy(request);
   } else {
     send_payload(make_error(request.id, ErrorCode::kNotFound,
@@ -317,6 +319,9 @@ std::string Session::execute(const Request& request, const Deadline& deadline) {
   deadline.check("request start");
   if (request.method == "sweep") {
     return do_sweep(request, deadline);
+  }
+  if (request.method == "sweep_decode") {
+    return do_sweep_decode(request, deadline);
   }
   if (request.method == "optimize") {
     return do_optimize(request, deadline);
@@ -434,6 +439,47 @@ std::string Session::do_sweep(const Request& request, const Deadline& deadline) 
       << ",\"optimal_batch\":" << optimal
       << ",\"completed\":" << points.size() << "}";
   return out.str();
+}
+
+std::string Session::do_sweep_decode(const Request& request,
+                                     const Deadline& deadline) {
+  const json::Value& p = request.p();
+  DecodeSweepOptions options;
+  options.config_id = p.get_string("model", "gpt2");
+  options.platform_id = p.get_string("platform");
+  options.backend_id = p.get_string("backend");
+  const std::string dtype = p.get_string("dtype");
+  if (!dtype.empty()) {
+    options.dtype = dtype_from_name(dtype);
+  }
+  options.prefill_len = p.get_int("prefill_len", options.prefill_len);
+  PROOF_CHECK(options.prefill_len > 0, "prefill_len must be positive, got "
+                                           << options.prefill_len);
+  const auto int_array = [&p](const char* key, std::vector<int64_t>& out) {
+    const json::Value* list = p.find(key);
+    if (list == nullptr) {
+      return;
+    }
+    PROOF_CHECK(list->is_array(),
+                "\"" << key << "\" must be an array of integers");
+    out.clear();
+    for (const json::Value& v : list->array) {
+      out.push_back(v.as_int());
+    }
+  };
+  int_array("batches", options.batches);
+  int_array("positions", options.positions);
+  debug_sleep(p);
+  deadline.check("before decode sweep");
+
+  // Empty or "all" platform: the cross-platform decode-bound-ness summary.
+  // sweep_decode validates grids/config and the per-platform runs ride the
+  // shared ThreadPool + PrepCache like every other heavy request.
+  if (options.platform_id.empty() || options.platform_id == "all") {
+    options.platform_id.clear();
+    return decode_platforms_json(sweep_decode_platforms(options));
+  }
+  return decode_sweep_json(sweep_decode(options));
 }
 
 std::string Session::do_optimize(const Request& request,

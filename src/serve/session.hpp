@@ -92,6 +92,8 @@ class Session {
                                        bool full_report);
   [[nodiscard]] std::string do_sweep(const Request& request,
                                      const Deadline& deadline);
+  [[nodiscard]] std::string do_sweep_decode(const Request& request,
+                                            const Deadline& deadline);
   [[nodiscard]] std::string do_optimize(const Request& request,
                                         const Deadline& deadline);
 

@@ -1,0 +1,199 @@
+// LLM decode-workload tests: the KV-cache byte accounting that makes the
+// decode phase memory-bound, and FLOP-conservation fuzzing over the decode
+// builders (same invariants as test_mapping_fuzz.cpp — fusion is a
+// relabeling, not a rewrite, and that must hold for the new graphs too).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze_representation.hpp"
+#include "analysis/llm_traffic.hpp"
+#include "analysis/optimized_representation.hpp"
+#include "models/zoo.hpp"
+#include "support/rng.hpp"
+#include "tensor/dtype.hpp"
+#include "test_util.hpp"
+
+namespace proof {
+namespace {
+
+/// A deliberately tiny decoder so AR construction stays fast; the byte
+/// accounting is shape-driven, so small dims exercise the same math.
+models::LlmConfig tiny_config(bool gated) {
+  models::LlmConfig cfg;
+  cfg.id = gated ? "tiny_llama" : "tiny_gpt2";
+  cfg.display = "tiny decoder";
+  cfg.layers = 3;
+  cfg.dim = 64;
+  cfg.heads = 4;
+  cfg.ffn = 128;
+  cfg.vocab = 256;
+  cfg.gated_mlp = gated;
+  cfg.rotary = gated;
+  cfg.qkv_bias = !gated;
+  return cfg;
+}
+
+TEST(LlmDecode, KvCacheBytesGrowLinearlyInPastLength) {
+  const models::LlmConfig cfg = tiny_config(/*gated=*/true);
+  const int64_t dtype_bytes =
+      static_cast<int64_t>(dtype_size(DType::kF32));  // builder default
+  // K plus V, one pair per layer, each [1, heads, S_past, dim/heads].
+  const int64_t bytes_per_position = 2 * cfg.layers * cfg.dim * dtype_bytes;
+
+  for (const int64_t past : {8, 16, 64, 256}) {
+    const AnalyzeRepresentation ar(models::build_llm_decode_step(cfg, past));
+    const DecodeTraffic traffic = audit_decode_traffic(ar);
+    SCOPED_TRACE("past_len " + std::to_string(past));
+    EXPECT_EQ(traffic.kv_cache_tensors, 2 * cfg.layers);
+    EXPECT_EQ(traffic.kv_cache_read_bytes, bytes_per_position * past);
+    // Write-back carries the appended token: S_past + 1 positions.
+    EXPECT_EQ(traffic.kv_cache_write_bytes, bytes_per_position * (past + 1));
+    EXPECT_GT(traffic.weight_bytes, 0);
+    EXPECT_GE(traffic.activation_bytes, 0);
+    EXPECT_EQ(traffic.kv_cache_read_bytes + traffic.kv_cache_write_bytes +
+                  traffic.weight_bytes + traffic.activation_bytes,
+              traffic.total_bytes);
+  }
+}
+
+TEST(LlmDecode, AuditMatchesGraphTensorSizes) {
+  // The audit's cache-read count must equal the sum of the graph's own
+  // tensor descriptors for the past_* inputs — the same sizes the reference
+  // executor allocates and the analytical model charges as traffic.
+  const models::LlmConfig cfg = tiny_config(/*gated=*/false);
+  const Graph graph = models::build_llm_decode_step(cfg, 32);
+  const AnalyzeRepresentation ar(graph);
+  const DecodeTraffic traffic = audit_decode_traffic(ar);
+
+  int64_t expected_read = 0;
+  int64_t cache_inputs = 0;
+  for (const std::string& name : graph.inputs()) {
+    if (is_kv_cache_input(name)) {
+      expected_read += graph.tensor(name).size_bytes();
+      ++cache_inputs;
+    }
+  }
+  EXPECT_EQ(cache_inputs, 2 * cfg.layers);
+  EXPECT_EQ(traffic.kv_cache_read_bytes, expected_read);
+
+  int64_t expected_write = 0;
+  for (const std::string& name : graph.outputs()) {
+    const NodeId producer = graph.producer(name);
+    if (producer >= 0 && graph.nodes()[producer].is("Concat")) {
+      expected_write += graph.tensor(name).size_bytes();
+    }
+  }
+  EXPECT_GT(expected_write, 0);
+  EXPECT_EQ(traffic.kv_cache_write_bytes, expected_write);
+}
+
+TEST(LlmDecode, FlopsNearlyFlatWhileBytesGrow) {
+  // The property that makes long-context decode bandwidth-bound: doubling
+  // the position roughly doubles cache traffic but adds only the attention
+  // score/value FLOPs, a sliver next to the weight GEMMs.
+  const models::LlmConfig cfg = models::llm_config("gpt2");
+  const AnalyzeRepresentation near(models::build_llm_decode_step(cfg, 64));
+  const AnalyzeRepresentation far(models::build_llm_decode_step(cfg, 1024));
+
+  const DecodeTraffic near_traffic = audit_decode_traffic(near);
+  const DecodeTraffic far_traffic = audit_decode_traffic(far);
+  EXPECT_CLOSE(static_cast<double>(far_traffic.kv_cache_read_bytes),
+               16.0 * static_cast<double>(near_traffic.kv_cache_read_bytes),
+               1e-12);
+  EXPECT_GT(far_traffic.kv_cache_fraction(), near_traffic.kv_cache_fraction());
+
+  // A 16x deeper cache adds only the attention score/value work: well under
+  // a quarter more FLOPs, against 16x the cache bytes.
+  EXPECT_GT(far.total_flops(), near.total_flops());
+  EXPECT_LT(far.total_flops(), near.total_flops() * 1.25)
+      << "decode FLOPs must stay nearly flat across positions";
+  // Weight GEMMs dominate a single-token step: total FLOPs land near 2 per
+  // parameter (below it, since the embedding/position tables in
+  // weight_bytes are gathered, not multiplied).
+  const double weight_flops =
+      2.0 * static_cast<double>(near_traffic.weight_bytes) /
+      static_cast<double>(dtype_size(DType::kF32));
+  EXPECT_LT(near.total_flops(), weight_flops);
+  EXPECT_GT(near.total_flops(), 0.6 * weight_flops);
+}
+
+TEST(LlmDecode, PrefillAndDecodeExposePerLayerCaches) {
+  const models::LlmConfig cfg = tiny_config(/*gated=*/true);
+  const Graph prefill = models::build_llm_prefill(cfg, 32);
+  const Graph decode = models::build_llm_decode_step(cfg, 32);
+  // Logits plus one K and one V tensor per layer.
+  EXPECT_EQ(prefill.outputs().size(), static_cast<size_t>(1 + 2 * cfg.layers));
+  EXPECT_EQ(decode.outputs().size(), static_cast<size_t>(1 + 2 * cfg.layers));
+  // Prefill reads no cache; decode reads exactly one pair per layer.
+  const AnalyzeRepresentation prefill_ar(prefill);
+  EXPECT_EQ(audit_decode_traffic(prefill_ar).kv_cache_tensors, 0);
+}
+
+// --- FLOP-conservation fuzz over the decode builders -------------------------
+
+/// Same invariants as test_mapping_fuzz.cpp: any fusion partition preserves
+/// total FLOP and covers every node exactly once.
+void expect_partition_invariants(const AnalyzeRepresentation& ar,
+                                 const OptimizedAnalyzeRepresentation& oar,
+                                 uint64_t seed) {
+  double fused_total = 0.0;
+  std::vector<int> claims(ar.num_nodes(), 0);
+  for (const auto& layer : oar.layers()) {
+    fused_total += layer.flops;
+    for (NodeId id : layer.members) {
+      ASSERT_GE(id, 0) << "seed " << seed;
+      ASSERT_LT(static_cast<size_t>(id), claims.size()) << "seed " << seed;
+      ++claims[static_cast<size_t>(id)];
+    }
+  }
+  EXPECT_CLOSE(fused_total, ar.total_flops(), 1e-9)
+      << "fusion must preserve FLOP (seed " << seed << ")";
+  for (size_t i = 0; i < claims.size(); ++i) {
+    EXPECT_EQ(claims[i], 1) << "node " << i << " covered " << claims[i]
+                            << " times (seed " << seed << ")";
+  }
+}
+
+class LlmDecodeFuzz : public ::testing::TestWithParam<bool> {};
+
+TEST_P(LlmDecodeFuzz, RandomFusionPreservesFlopAndCoverage) {
+  const models::LlmConfig cfg = tiny_config(GetParam());
+  for (const int64_t past : {8, 64}) {
+    const AnalyzeRepresentation ar(models::build_llm_decode_step(cfg, past));
+    for (uint64_t trial = 0; trial < 8; ++trial) {
+      const uint64_t seed =
+          Rng::from_string(cfg.id, 3000 + 10 * static_cast<uint64_t>(past) +
+                                       trial)
+              .next_u64();
+      Rng rng(seed);
+      OptimizedAnalyzeRepresentation oar(ar);
+      const uint64_t buckets = 2 + rng.next_below(6);
+      std::map<uint64_t, std::vector<NodeId>> groups;
+      for (size_t i = 0; i < ar.num_nodes(); ++i) {
+        const uint64_t b = rng.next_below(buckets + 1);
+        if (b < buckets) {
+          groups[b].push_back(static_cast<NodeId>(i));
+        }
+      }
+      for (const auto& [bucket, members] : groups) {
+        if (members.size() >= 2) {
+          oar.set_fused_op("fuzz_bucket_" + std::to_string(bucket), members);
+        }
+      }
+      expect_partition_invariants(ar, oar, seed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GatedAndPlainMlp, LlmDecodeFuzz,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("gated")
+                                             : std::string("plain");
+                         });
+
+}  // namespace
+}  // namespace proof

@@ -1,0 +1,137 @@
+// Time-based roofline math (roofline/time_roofline.hpp): per-point time
+// conversion, bound classification, aggregate fractions, and consistency
+// with the classic analysis it is derived from.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/profiler.hpp"
+#include "roofline/roofline.hpp"
+#include "roofline/time_roofline.hpp"
+#include "test_util.hpp"
+
+namespace proof::roofline {
+namespace {
+
+Ceilings test_ceilings() {
+  Ceilings c;
+  c.peak_flops = 100e12;  // 100 TFLOP/s
+  c.peak_bw = 1e12;       // 1 TB/s -> ridge at AI 100
+  return c;
+}
+
+Point make_point(const std::string& name, double flops, double bytes,
+                 double latency_s) {
+  Point p;
+  p.name = name;
+  p.flops = flops;
+  p.bytes = bytes;
+  p.latency_s = latency_s;
+  return p;
+}
+
+TEST(TimeRoofline, PointConversionAgainstBothRoofs) {
+  const Ceilings c = test_ceilings();
+  // AI = 10, left of the ridge: memory roof dominates.
+  const TimePoint mem = time_point(make_point("mem", 1e12, 1e11, 2e-1), c);
+  EXPECT_CLOSE(mem.compute_time_s, 1e12 / 100e12, 1e-12);
+  EXPECT_CLOSE(mem.memory_time_s, 1e11 / 1e12, 1e-12);
+  EXPECT_CLOSE(mem.bound_time_s, mem.memory_time_s, 1e-12);
+  EXPECT_TRUE(mem.bandwidth_bound);
+  EXPECT_CLOSE(mem.arithmetic_intensity(), 10.0, 1e-12);
+  EXPECT_CLOSE(mem.bound_efficiency(), 0.1 / 0.2, 1e-12);
+
+  // AI = 1000, right of the ridge: compute roof dominates.
+  const TimePoint comp = time_point(make_point("comp", 1e14, 1e11, 2e0), c);
+  EXPECT_CLOSE(comp.bound_time_s, comp.compute_time_s, 1e-12);
+  EXPECT_FALSE(comp.bandwidth_bound);
+
+  // Exactly at the ridge the tie breaks toward compute (t_mem > t_comp is
+  // strict), and the bound times agree.
+  const TimePoint ridge = time_point(make_point("ridge", 1e14, 1e12, 2e0), c);
+  EXPECT_CLOSE(ridge.compute_time_s, ridge.memory_time_s, 1e-12);
+  EXPECT_FALSE(ridge.bandwidth_bound);
+}
+
+TEST(TimeRoofline, AnalysisAggregatesSharesAndFractions) {
+  Analysis analysis;
+  analysis.ceilings = test_ceilings();
+  // One bandwidth-bound layer (t_mem = 100 us) and one compute-bound layer
+  // (t_comp = 300 us), with simulated latencies 150/450 us.
+  analysis.layers = {make_point("mem", 1e9, 1e8, 150e-6),
+                     make_point("comp", 3e10, 1e7, 450e-6)};
+  analysis.end_to_end = make_point("total", analysis.layers[0].flops +
+                                                analysis.layers[1].flops,
+                                   analysis.layers[0].bytes +
+                                       analysis.layers[1].bytes,
+                                   600e-6);
+
+  const TimeAnalysis t = time_analysis(analysis);
+  ASSERT_EQ(t.layers.size(), 2u);
+  EXPECT_CLOSE(t.layers[0].memory_time_s, 100e-6, 1e-9);
+  EXPECT_CLOSE(t.layers[1].compute_time_s, 300e-6, 1e-9);
+  EXPECT_TRUE(t.layers[0].bandwidth_bound);
+  EXPECT_FALSE(t.layers[1].bandwidth_bound);
+
+  // Shares normalize over the layer sums.
+  EXPECT_CLOSE(t.layers[0].bound_share, 100.0 / 400.0, 1e-9);
+  EXPECT_CLOSE(t.layers[1].bound_share, 300.0 / 400.0, 1e-9);
+  EXPECT_CLOSE(t.layers[0].latency_share, 150.0 / 600.0, 1e-9);
+
+  // Fractions weight the bandwidth-bound layer by bound time vs latency.
+  EXPECT_CLOSE(t.bandwidth_bound_time_fraction(), 0.25, 1e-9);
+  EXPECT_CLOSE(t.bandwidth_bound_latency_fraction(), 0.25, 1e-9);
+  EXPECT_FALSE(t.bandwidth_bound());
+
+  // The total row sums the per-layer quantities.
+  EXPECT_CLOSE(t.total.flops, analysis.end_to_end.flops, 1e-12);
+  EXPECT_CLOSE(t.total.bound_time_s, 400e-6, 1e-9);
+  EXPECT_CLOSE(t.total.latency_s, 600e-6, 1e-9);
+}
+
+TEST(TimeRoofline, EmptyAndZeroInputsAreSafe) {
+  Analysis analysis;
+  analysis.ceilings = test_ceilings();
+  const TimeAnalysis t = time_analysis(analysis);
+  EXPECT_TRUE(t.layers.empty());
+  EXPECT_EQ(t.bandwidth_bound_time_fraction(), 0.0);
+  EXPECT_EQ(t.bandwidth_bound_latency_fraction(), 0.0);
+  EXPECT_FALSE(t.bandwidth_bound());
+
+  const TimePoint zero = time_point(Point{}, Ceilings{});
+  EXPECT_EQ(zero.bound_time_s, 0.0);
+  EXPECT_EQ(zero.bound_efficiency(), 0.0);
+}
+
+TEST(TimeRoofline, MatchesClassicAnalysisOnRealReport) {
+  // Derived view consistency: converting a real profiler roofline must keep
+  // FLOPs/bytes/latency identical layer-by-layer and classify each layer
+  // exactly by t_mem > t_comp.
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.backend_id = "trt_sim";
+  opt.dtype = DType::kF16;
+  opt.batch = 4;
+  opt.mode = MetricMode::kPredicted;
+  const ProfileReport report = Profiler(opt).run_zoo("shufflenetv2_10");
+  const TimeAnalysis t = time_analysis(report.roofline);
+
+  ASSERT_EQ(t.layers.size(), report.roofline.layers.size());
+  double bound_sum = 0.0;
+  for (size_t i = 0; i < t.layers.size(); ++i) {
+    const Point& classic = report.roofline.layers[i];
+    const TimePoint& timed = t.layers[i];
+    EXPECT_EQ(timed.name, classic.name);
+    EXPECT_CLOSE(timed.flops, classic.flops, 1e-12);
+    EXPECT_CLOSE(timed.bytes, classic.bytes, 1e-12);
+    EXPECT_CLOSE(timed.latency_s, classic.latency_s, 1e-12);
+    EXPECT_EQ(timed.bandwidth_bound, timed.memory_time_s > timed.compute_time_s);
+    // The roofline is a *lower* bound on simulated time.
+    EXPECT_LE(timed.bound_time_s, timed.latency_s * (1.0 + 1e-9));
+    bound_sum += timed.bound_time_s;
+  }
+  EXPECT_CLOSE(t.total.bound_time_s, bound_sum, 1e-9);
+}
+
+}  // namespace
+}  // namespace proof::roofline

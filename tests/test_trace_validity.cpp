@@ -13,6 +13,7 @@
 
 #include "core/chrome_trace.hpp"
 #include "core/profiler.hpp"
+#include "report/csv.hpp"
 #include "report/svg_roofline.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -222,6 +223,112 @@ TEST(SvgEscaping, HostileTitleAndPointNamesStayWellFormed) {
   EXPECT_EQ(svg.find("<script>"), std::string::npos);
   // The critical point gets its marker ring.
   EXPECT_NE(svg.find("stroke='#c62828'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CSV escaping (satellite: RFC-4180 quoting in report::CsvWriter).
+
+/// Minimal RFC-4180 parser: splits `csv` into rows of fields, honoring
+/// quoted fields (embedded separators, line breaks, doubled quotes).  Rows
+/// end at an unquoted '\n'.
+std::vector<std::vector<std::string>> parse_csv(const std::string& csv) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < csv.size(); ++i) {
+    const char c = csv[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(field);
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(field);
+      field.clear();
+      rows.push_back(row);
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  EXPECT_FALSE(quoted) << "CSV ended inside a quoted field";
+  return rows;
+}
+
+// The bug this PR fixes: fields containing a bare '\r' (old-Mac line ends,
+// hostile layer names) were emitted unquoted, breaking row framing for
+// RFC-4180 consumers.  Every hostile field must now round-trip.
+TEST(CsvEscaping, HostileFieldsRoundTrip) {
+  const std::vector<std::string> hostile = {
+      "plain",
+      "comma,inside",
+      "quote\"inside",
+      "newline\ninside",
+      "carriage\rreturn",       // the regression
+      "crlf\r\npair",
+      "all,of\"them\r\n mixed",
+      "\r",
+  };
+  report::CsvWriter csv({"name", "value"});
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    csv.add_row({hostile[i], std::to_string(i)});
+  }
+
+  const std::string text = csv.to_string();
+  const std::vector<std::vector<std::string>> rows = parse_csv(text);
+  ASSERT_EQ(rows.size(), hostile.size() + 1);  // header + data
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    ASSERT_EQ(rows[i + 1].size(), 2u) << "row " << i << " lost framing";
+    EXPECT_EQ(rows[i + 1][0], hostile[i]) << "row " << i;
+    EXPECT_EQ(rows[i + 1][1], std::to_string(i));
+  }
+
+  // Any field carrying a bare '\r' must sit inside quotes: scanning the raw
+  // text line-wise (the naive consumer) must never see a '\r' outside them.
+  bool quoted = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '"') {
+      quoted = !quoted;
+    } else if (text[i] == '\r') {
+      EXPECT_TRUE(quoted) << "bare \\r outside quotes at byte " << i;
+    }
+  }
+}
+
+TEST(CsvEscaping, FieldsWithoutSpecialsStayUnquoted) {
+  report::CsvWriter csv({"a", "b"});
+  csv.add_row({"x", "1.5"});
+  EXPECT_EQ(csv.to_string(), "a,b\nx,1.5\n");
+}
+
+TEST(CsvEscaping, SaveReportsWriteFailureWithPath) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  report::CsvWriter csv({"col"});
+  // Enough rows that the stream actually attempts the flush to the device.
+  for (int i = 0; i < 4096; ++i) {
+    csv.add_row({"row_" + std::to_string(i)});
+  }
+  try {
+    csv.save("/dev/full");
+    FAIL() << "writing to /dev/full did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos)
+        << "error message must name the path: " << e.what();
+  }
 }
 
 TEST(SvgEscaping, ControlCharactersAreDropped) {

@@ -39,6 +39,14 @@ using namespace proof;
       "  peaks     run the roofline peak probe on a platform\n"
       "  compare   profile two models/configs and print the delta\n"
       "  sweep     batch-size sweep with optimal-batch selection\n"
+      "  sweep-decode  LLM serving sweep: prefill + decode-step grid over\n"
+      "            batch size x decode position with per-phase time-based\n"
+      "            rooflines (see docs/LLM.md):\n"
+      "            --model llama7b|gpt2 (default gpt2) --prefill <S>\n"
+      "            --batches <list> --positions <list>\n"
+      "            --platform <id>|all (default all: cross-platform summary)\n"
+      "            --svg <decode time roofline> --prefill-svg <same, prefill>\n"
+      "            --curves <tokens/s-vs-batch chart> --json <report section>\n"
       "  optimize  guarded closed-loop optimization: classify the bottleneck,\n"
       "            propose variants (model/precision/batch/backend/clocks),\n"
       "            measure each, accept only verified improvements:\n"
@@ -55,7 +63,8 @@ using namespace proof;
       "            --preload <ids|all> --verbose 0|1\n"
       "  client    send one request to a running daemon:\n"
       "            --connect <endpoint> --method ping|stats|shutdown|profile|\n"
-      "            analyze|sweep|optimize plus the profile options below, or\n"
+      "            analyze|sweep|sweep_decode|optimize plus the options below,\n"
+      "            or\n"
       "            a raw --params '<json>'; result JSON goes to stdout\n"
       "\n"
       "options:\n"
@@ -76,6 +85,9 @@ using namespace proof;
       "  --mem-mhz <f>          memory clock override (DVFS)\n"
       "  --layers <n>           rows of the layer table to print (default 25)\n"
       "  --batches <list>       comma-separated batch candidates (sweep)\n"
+      "  --prefill <n>          prompt length S for sweep-decode (default 512)\n"
+      "  --positions <list>     comma-separated decode positions S_past\n"
+      "                         for sweep-decode (default 64,256,512,1024)\n"
       "  --filter <substr>      layer/node filter (inspect)\n"
       "  --quantize <0|1>       rewrite the model to int8 QDQ form first\n"
       "  --svg <path>           write the roofline chart\n"
@@ -108,6 +120,42 @@ struct Args {
     return *value;
   }
 };
+
+/// Numeric flag parsing that fails with a usage message naming the flag
+/// instead of surfacing strings::parse_* errors raw ("--batch banana" should
+/// read as a CLI mistake, not a stack-level parse error).
+int64_t int_flag(const std::string& value, const std::string& flag) {
+  try {
+    return strings::parse_int(value);
+  } catch (const Error&) {
+    usage("--" + flag + " needs an integer, got '" + value + "'");
+  }
+}
+
+double double_flag(const std::string& value, const std::string& flag) {
+  try {
+    return strings::parse_double(value);
+  } catch (const Error&) {
+    usage("--" + flag + " needs a number, got '" + value + "'");
+  }
+}
+
+/// Comma-separated positive integer list ("--batches 1,8,64").
+std::vector<int64_t> int_list_flag(const std::string& value,
+                                   const std::string& flag) {
+  std::vector<int64_t> out;
+  for (const auto& field : strings::split_trimmed(value, ',')) {
+    const int64_t v = int_flag(field, flag);
+    if (v < 1) {
+      usage("--" + flag + " entries must be positive, got '" + field + "'");
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    usage("--" + flag + " needs at least one value");
+  }
+  return out;
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -156,7 +204,10 @@ ProfileOptions options_from(const Args& args) {
     opt.backend_id = *backend;
   }
   if (const auto batch = args.get("batch")) {
-    opt.batch = strings::parse_int(*batch);
+    opt.batch = int_flag(*batch, "batch");
+    if (opt.batch < 1) {
+      usage("--batch needs a positive batch size, got " + *batch);
+    }
   }
   if (const auto mode = args.get("mode")) {
     if (*mode == "predicted") {
@@ -172,17 +223,23 @@ ProfileOptions options_from(const Args& args) {
     opt.mode = MetricMode::kAuto;
   }
   if (const auto streams = args.get("streams")) {
-    const int64_t n = strings::parse_int(*streams);
+    const int64_t n = int_flag(*streams, "streams");
     if (n < 0) {
       usage("--streams needs a non-negative value (0 = backend maximum)");
     }
     opt.streams = static_cast<int>(n);
   }
   if (const auto gpu = args.get("gpu-mhz")) {
-    opt.clocks.gpu_mhz = strings::parse_double(*gpu);
+    opt.clocks.gpu_mhz = double_flag(*gpu, "gpu-mhz");
+    if (opt.clocks.gpu_mhz <= 0.0) {
+      usage("--gpu-mhz needs a positive clock, got " + *gpu);
+    }
   }
   if (const auto mem = args.get("mem-mhz")) {
-    opt.clocks.mem_mhz = strings::parse_double(*mem);
+    opt.clocks.mem_mhz = double_flag(*mem, "mem-mhz");
+    if (opt.clocks.mem_mhz <= 0.0) {
+      usage("--mem-mhz needs a positive clock, got " + *mem);
+    }
   }
   return opt;
 }
@@ -246,8 +303,11 @@ int cmd_profile(const Args& args) {
   const ProfileReport r = Profiler(opt).run(model);
 
   std::cout << summary_text(r) << "\n";
-  const size_t rows =
-      static_cast<size_t>(strings::parse_int(args.get("layers").value_or("25")));
+  const int64_t layer_rows = int_flag(args.get("layers").value_or("25"), "layers");
+  if (layer_rows < 0) {
+    usage("--layers needs a non-negative row count (0 = all)");
+  }
+  const size_t rows = static_cast<size_t>(layer_rows);
   std::cout << layer_table_text(r, rows);
   if (r.layers.size() > rows) {
     std::cout << "... (" << r.layers.size() - rows
@@ -285,11 +345,7 @@ int cmd_stats(const Args& args) {
   const ProfileOptions opt = options_from(args);
   const Graph model = load_model_arg(args);
   if (const auto list = args.get("batches")) {
-    std::vector<int64_t> candidates;
-    for (const auto& field : strings::split_trimmed(*list, ',')) {
-      candidates.push_back(strings::parse_int(field));
-    }
-    (void)sweep_batches(opt, model, candidates);
+    (void)sweep_batches(opt, model, int_list_flag(*list, "batches"));
   } else {
     (void)Profiler(opt).run(model);
   }
@@ -353,12 +409,99 @@ int cmd_sweep(const Args& args) {
   const Graph model = load_model_arg(args);
   std::vector<int64_t> candidates;
   if (const auto list = args.get("batches")) {
-    for (const auto& field : strings::split_trimmed(*list, ',')) {
-      candidates.push_back(strings::parse_int(field));
-    }
+    candidates = int_list_flag(*list, "batches");
   }
   const BatchSweep sweep = sweep_batches(opt, model, candidates);
   std::cout << sweep_text(sweep);
+  return 0;
+}
+
+int cmd_sweep_decode(const Args& args) {
+  DecodeSweepOptions options;
+  options.config_id = args.get("model").value_or("gpt2");
+  if (const auto v = args.get("dtype")) {
+    options.dtype = dtype_from_name(*v);
+  }
+  if (const auto v = args.get("backend")) {
+    options.backend_id = *v;
+  }
+  if (const auto v = args.get("prefill")) {
+    options.prefill_len = int_flag(*v, "prefill");
+    if (options.prefill_len < 1) {
+      usage("--prefill needs a positive prompt length, got " + *v);
+    }
+  }
+  if (const auto v = args.get("batches")) {
+    options.batches = int_list_flag(*v, "batches");
+  }
+  if (const auto v = args.get("positions")) {
+    options.positions = int_list_flag(*v, "positions");
+  }
+
+  // Default: the cross-platform decode-bound-ness summary over the registry.
+  const std::string platform = args.get("platform").value_or("all");
+  if (platform == "all") {
+    const std::vector<PlatformDecodeSummary> rows =
+        sweep_decode_platforms(options);
+    std::cout << decode_platforms_text(rows);
+    if (const auto json = args.get("json")) {
+      save_json(decode_platforms_json(rows), *json);
+      std::cout << "wrote " << *json << "\n";
+    }
+    return 0;
+  }
+
+  options.platform_id = platform;
+  const DecodeSweep sweep = sweep_decode(options);
+  std::cout << decode_sweep_text(sweep);
+  if (const auto svg = args.get("svg")) {
+    report::SvgOptions svg_opt;
+    svg_opt.title =
+        sweep.model_display + " decode step on " + sweep.platform_name;
+    report::save_svg(
+        report::render_time_roofline_svg(sweep.decode_time, svg_opt), *svg);
+    std::cout << "wrote " << *svg << "\n";
+  }
+  if (const auto svg = args.get("prefill-svg")) {
+    report::SvgOptions svg_opt;
+    svg_opt.title = sweep.model_display + " prefill on " + sweep.platform_name;
+    report::save_svg(
+        report::render_time_roofline_svg(sweep.prefill_time, svg_opt), *svg);
+    std::cout << "wrote " << *svg << "\n";
+  }
+  if (const auto path = args.get("curves")) {
+    // One tokens/s-vs-batch curve per decode position, plus the prefill curve
+    // (prompt tokens per second) for scale.
+    std::vector<report::Curve> curves;
+    const size_t n_pos = sweep.options.positions.size();
+    for (size_t p = 0; p < n_pos; ++p) {
+      report::Curve curve;
+      curve.label = "decode @p" + std::to_string(sweep.options.positions[p]);
+      for (size_t b = 0; b < sweep.options.batches.size(); ++b) {
+        const DecodePoint& pt = sweep.points[b * n_pos + p];
+        curve.points.emplace_back(static_cast<double>(pt.batch),
+                                  pt.tokens_per_s);
+      }
+      curves.push_back(std::move(curve));
+    }
+    report::Curve prefill_curve;
+    prefill_curve.label = "prefill";
+    for (const PrefillPoint& pt : sweep.prefill) {
+      prefill_curve.points.emplace_back(static_cast<double>(pt.batch),
+                                        pt.tokens_per_s);
+    }
+    curves.push_back(std::move(prefill_curve));
+    report::save_svg(
+        report::render_curves_svg(
+            curves, sweep.model_display + " on " + sweep.platform_name,
+            "batch size", "tokens/s"),
+        *path);
+    std::cout << "wrote " << *path << "\n";
+  }
+  if (const auto json = args.get("json")) {
+    save_json(decode_sweep_json(sweep), *json);
+    std::cout << "wrote " << *json << "\n";
+  }
   return 0;
 }
 
@@ -369,13 +512,23 @@ int cmd_optimize(const Args& args) {
     options.objective = opt::objective_from_name(*v);
   }
   if (const auto v = args.get("power-budget")) {
-    options.power_budget_w = strings::parse_double(*v);
+    options.power_budget_w = double_flag(*v, "power-budget");
+    if (options.power_budget_w <= 0.0) {
+      usage("--power-budget needs a positive wattage, got " + *v);
+    }
   }
   if (const auto v = args.get("noise")) {
-    options.noise_threshold = strings::parse_double(*v);
+    options.noise_threshold = double_flag(*v, "noise");
+    if (options.noise_threshold < 0.0 || options.noise_threshold >= 1.0) {
+      usage("--noise needs a fraction in [0, 1), got " + *v);
+    }
   }
   if (const auto v = args.get("rounds")) {
-    options.max_rounds = static_cast<int>(strings::parse_int(*v));
+    const int64_t rounds = int_flag(*v, "rounds");
+    if (rounds < 1) {
+      usage("--rounds needs a positive round count, got " + *v);
+    }
+    options.max_rounds = static_cast<int>(rounds);
   }
   if (const auto v = args.get("axes")) {
     options.axes = opt::axes_from_string(*v);
@@ -403,8 +556,11 @@ int cmd_optimize(const Args& args) {
 
 int cmd_summarize(const Args& args) {
   const Graph model = load_model_arg(args);
-  const size_t rows =
-      static_cast<size_t>(strings::parse_int(args.get("layers").value_or("0")));
+  const int64_t layer_rows = int_flag(args.get("layers").value_or("0"), "layers");
+  if (layer_rows < 0) {
+    usage("--layers needs a non-negative row count (0 = all)");
+  }
+  const size_t rows = static_cast<size_t>(layer_rows);
   std::cout << models::model_summary(model, rows);
   return 0;
 }
@@ -421,17 +577,17 @@ int cmd_serve(const Args& args) {
   serve::ServerOptions opt;
   opt.listen = args.get("listen").value_or("127.0.0.1:0");
   if (const auto v = args.get("max-inflight")) {
-    const int64_t n = strings::parse_int(*v);
+    const int64_t n = int_flag(*v, "max-inflight");
     if (n < 1) {
       usage("--max-inflight needs a positive value");
     }
     opt.max_inflight = static_cast<unsigned>(n);
   }
   if (const auto v = args.get("deadline-s")) {
-    opt.default_deadline_s = strings::parse_double(*v);
+    opt.default_deadline_s = double_flag(*v, "deadline-s");
   }
   if (const auto v = args.get("drain-timeout")) {
-    opt.drain_timeout_s = strings::parse_double(*v);
+    opt.drain_timeout_s = double_flag(*v, "drain-timeout");
   }
   if (const auto v = args.get("preload")) {
     opt.preload = strings::split_trimmed(*v, ',');
@@ -469,46 +625,56 @@ std::string client_request(const Args& args, const std::string& method) {
     if (const auto v = args.get("dtype")) field("dtype", json::quote(*v));
     if (const auto v = args.get("mode")) field("mode", json::quote(*v));
     if (const auto v = args.get("batch")) {
-      field("batch", std::to_string(strings::parse_int(*v)));
+      field("batch", std::to_string(int_flag(*v, "batch")));
     }
     if (const auto v = args.get("gpu-mhz")) {
-      (void)strings::parse_double(*v);
+      (void)double_flag(*v, "gpu-mhz");
       field("gpu_mhz", *v);
     }
     if (const auto v = args.get("mem-mhz")) {
-      (void)strings::parse_double(*v);
+      (void)double_flag(*v, "mem-mhz");
       field("mem_mhz", *v);
     }
     if (const auto v = args.get("objective")) {
       field("objective", json::quote(*v));
     }
     if (const auto v = args.get("power-budget")) {
-      (void)strings::parse_double(*v);
+      (void)double_flag(*v, "power-budget");
       field("power_budget_w", *v);
     }
     if (const auto v = args.get("noise")) {
-      (void)strings::parse_double(*v);
+      (void)double_flag(*v, "noise");
       field("noise_threshold", *v);
     }
     if (const auto v = args.get("rounds")) {
-      field("max_rounds", std::to_string(strings::parse_int(*v)));
+      field("max_rounds", std::to_string(int_flag(*v, "rounds")));
     }
     if (const auto v = args.get("axes")) {
       field("axes", json::quote(*v));
     }
     if (const auto v = args.get("deadline-ms")) {
-      (void)strings::parse_double(*v);
+      (void)double_flag(*v, "deadline-ms");
       field("deadline_ms", *v);
     }
     if (const auto v = args.get("debug-sleep-ms")) {
-      field("debug_sleep_ms", std::to_string(strings::parse_int(*v)));
+      field("debug_sleep_ms", std::to_string(int_flag(*v, "debug-sleep-ms")));
     }
-    if (const auto v = args.get("batches")) {
+    const auto int_array = [&](const char* key, const std::string& raw,
+                               const std::string& flag) {
       std::string list;
-      for (const auto& b : strings::split_trimmed(*v, ',')) {
-        list += (list.empty() ? "" : ",") + std::to_string(strings::parse_int(b));
+      for (const int64_t v : int_list_flag(raw, flag)) {
+        list += (list.empty() ? "" : ",") + std::to_string(v);
       }
-      field("batches", "[" + list + "]");
+      field(key, "[" + list + "]");
+    };
+    if (const auto v = args.get("batches")) {
+      int_array("batches", *v, "batches");
+    }
+    if (const auto v = args.get("positions")) {
+      int_array("positions", *v, "positions");
+    }
+    if (const auto v = args.get("prefill")) {
+      field("prefill_len", std::to_string(int_flag(*v, "prefill")));
     }
     out << "}";
   }
@@ -554,7 +720,7 @@ int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
     if (const auto jobs = args.get("jobs")) {
-      const int64_t n = proof::strings::parse_int(*jobs);
+      const int64_t n = int_flag(*jobs, "jobs");
       if (n < 1) {
         usage("--jobs needs a positive value");
       }
@@ -574,6 +740,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "sweep") {
       return cmd_sweep(args);
+    }
+    if (args.command == "sweep-decode") {
+      return cmd_sweep_decode(args);
     }
     if (args.command == "optimize") {
       return cmd_optimize(args);
