@@ -1,0 +1,236 @@
+// Shape-polymorphic AnalysisPlan cache speedup: frozen structure phase +
+// cheap per-cell instantiation vs the legacy exact-fingerprint prepare path.
+//
+// Two sweep workloads where cells differ only in shape:
+//   * sweep-decode — gpt2 decode grid, 8 batches x 8 KV positions (plus the
+//     per-batch prefill points).  Every decode position is a distinct graph
+//     to the legacy path (the position is baked into the KV-cache input
+//     dims) but one structural fingerprint to the plan cache.
+//   * batch-sweep — bert_base over the default 12 power-of-two batch
+//     candidates; all 12 cells share one frozen plan.  A transformer makes
+//     the representative workload here: attention fusion + region lowering
+//     dominate its per-cell prepare, which is exactly the work the plan
+//     freezes.
+//
+// Method: the same sweep runs with the plan cache enabled and disabled
+// (PROOF_PLAN_CACHE=0 equivalent via set_plan_cache_enabled), alternating
+// A/B per repetition so drift hits both sides equally; best-of-N times are
+// compared.  The prep cache is cleared before every timed rep so each rep
+// pays the full preparation cost of its mode — within a rep the engine
+// level still dedupes identical cells exactly as production sweeps do.
+//
+// Correctness gate: the sweep reports must be byte-identical between the two
+// modes (decode_sweep_json for the grid; a full-precision point dump for the
+// batch sweep).
+//
+// `--smoke` runs one rep of a 2x2 grid / 4-point sweep — a CI-friendly check
+// that both modes work and agree, with no speedup assertion.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+using namespace proof;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+DecodeSweepOptions decode_options(bool smoke) {
+  DecodeSweepOptions opt;
+  opt.config_id = "gpt2";
+  opt.platform_id = "a100";
+  opt.backend_id = "trt_sim";
+  opt.prefill_len = 512;
+  if (smoke) {
+    opt.batches = {1, 4};
+    opt.positions = {64, 256};
+  } else {
+    opt.batches = {1, 2, 3, 4, 6, 8, 12, 16};
+    opt.positions = {32, 64, 96, 128, 192, 256, 384, 512};
+  }
+  return opt;
+}
+
+ProfileOptions batch_sweep_options() {
+  ProfileOptions opt;
+  opt.platform_id = "a100";
+  opt.backend_id = "trt_sim";
+  opt.dtype = DType::kF16;
+  opt.mode = MetricMode::kPredicted;
+  return opt;
+}
+
+std::vector<int64_t> batch_candidates(bool smoke) {
+  if (smoke) {
+    return {1, 4, 16, 64};
+  }
+  // The sweep_batches default: powers of two 1..2048 — 12 points.
+  std::vector<int64_t> candidates;
+  for (int64_t b = 1; b <= 2048; b *= 2) {
+    candidates.push_back(b);
+  }
+  return candidates;
+}
+
+/// Full-precision dump of a batch sweep — every double bit-faithfully, so a
+/// single ULP of divergence between the two modes fails the identity gate.
+std::string batch_sweep_dump(const BatchSweep& sweep) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "optimal_batch=" << sweep.optimal_batch << "\n";
+  for (const BatchPoint& p : sweep.points) {
+    out << p.batch << " " << p.latency_s << " " << p.throughput_per_s << " "
+        << p.attained_flops << "\n";
+  }
+  return out.str();
+}
+
+struct WorkloadResult {
+  std::string id;
+  double target = 0.0;
+  double on_s = std::numeric_limits<double>::infinity();
+  double off_s = std::numeric_limits<double>::infinity();
+  bool identical = false;
+  size_t plan_hits = 0;    ///< plan-cache hits during one enabled rep
+  size_t plan_misses = 0;  ///< structure phases built during one enabled rep
+
+  [[nodiscard]] double speedup() const { return off_s / on_s; }
+  [[nodiscard]] bool target_met() const { return speedup() >= target; }
+};
+
+/// Times `run_sweep` once in the given mode, on a cold prep cache.
+template <typename Fn>
+double timed(bool plan_cache_on, Fn&& run_sweep, std::string* report_out) {
+  PrepCache::instance().set_plan_cache_enabled(plan_cache_on);
+  PrepCache::instance().clear();
+  const double t0 = now_s();
+  std::string report = run_sweep();
+  const double elapsed = now_s() - t0;
+  PROOF_CHECK(!report.empty(), "sweep produced an empty report");
+  if (report_out != nullptr) {
+    *report_out = std::move(report);
+  }
+  return elapsed;
+}
+
+template <typename Fn>
+WorkloadResult run_workload(const std::string& id, double target, int reps,
+                            Fn&& run_sweep) {
+  WorkloadResult r;
+  r.id = id;
+  r.target = target;
+
+  // Byte-identity gate (also warms thread pool, registries and the zoo).
+  std::string off_report;
+  std::string on_report;
+  (void)timed(false, run_sweep, &off_report);
+  PrepCache::instance().reset_stats();
+  (void)timed(true, run_sweep, &on_report);
+  r.identical = on_report == off_report;
+  const PrepCacheStats stats = PrepCache::instance().stats();
+  r.plan_hits = stats.plan_cache_hits;
+  r.plan_misses = stats.plan_cache_misses;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    r.off_s = std::min(r.off_s, timed(false, run_sweep, nullptr));
+    r.on_s = std::min(r.on_s, timed(true, run_sweep, nullptr));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::banner(smoke ? "AnalysisPlan cache A/B (smoke)"
+                      : "Shape-polymorphic AnalysisPlan cache vs full prepare");
+
+  PrepCache::instance().set_enabled(true);
+  const int reps = smoke ? 1 : 5;
+
+  std::vector<WorkloadResult> results;
+  {
+    const DecodeSweepOptions opt = decode_options(smoke);
+    results.push_back(run_workload(
+        "sweep-decode gpt2 " + std::to_string(opt.batches.size()) + "x" +
+            std::to_string(opt.positions.size()),
+        /*target=*/3.0, reps,
+        [&] { return decode_sweep_json(sweep_decode(opt)); }));
+  }
+  {
+    const Graph model = models::build_model("bert_base");
+    const ProfileOptions opt = batch_sweep_options();
+    const std::vector<int64_t> candidates = batch_candidates(smoke);
+    results.push_back(run_workload(
+        "batch-sweep bert_base " + std::to_string(candidates.size()) + "pt",
+        /*target=*/2.0, reps,
+        [&] { return batch_sweep_dump(sweep_batches(opt, model, candidates)); }));
+  }
+  PrepCache::instance().set_plan_cache_enabled(true);
+
+  report::TextTable table({"workload", "plan cache off", "plan cache on",
+                           "speedup", "target", "plan hits/misses",
+                           "reports identical"});
+  bool all_identical = true;
+  bool targets_met = true;
+  for (const WorkloadResult& r : results) {
+    table.add_row({r.id, units::ms(r.off_s), units::ms(r.on_s),
+                   units::fixed(r.speedup(), 2) + "x",
+                   ">= " + units::fixed(r.target, 1) + "x",
+                   std::to_string(r.plan_hits) + "/" +
+                       std::to_string(r.plan_misses),
+                   r.identical ? "yes" : "NO"});
+    all_identical = all_identical && r.identical;
+    targets_met = targets_met && r.target_met();
+  }
+  std::cout << table.to_string();
+  if (!smoke) {
+    std::cout << "speedup targets: " << (targets_met ? "met" : "MISSED") << "\n";
+  }
+  std::cout << "reports byte-identical in both modes: "
+            << (all_identical ? "yes" : "NO — INSTANTIATION DIVERGENCE") << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"workload\": \"cold-prep-cache sweeps, plan cache on vs "
+          "PROOF_PLAN_CACHE=0, fp16 A100 trt_sim\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"workloads\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    json << "    {\"id\": \"" << r.id << "\", \"plan_cache_off_s\": " << r.off_s
+         << ", \"plan_cache_on_s\": " << r.on_s
+         << ", \"speedup\": " << r.speedup()
+         << ", \"speedup_target\": " << r.target
+         << ", \"plan_cache_hits\": " << r.plan_hits
+         << ", \"plan_cache_misses\": " << r.plan_misses
+         << ", \"reports_identical\": " << (r.identical ? "true" : "false")
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"targets_met\": " << (targets_met ? "true" : "false") << ",\n"
+       << "  \"all_reports_identical\": " << (all_identical ? "true" : "false")
+       << "\n"
+       << "}\n";
+  // Smoke runs land in their own file so a CI pass never overwrites the
+  // committed full-run reference numbers.
+  const std::string path = bench::artifact_dir() +
+                           (smoke ? "/BENCH_plan_cache_smoke.json"
+                                  : "/BENCH_plan_cache.json");
+  std::ofstream(path) << json.str();
+  bench::note_artifact(path);
+
+  // Correctness is a hard failure everywhere; the speedup assertion only
+  // gates the full (non-smoke) run, where best-of-N suppresses timer noise.
+  return all_identical && (smoke || targets_met) ? 0 : 1;
+}

@@ -11,9 +11,11 @@
 # pool against a shared incumbent graph, plus its jobs-1-vs-4 byte-identity
 # suite), and the LLM decode sweep (batch x position grid fanned out over
 # the pool with index-written points, plus its own jobs-1-vs-4 byte-identity
-# test).  Any data race in the pool, the cache's shared PreparedEngine
-# entries, the graphs' lazy index maps, the obs shards or the daemon's
-# session teardown fails the run.
+# test), and the shape-polymorphic AnalysisPlan cache (mixed batch sizes
+# instantiating one shared frozen plan concurrently, eviction under a
+# capacity bound, and the disabled legacy fallback).  Any data race in the
+# pool, the cache's shared PreparedEngine entries, the graphs' lazy index
+# maps, the obs shards or the daemon's session teardown fails the run.
 #
 # Usage: scripts/check_tsan.sh [extra gtest filter]
 set -euo pipefail
@@ -21,7 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*:CriticalPathConcurrency.*:CriticalPath.ReconstructsProgramOrderAndSyncEdges:OptGuard.*:OptDeterminism.*:DecodeSweep.*}"
+FILTER="${1:-ThreadPool.*:ParallelDeterminism.*:PrepCache.*:BatchSweep.*:SweepText.*:Obs.*:ServeJson.*:ServeFraming.*:ServeEnvelope.*:ServeDeadline.*:ServeE2e.*:*ServeGolden*:CriticalPathConcurrency.*:CriticalPath.ReconstructsProgramOrderAndSyncEdges:OptGuard.*:OptDeterminism.*:DecodeSweep.*:PlanCache.*}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -5,18 +5,31 @@
 
 namespace proof {
 
-AnalyzeRepresentation::AnalyzeRepresentation(Graph graph) : graph_(std::move(graph)) {
-  graph_.validate();
-  infer_shapes(graph_);
+AnalyzeRepresentation::AnalyzeRepresentation(Graph graph) {
+  graph.validate();
+  infer_shapes(graph);
+  graph_ = std::make_shared<const Graph>(std::move(graph));
+  refresh();
+}
+
+AnalyzeRepresentation::AnalyzeRepresentation(Graph graph, TrustedGraphTag)
+    : graph_(std::make_shared<const Graph>(std::move(graph))) {
+  refresh();
+}
+
+AnalyzeRepresentation::AnalyzeRepresentation(std::shared_ptr<const Graph> graph,
+                                             TrustedGraphTag)
+    : graph_(std::move(graph)) {
+  PROOF_CHECK(graph_ != nullptr, "analyze representation requires a graph");
   refresh();
 }
 
 void AnalyzeRepresentation::refresh() {
   analyses_.clear();
-  analyses_.reserve(graph_.num_nodes());
-  for (const Node& node : graph_.nodes()) {
+  analyses_.reserve(graph_->num_nodes());
+  for (const Node& node : graph_->nodes()) {
     const OpDef& def = op_def_for(node);
-    const OpContext ctx(graph_, node);
+    const OpContext ctx(*graph_, node);
     NodeAnalysis a;
     a.name = node.name;
     a.op_type = node.op_type;

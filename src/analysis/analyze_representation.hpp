@@ -5,6 +5,7 @@
 // independent half of PRoof's analysis.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,23 +29,32 @@ class AnalyzeRepresentation {
   /// precomputes the per-node analyses.
   explicit AnalyzeRepresentation(Graph graph);
 
-  [[nodiscard]] const Graph& graph() const { return graph_; }
-  [[nodiscard]] Graph& mutable_graph() { return graph_; }
+  /// Tag for graphs the caller guarantees are already validated and
+  /// shape-inferred (plan-cache instantiations replay a previously validated
+  /// skeleton through one infer_shapes pass); skips both and only runs the
+  /// per-node analysis.
+  struct TrustedGraphTag {};
+  AnalyzeRepresentation(Graph graph, TrustedGraphTag tag);
+  /// Same trust contract, but shares an already-frozen graph (typically the
+  /// engine's) instead of copying it.
+  AnalyzeRepresentation(std::shared_ptr<const Graph> graph, TrustedGraphTag tag);
 
-  /// Re-runs the per-node analysis (after batch/dtype changes).
-  void refresh();
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
 
   [[nodiscard]] const NodeAnalysis& analysis(NodeId id) const;
   [[nodiscard]] const std::vector<NodeAnalysis>& analyses() const { return analyses_; }
 
   [[nodiscard]] double total_flops() const;
   [[nodiscard]] MemoryEstimate total_memory() const;
-  [[nodiscard]] int64_t param_count() const { return graph_.param_count(); }
-  [[nodiscard]] int64_t param_bytes() const { return graph_.param_bytes(); }
-  [[nodiscard]] size_t num_nodes() const { return graph_.num_nodes(); }
+  [[nodiscard]] int64_t param_count() const { return graph_->param_count(); }
+  [[nodiscard]] int64_t param_bytes() const { return graph_->param_bytes(); }
+  [[nodiscard]] size_t num_nodes() const { return graph_->num_nodes(); }
 
  private:
-  Graph graph_;
+  /// Computes the per-node analyses from the frozen graph.
+  void refresh();
+
+  std::shared_ptr<const Graph> graph_;
   std::vector<NodeAnalysis> analyses_;
 };
 

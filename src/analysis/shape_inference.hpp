@@ -11,6 +11,14 @@ namespace proof {
 /// Infers every intermediate/output tensor desc in topological order.
 /// Graph inputs and params must already carry shapes.  Throws ModelError when
 /// an operator cannot be inferred.
+///
+/// Purity contract (the plan cache leans on this — core/analysis_plan.hpp):
+/// the pass is a pure function of the graph's input descs, param descs and
+/// node attrs.  Every node-output desc is fully OVERWRITTEN — shape and
+/// dtype, is_param forced false — so stale descs left by a previous
+/// inference at other shapes never leak into the result, and re-inferring a
+/// copied graph after restoring its inputs/attrs reproduces a fresh build
+/// bit-for-bit.  Ops must not read pre-existing output descs.
 void infer_shapes(Graph& graph);
 
 /// Rewrites the batch dimension (dim 0 of every graph input) to `batch` and

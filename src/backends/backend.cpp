@@ -13,11 +13,20 @@ namespace proof::backends {
 Engine::Engine(std::string backend_id, Graph analysis_graph,
                std::vector<BackendLayer> layers, BuildConfig config,
                StreamPolicy stream_policy)
+    : Engine(std::move(backend_id),
+             std::make_shared<const Graph>(std::move(analysis_graph)),
+             std::move(layers), config, std::move(stream_policy)) {}
+
+Engine::Engine(std::string backend_id, std::shared_ptr<const Graph> analysis_graph,
+               std::vector<BackendLayer> layers, BuildConfig config,
+               StreamPolicy stream_policy)
     : backend_id_(std::move(backend_id)),
       analysis_graph_(std::move(analysis_graph)),
       layers_(std::move(layers)),
       config_(config),
-      stream_policy_(std::move(stream_policy)) {}
+      stream_policy_(std::move(stream_policy)) {
+  PROOF_CHECK(analysis_graph_ != nullptr, "engine requires an analysis graph");
+}
 
 EngineProfile Engine::profile(const hw::PlatformState& state, int iterations) const {
   PROOF_CHECK(iterations > 0, "iterations must be positive");

@@ -59,6 +59,13 @@ class Engine {
   Engine(std::string backend_id, Graph analysis_graph, std::vector<BackendLayer> layers,
          BuildConfig config, StreamPolicy stream_policy = {});
 
+  /// Shares an already-frozen graph instead of owning a fresh copy — the
+  /// plan-cache instantiation path hands the same immutable graph to the
+  /// engine and the analyze representation.
+  Engine(std::string backend_id, std::shared_ptr<const Graph> analysis_graph,
+         std::vector<BackendLayer> layers, BuildConfig config,
+         StreamPolicy stream_policy = {});
+
   [[nodiscard]] const std::string& backend_id() const { return backend_id_; }
   [[nodiscard]] const BuildConfig& config() const { return config_; }
 
@@ -69,7 +76,14 @@ class Engine {
 
   /// The batch/dtype-converted model graph the layers reference (same node
   /// names as the input model).
-  [[nodiscard]] const Graph& analysis_graph() const { return analysis_graph_; }
+  [[nodiscard]] const Graph& analysis_graph() const { return *analysis_graph_; }
+
+  /// The same graph as analysis_graph(), shareable without a copy (the graph
+  /// is immutable once the engine owns it; lazy lookup indexes are
+  /// thread-safe to materialize).
+  [[nodiscard]] const std::shared_ptr<const Graph>& shared_analysis_graph() const {
+    return analysis_graph_;
+  }
 
   [[nodiscard]] const std::vector<BackendLayer>& layers() const { return layers_; }
 
@@ -92,7 +106,7 @@ class Engine {
 
  private:
   std::string backend_id_;
-  Graph analysis_graph_;
+  std::shared_ptr<const Graph> analysis_graph_;
   std::vector<BackendLayer> layers_;
   BuildConfig config_;
   StreamPolicy stream_policy_;

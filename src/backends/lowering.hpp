@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyze_representation.hpp"
 #include "backends/backend.hpp"
 
 namespace proof::backends {
@@ -34,5 +35,81 @@ struct LoweringOptions {
 /// byte-weighted for FLOP-free sets).
 [[nodiscard]] OpClass dominant_op_class(const Graph& graph,
                                         const std::vector<NodeId>& members);
+
+/// Kernel segmentation of an opaque region: one segment per matrix anchor,
+/// capped at `options.max_kernels_per_region`.  Purely structural (op types
+/// and member order; never shapes), so the segmentation computed on one
+/// instantiation of a graph is valid for every compatible instantiation —
+/// lower_group and the AnalysisPlan recipe extractor share this single
+/// source of truth.
+[[nodiscard]] std::vector<std::vector<NodeId>> region_kernel_segments(
+    const Graph& graph, const std::vector<NodeId>& members,
+    const LoweringOptions& options);
+
+// --- shape-polymorphic layer recipes (core/analysis_plan.hpp) ---------------
+//
+// A LayerRecipe freezes every structural decision behind one lowered backend
+// layer — its name, metadata, I/O tensor names (post-rename), fused member
+// nodes and kernel segmentation — while leaving the shape-dependent numbers
+// (kernel bytes/FLOPs, dominant op class) to be re-evaluated per cell from
+// the instantiated graph's actual tensor shapes.  Replaying a recipe runs
+// the exact same kernel-costing code lowering runs, so the resulting layers
+// are byte-identical to a full lower() over the same graph.
+
+/// One kernel of a frozen layer: the cached kernel name, the member node ids
+/// of its segment, and whether it executes inside an opaque region (the MMA
+/// specialization discount applies there).
+struct KernelRecipe {
+  std::string name;
+  std::vector<NodeId> members;
+  bool in_region = false;
+  /// Cached boundary of multi-node segments (params/inputs/outputs), in the
+  /// exact order boundary_ids() returns — the boundary is purely structural,
+  /// and the interned tensor ids stay valid on every clone_warm() of the
+  /// graph the recipe was extracted from.  Empty for single-node kernels,
+  /// whose bytes come from the per-op memory rule instead.
+  Graph::BoundaryIds boundary;
+  bool boundary_cached = false;
+};
+
+/// Frozen structural record of one backend layer (reorder or fused group).
+/// Node ids refer to the prepared graph, whose node ordering is preserved
+/// across compatible instantiations.
+struct LayerRecipe {
+  bool is_reorder = false;
+  std::string name;
+  std::string info;
+  bool is_opaque = false;
+  std::vector<std::string> input_tensors;   ///< backend names (post-rename)
+  std::vector<std::string> output_tensors;
+  std::vector<std::string> truth_nodes;
+  /// Fused group layers: member node ids (empty for reorders).
+  std::vector<NodeId> members;
+  std::vector<KernelRecipe> kernels;
+  /// Reorder layers: DRAM traffic per source-tensor byte (the backends'
+  /// read-convert-write factor), plus the canonical absolute bytes as a
+  /// fallback for zero-sized sources.
+  double reorder_bytes_per_byte = 0.0;
+  double reorder_bytes = 0.0;
+};
+
+/// Derives the recipe list from a canonical build: walks `layers` in order,
+/// pairing each non-reorder layer with the next group of `plan` and
+/// re-deriving multi-kernel segmentations via region_kernel_segments.
+/// `built` is the graph the layers were lowered from.
+[[nodiscard]] std::vector<LayerRecipe> extract_layer_recipes(
+    const Graph& built, const std::vector<BackendLayer>& layers,
+    const BuildPlan& plan);
+
+/// Re-evaluates one frozen layer against a compatible instantiated graph:
+/// cached names/metadata/I-O verbatim, kernel work sizes and op classes
+/// recomputed from `g`'s shapes through the same code paths lowering uses.
+/// `analyses` (optional, indexed by NodeId over `g`) shares the per-node
+/// flops/memory/class evaluations the caller's AnalyzeRepresentation already
+/// made — the identical pure functions over the identical graph, so replayed
+/// layers stay bit-equal to a full lower() whether or not it is passed.
+[[nodiscard]] BackendLayer replay_layer_recipe(
+    const Graph& g, const LayerRecipe& recipe, const LoweringOptions& options,
+    const std::vector<NodeAnalysis>* analyses = nullptr);
 
 }  // namespace proof::backends

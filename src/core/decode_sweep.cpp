@@ -1,10 +1,11 @@
 #include "core/decode_sweep.hpp"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 #include "core/json_writer.hpp"
+#include "core/prep_cache.hpp"
+#include "core/sweep_axis.hpp"
 #include "hw/platform.hpp"
 #include "models/zoo.hpp"
 #include "obs/span.hpp"
@@ -20,24 +21,14 @@ namespace {
 
 /// Positive, ascending, deduplicated grid axis; throws naming the axis for
 /// an empty grid or any non-positive entry.
-std::vector<int64_t> clean_axis(std::vector<int64_t> values, const char* what) {
-  std::vector<int64_t> valid;
-  std::set<int64_t> seen;
-  for (const int64_t v : values) {
-    if (v <= 0) {
-      throw ConfigError(std::string("sweep_decode: ") + what +
-                        " must be positive, got " + std::to_string(v));
-    }
-    if (seen.insert(v).second) {
-      valid.push_back(v);
-    }
-  }
-  if (valid.empty()) {
-    throw ConfigError(std::string("sweep_decode: no valid ") + what +
-                      " (need at least one positive value)");
-  }
-  std::sort(valid.begin(), valid.end());
-  return valid;
+std::vector<int64_t> clean_axis(const std::vector<int64_t>& values,
+                                const char* what) {
+  sweep_axis::AxisSpec spec;
+  spec.context = "sweep_decode";
+  spec.what = what;
+  spec.reject_nonpositive = true;
+  spec.sorted = true;
+  return sweep_axis::clean_axis(values, spec);
 }
 
 ProfileOptions profile_options(const DecodeSweepOptions& options, int64_t batch) {
@@ -74,21 +65,29 @@ DecodeSweep sweep_decode(const DecodeSweepOptions& options) {
 
   // One graph per decode position plus the prefill graph; each is shared
   // read-only across the batch fan-out (batch is applied during backend
-  // prepare, which copies), so warm the lazy indices up front.
+  // prepare, which copies), so warm the lazy indices and hash the cache
+  // fingerprints up front — each graph is profiled at every batch size.
+  // All decode positions map to one structural fingerprint (position only
+  // appears in KV-cache input dims, which the structural mode rank-erases),
+  // so the whole grid shares a single AnalysisPlan.
   const Graph prefill_graph =
       models::build_llm_prefill(cfg, options.prefill_len);
-  prefill_graph.warm_indices();
+  sweep_axis::warm_shared_graph(prefill_graph);
+  const GraphKeys prefill_keys = compute_graph_keys(prefill_graph);
   std::vector<Graph> decode_graphs;
+  std::vector<GraphKeys> decode_keys;
   decode_graphs.reserve(positions.size());
+  decode_keys.reserve(positions.size());
   for (const int64_t position : positions) {
     decode_graphs.push_back(models::build_llm_decode_step(cfg, position));
-    decode_graphs.back().warm_indices();
+    sweep_axis::warm_shared_graph(decode_graphs.back());
+    decode_keys.push_back(compute_graph_keys(decode_graphs.back()));
   }
 
   sweep.prefill = ThreadPool::global().parallel_map(
       batches.size(), [&](size_t i) {
-        const ProfileReport r =
-            Profiler(profile_options(options, batches[i])).run(prefill_graph);
+        const ProfileReport r = Profiler(profile_options(options, batches[i]))
+                                    .run(prefill_graph, &prefill_keys);
         PrefillPoint point;
         point.batch = batches[i];
         point.latency_s = r.total_latency_s;
@@ -107,7 +106,8 @@ DecodeSweep sweep_decode(const DecodeSweepOptions& options) {
         const int64_t batch = batches[i / positions.size()];
         const size_t pos_idx = i % positions.size();
         const ProfileReport r = Profiler(profile_options(options, batch))
-                                    .run(decode_graphs[pos_idx]);
+                                    .run(decode_graphs[pos_idx],
+                                         &decode_keys[pos_idx]);
         const roofline::TimeAnalysis time = roofline::time_analysis(r.roofline);
         DecodePoint point;
         point.batch = batch;
@@ -128,12 +128,12 @@ DecodeSweep sweep_decode(const DecodeSweepOptions& options) {
   // PrepCache makes these re-runs cheap — the grid already prepared both.
   {
     const ProfileReport r = Profiler(profile_options(options, batches.front()))
-                                .run(prefill_graph);
+                                .run(prefill_graph, &prefill_keys);
     sweep.prefill_time = roofline::time_analysis(r.roofline);
   }
   {
     const ProfileReport r = Profiler(profile_options(options, batches.front()))
-                                .run(decode_graphs.back());
+                                .run(decode_graphs.back(), &decode_keys.back());
     sweep.decode_time = roofline::time_analysis(r.roofline);
   }
 

@@ -12,6 +12,7 @@
 #include <variant>
 
 #include "backends/prepare.hpp"
+#include "core/analysis_plan.hpp"
 #include "obs/span.hpp"
 #include "support/error.hpp"
 
@@ -79,38 +80,92 @@ void mix_attrs(Fnv& fnv, const AttrMap& attrs) {
   }
 }
 
-}  // namespace
-
-uint64_t graph_fingerprint(const Graph& model) {
-  Fnv fnv;
-  fnv.mix(model.name());
+/// Single-traversal fingerprint core: mixes the graph into the exact and/or
+/// structural accumulator so compute_graph_keys pays one walk for both keys.
+///
+/// The structural stream is shape-erased: the graph name is dropped (decode
+/// positions and renamed copies of a model share structure) and non-param
+/// tensors contribute only their rank — batch and sequence/position dims are
+/// symbolized.  Param shapes stay (they size the weight traffic recipes
+/// replay) and node attrs stay verbatim: attrs are structural inputs to
+/// fusion/lowering, and the per-cell attr divergence set_batch_size creates
+/// is handled by instantiate_plan_graph's attr restoration, never by the key.
+void mix_graph(const Graph& model, Fnv* exact, Fnv* structural) {
+  if (exact != nullptr) {
+    exact->mix(model.name());
+  }
+  if (structural != nullptr) {
+    structural->mix(static_cast<uint64_t>(FingerprintMode::kStructural));
+  }
+  const auto both = [&](const auto& v) {
+    if (exact != nullptr) {
+      exact->mix(v);
+    }
+    if (structural != nullptr) {
+      structural->mix(v);
+    }
+  };
   for (const std::string& in : model.inputs()) {
-    fnv.mix(in);
+    both(in);
   }
   for (const std::string& out : model.outputs()) {
-    fnv.mix(out);
+    both(out);
   }
-  fnv.mix(static_cast<uint64_t>(model.num_nodes()));
+  both(static_cast<uint64_t>(model.num_nodes()));
   for (const Node& node : model.nodes()) {
-    fnv.mix(node.name);
-    fnv.mix(node.op_type);
+    both(node.name);
+    both(node.op_type);
     for (const std::string& t : node.inputs) {
-      fnv.mix(t);
+      both(t);
     }
     for (const std::string& t : node.outputs) {
-      fnv.mix(t);
+      both(t);
     }
-    mix_attrs(fnv, node.attrs);
+    if (exact != nullptr) {
+      mix_attrs(*exact, node.attrs);
+    }
+    if (structural != nullptr) {
+      mix_attrs(*structural, node.attrs);
+    }
   }
   for (const auto& [name, desc] : model.tensors()) {
-    fnv.mix(name);
-    fnv.mix(static_cast<uint64_t>(desc.dtype));
-    fnv.mix(static_cast<uint64_t>(desc.is_param ? 1 : 0));
-    for (const int64_t dim : desc.shape.dims()) {
-      fnv.mix(static_cast<uint64_t>(dim));
+    both(name);
+    both(static_cast<uint64_t>(desc.dtype));
+    both(static_cast<uint64_t>(desc.is_param ? 1 : 0));
+    if (exact != nullptr) {
+      for (const int64_t dim : desc.shape.dims()) {
+        exact->mix(static_cast<uint64_t>(dim));
+      }
+    }
+    if (structural != nullptr) {
+      if (desc.is_param) {
+        for (const int64_t dim : desc.shape.dims()) {
+          structural->mix(static_cast<uint64_t>(dim));
+        }
+      } else {
+        structural->mix(static_cast<uint64_t>(desc.shape.rank()));
+      }
     }
   }
+}
+
+}  // namespace
+
+uint64_t graph_fingerprint(const Graph& model, FingerprintMode mode) {
+  Fnv fnv;
+  if (mode == FingerprintMode::kExact) {
+    mix_graph(model, &fnv, nullptr);
+  } else {
+    mix_graph(model, nullptr, &fnv);
+  }
   return fnv.value();
+}
+
+GraphKeys compute_graph_keys(const Graph& model) {
+  Fnv exact;
+  Fnv structural;
+  mix_graph(model, &exact, &structural);
+  return GraphKeys{exact.value(), structural.value()};
 }
 
 // --- PreparedEngine ----------------------------------------------------------
@@ -119,6 +174,21 @@ PreparedEngine::PreparedEngine(backends::Engine engine_in,
                                mapping::LayerMapping mapping_in)
     : engine(std::move(engine_in)),
       ar(engine.analysis_graph()),
+      oar(ar),
+      mapping(std::move(mapping_in)) {}
+
+PreparedEngine::PreparedEngine(backends::Engine engine_in,
+                               mapping::LayerMapping mapping_in, PreInferredTag)
+    : engine(std::move(engine_in)),
+      ar(engine.shared_analysis_graph(), AnalyzeRepresentation::TrustedGraphTag{}),
+      oar(ar),
+      mapping(std::move(mapping_in)) {}
+
+PreparedEngine::PreparedEngine(backends::Engine engine_in,
+                               mapping::LayerMapping mapping_in,
+                               AnalyzeRepresentation ar_in, PreInferredTag)
+    : engine(std::move(engine_in)),
+      ar(std::move(ar_in)),
       oar(ar),
       mapping(std::move(mapping_in)) {}
 
@@ -139,8 +209,8 @@ struct PlanEntry {
 using PlanKey = std::tuple<uint64_t, std::string, std::string, DType>;
 using EngineKey = std::tuple<uint64_t, std::string, std::string, DType, int64_t>;
 
-bool env_enables_cache() {
-  const char* env = std::getenv("PROOF_PREP_CACHE");
+bool env_flag_enabled(const char* name) {
+  const char* env = std::getenv(name);
   if (env == nullptr) {
     return true;
   }
@@ -148,10 +218,14 @@ bool env_enables_cache() {
            std::strcmp(env, "off") == 0);
 }
 
-/// Default FIFO eviction bound (memory backstop); PROOF_PREP_CACHE_CAP
-/// overrides it at startup, set_capacity() at runtime.
-size_t env_capacity() {
-  const char* env = std::getenv("PROOF_PREP_CACHE_CAP");
+bool env_enables_cache() { return env_flag_enabled("PROOF_PREP_CACHE"); }
+
+/// A/B switch for the shape-polymorphic AnalysisPlan level; off falls back
+/// to the legacy exact-fingerprint plan level (the seed path).
+bool env_enables_plan_cache() { return env_flag_enabled("PROOF_PLAN_CACHE"); }
+
+size_t env_capacity_or(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
   if (env != nullptr && *env != '\0') {
     char* end = nullptr;
     const unsigned long long v = std::strtoull(env, &end, 10);
@@ -159,15 +233,26 @@ size_t env_capacity() {
       return static_cast<size_t>(v);  // 0 = unbounded
     }
   }
-  return 512;
+  return fallback;
+}
+
+/// Default FIFO eviction bound (memory backstop); PROOF_PREP_CACHE_CAP
+/// overrides it at startup, set_capacity() at runtime.
+size_t env_capacity() { return env_capacity_or("PROOF_PREP_CACHE_CAP", 512); }
+
+size_t env_plan_capacity() {
+  return env_capacity_or("PROOF_PLAN_CACHE_CAP", 128);
 }
 
 /// Builds a PreparedEngine, reusing `cached_plan`'s fusion plan + mapping when
-/// provided; fills `*out_plan` (when non-null) for plan-level publication.
+/// provided; fills `*out_plan` (when non-null) for legacy plan-level
+/// publication and `*out_analysis_plan` (when non-null) with the frozen
+/// shape-polymorphic structure phase for AnalysisPlan publication.
 std::shared_ptr<const PreparedEngine> build_prepared(
     const Graph& model, const backends::Backend& backend,
     const hw::PlatformDesc& platform, const backends::BuildConfig& config,
-    const PlanEntry* cached_plan, std::optional<PlanEntry>* out_plan) {
+    const PlanEntry* cached_plan, std::optional<PlanEntry>* out_plan,
+    std::optional<AnalysisPlan>* out_analysis_plan = nullptr) {
   Graph prepared = backends::prepare_model(model, config, platform);
   backends::BuildPlan plan = [&] {
     PROOF_SPAN("prepare.plan");
@@ -196,9 +281,59 @@ std::shared_ptr<const PreparedEngine> build_prepared(
   warm_graph_indices(entry->engine.analysis_graph());
   warm_graph_indices(entry->ar.graph());
 
+  if (out_analysis_plan != nullptr) {
+    *out_analysis_plan =
+        build_analysis_plan(entry->engine, plan, entry->mapping);
+  }
   if (out_plan != nullptr) {
     *out_plan = PlanEntry{std::move(plan), entry->mapping};
   }
+  return entry;
+}
+
+/// Plan-cache hit path: instantiates a frozen AnalysisPlan for one cell.
+/// One graph copy + one shape-inference pass + recipe/mapping replay — no
+/// validation, no fusion planning, no mapping search.  Byte-identical to
+/// build_prepared over the same (model, config).
+std::shared_ptr<const PreparedEngine> instantiate_prepared(
+    const AnalysisPlan& plan, const Graph& model,
+    const hw::PlatformDesc& platform, const backends::BuildConfig& config) {
+  PROOF_SPAN("prepare.instantiate");
+  const std::shared_ptr<const Graph> g = [&] {
+    PROOF_SPAN("instantiate.graph");
+    return std::make_shared<const Graph>(
+        instantiate_plan_graph(plan, model, config));
+  }();
+  // AR first: its per-node evaluations feed the recipe replay, and the
+  // engine shares the same graph — one graph, analyzed once, per cell.
+  // analysis_time_s mirrors build_prepared's accounting (AR/OAR + mapping,
+  // not lowering), so the replay in the middle is excluded.
+  const double t0 = now_s();
+  AnalyzeRepresentation ar = [&] {
+    PROOF_SPAN("instantiate.analysis");
+    return AnalyzeRepresentation(g, AnalyzeRepresentation::TrustedGraphTag{});
+  }();
+  double analysis_s = now_s() - t0;
+  std::vector<backends::BackendLayer> layers = [&] {
+    PROOF_SPAN("instantiate.replay");
+    return replay_plan_layers(plan, *g, platform, &ar.analyses());
+  }();
+  backends::Engine engine(plan.backend_id, g, std::move(layers), config,
+                          plan.stream_policy);
+
+  const double t1 = now_s();
+  auto entry = std::make_shared<PreparedEngine>(
+      std::move(engine), plan.mapping, std::move(ar),
+      PreparedEngine::PreInferredTag{});
+  mapping::apply_mapping(entry->engine, entry->oar, entry->mapping,
+                         &plan.mapping_node_ids);
+  entry->mapping_coverage = plan.mapping_coverage;
+  entry->unmapped_layers = plan.unmapped_layers;
+  entry->analysis_time_s = analysis_s + (now_s() - t1);
+
+  // Engine and AR share one analysis graph here; one warm covers both (and
+  // clone_warm already produced it warm — this is a cheap validity check).
+  warm_graph_indices(entry->engine.analysis_graph());
   return entry;
 }
 
@@ -219,6 +354,15 @@ struct PrepCache::Impl {
       engines;
   std::list<EngineKey> engine_order;  ///< insertion order, for FIFO eviction
   std::map<PlanKey, std::shared_future<std::shared_ptr<const PlanEntry>>> plans;
+
+  // Shape-polymorphic AnalysisPlan level.  Keyed on the *structural*
+  // fingerprint (PlanKey's hash slot holds the structural value here, the
+  // exact value in `plans` above); unused while plan_cache_enabled is false.
+  bool plan_cache_enabled = env_enables_plan_cache();
+  size_t plan_capacity = env_plan_capacity();
+  std::map<PlanKey, std::shared_future<std::shared_ptr<const AnalysisPlan>>>
+      analysis_plans;
+  std::list<PlanKey> plan_order;  ///< insertion order, for FIFO eviction
 };
 
 PrepCache::PrepCache() : impl_(std::make_unique<Impl>()) {}
@@ -236,6 +380,8 @@ void PrepCache::clear() {
   impl_->engines.clear();
   impl_->engine_order.clear();
   impl_->plans.clear();
+  impl_->analysis_plans.clear();
+  impl_->plan_order.clear();
 }
 
 PrepCacheStats PrepCache::stats() const {
@@ -288,17 +434,60 @@ void PrepCache::set_capacity(size_t capacity) {
   }
 }
 
+void PrepCache::set_plan_cache_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->plan_cache_enabled = enabled;
+}
+
+bool PrepCache::plan_cache_enabled() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->plan_cache_enabled;
+}
+
+size_t PrepCache::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->analysis_plans.size();
+}
+
+size_t PrepCache::plan_cache_capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->plan_capacity;
+}
+
+void PrepCache::set_plan_cache_capacity(size_t capacity) {
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->plan_capacity = capacity;
+    while (impl_->plan_capacity != 0 &&
+           impl_->plan_order.size() > impl_->plan_capacity) {
+      const PlanKey victim = impl_->plan_order.front();
+      impl_->plan_order.pop_front();
+      impl_->analysis_plans.erase(victim);
+      ++impl_->stats.plan_cache_evictions;
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    PROOF_COUNT("plan_cache.evictions", evicted);
+  }
+}
+
 std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
     const Graph& model, const backends::Backend& backend,
-    const hw::PlatformDesc& platform, const backends::BuildConfig& config) {
+    const hw::PlatformDesc& platform, const backends::BuildConfig& config,
+    const GraphKeys* keys) {
   if (!enabled()) {
     return prepare_engine(model, backend, platform, config);
   }
 
-  const uint64_t fp = graph_fingerprint(model);
-  const EngineKey ekey{fp, backend.id(), platform.id, config.dtype,
-                       config.batch};
-  const PlanKey pkey{fp, backend.id(), platform.id, config.dtype};
+  const GraphKeys graph_keys =
+      keys != nullptr ? *keys : compute_graph_keys(model);
+  const EngineKey ekey{graph_keys.exact, backend.id(), platform.id,
+                       config.dtype, config.batch};
+  const PlanKey pkey{graph_keys.exact, backend.id(), platform.id, config.dtype};
+  const PlanKey skey{graph_keys.structural, backend.id(), platform.id,
+                     config.dtype};
 
   // Registered under the lock when this call is the builder for its key, so
   // concurrent callers of the same key wait on the winner's in-flight build.
@@ -306,6 +495,13 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
   std::optional<std::promise<std::shared_ptr<const PlanEntry>>> plan_promise;
   std::shared_future<std::shared_ptr<const PlanEntry>> plan_future;
   bool have_plan_future = false;
+
+  // Shape-polymorphic level (used instead of the legacy level when enabled).
+  bool use_plan_cache = false;
+  std::optional<std::promise<std::shared_ptr<const AnalysisPlan>>>
+      aplan_promise;
+  std::shared_future<std::shared_ptr<const AnalysisPlan>> aplan_future;
+  bool have_aplan_future = false;
 
   std::shared_future<std::shared_ptr<const PreparedEngine>> ready;
   bool is_hit = false;
@@ -331,17 +527,57 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
       ready = impl_->engines.emplace(ekey, engine_promise.get_future().share())
                   .first->second;
       impl_->engine_order.push_back(ekey);
-      const auto pit = impl_->plans.find(pkey);
-      if (pit != impl_->plans.end()) {
-        ++impl_->stats.plan_hits;
-        PROOF_COUNT("prep_cache.plan_hits", 1);
-        plan_future = pit->second;
-        have_plan_future = true;
+      use_plan_cache = impl_->plan_cache_enabled;
+      if (use_plan_cache) {
+        // AnalysisPlan level: structural-fingerprint keyed, shared across
+        // batch sizes and decode positions.  Its hits/misses also count into
+        // plan_hits/plan_misses — a plan-cache hit skips the same fusion
+        // planning + mapping search the legacy level skipped.
+        const auto ait = impl_->analysis_plans.find(skey);
+        if (ait != impl_->analysis_plans.end()) {
+          ++impl_->stats.plan_hits;
+          ++impl_->stats.plan_cache_hits;
+          PROOF_COUNT("prep_cache.plan_hits", 1);
+          PROOF_COUNT("plan_cache.hits", 1);
+          aplan_future = ait->second;
+          have_aplan_future = true;
+        } else {
+          ++impl_->stats.plan_misses;
+          ++impl_->stats.plan_cache_misses;
+          PROOF_COUNT("prep_cache.plan_misses", 1);
+          PROOF_COUNT("plan_cache.misses", 1);
+          aplan_promise.emplace();
+          impl_->analysis_plans.emplace(skey,
+                                        aplan_promise->get_future().share());
+          impl_->plan_order.push_back(skey);
+          // FIFO memory backstop; never evict the plan just inserted.
+          while (impl_->plan_capacity != 0 &&
+                 impl_->plan_order.size() > impl_->plan_capacity) {
+            const PlanKey victim = impl_->plan_order.front();
+            impl_->plan_order.pop_front();
+            if (!(victim == skey)) {
+              impl_->analysis_plans.erase(victim);
+              ++impl_->stats.plan_cache_evictions;
+              PROOF_COUNT("plan_cache.evictions", 1);
+            } else {
+              impl_->plan_order.push_back(victim);
+              break;
+            }
+          }
+        }
       } else {
-        ++impl_->stats.plan_misses;
-        PROOF_COUNT("prep_cache.plan_misses", 1);
-        plan_promise.emplace();
-        impl_->plans.emplace(pkey, plan_promise->get_future().share());
+        const auto pit = impl_->plans.find(pkey);
+        if (pit != impl_->plans.end()) {
+          ++impl_->stats.plan_hits;
+          PROOF_COUNT("prep_cache.plan_hits", 1);
+          plan_future = pit->second;
+          have_plan_future = true;
+        } else {
+          ++impl_->stats.plan_misses;
+          PROOF_COUNT("prep_cache.plan_misses", 1);
+          plan_promise.emplace();
+          impl_->plans.emplace(pkey, plan_promise->get_future().share());
+        }
       }
       // FIFO memory backstop; never evict the entry just inserted.
       while (impl_->capacity != 0 &&
@@ -366,15 +602,58 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
 
   // This call is the builder for its key.
   try {
-    const std::shared_ptr<const PlanEntry> plan_entry =
-        have_plan_future ? plan_future.get() : nullptr;
-    std::optional<PlanEntry> built_plan;
-    auto entry =
-        build_prepared(model, backend, platform, config, plan_entry.get(),
-                       plan_promise.has_value() ? &built_plan : nullptr);
-    if (plan_promise.has_value()) {
-      plan_promise->set_value(
-          std::make_shared<const PlanEntry>(std::move(*built_plan)));
+    std::shared_ptr<const PreparedEngine> entry;
+    if (use_plan_cache && have_aplan_future) {
+      // Structural hit: instantiate the frozen plan.  A fingerprint collision
+      // (structurally incompatible graph) or an instantiation error falls
+      // back to a full build without touching the published plan.
+      const std::shared_ptr<const AnalysisPlan> aplan = aplan_future.get();
+      if (plan_compatible(*aplan, model)) {
+        try {
+          entry = instantiate_prepared(*aplan, model, platform, config);
+        } catch (const Error&) {
+          PROOF_COUNT("plan_cache.fallbacks", 1);
+        }
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(impl_->mu);
+          ++impl_->stats.plan_cache_collisions;
+        }
+        PROOF_COUNT("plan_cache.collisions", 1);
+      }
+      if (entry == nullptr) {
+        entry = build_prepared(model, backend, platform, config, nullptr,
+                               nullptr);
+      }
+    } else if (use_plan_cache) {
+      // This call is also the builder for its structural key: run the full
+      // pipeline once and freeze the structure phase for every later cell.
+      const auto t0 = std::chrono::steady_clock::now();
+      std::optional<AnalysisPlan> built_aplan;
+      entry = build_prepared(model, backend, platform, config, nullptr,
+                             nullptr, &built_aplan);
+      aplan_promise->set_value(
+          std::make_shared<const AnalysisPlan>(std::move(*built_aplan)));
+      const uint64_t build_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->stats.plan_cache_build_ns += build_ns;
+      }
+      PROOF_COUNT("plan_cache.build_ns", build_ns);
+    } else {
+      const std::shared_ptr<const PlanEntry> plan_entry =
+          have_plan_future ? plan_future.get() : nullptr;
+      std::optional<PlanEntry> built_plan;
+      entry =
+          build_prepared(model, backend, platform, config, plan_entry.get(),
+                         plan_promise.has_value() ? &built_plan : nullptr);
+      if (plan_promise.has_value()) {
+        plan_promise->set_value(
+            std::make_shared<const PlanEntry>(std::move(*built_plan)));
+      }
     }
     engine_promise.set_value(entry);
     return entry;
@@ -384,6 +663,9 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
     if (plan_promise.has_value()) {
       plan_promise->set_exception(std::current_exception());
     }
+    if (aplan_promise.has_value()) {
+      aplan_promise->set_exception(std::current_exception());
+    }
     engine_promise.set_exception(std::current_exception());
     {
       std::lock_guard<std::mutex> lock(impl_->mu);
@@ -391,6 +673,10 @@ std::shared_ptr<const PreparedEngine> PrepCache::get_or_prepare(
       impl_->engine_order.remove(ekey);
       if (plan_promise.has_value()) {
         impl_->plans.erase(pkey);
+      }
+      if (aplan_promise.has_value()) {
+        impl_->analysis_plans.erase(skey);
+        impl_->plan_order.remove(skey);
       }
     }
     throw;

@@ -26,6 +26,19 @@
 //
 // Disable with PROOF_PREP_CACHE=0 (or set_enabled(false)) to get the
 // build-everything-every-time behaviour; results are identical either way.
+//
+// A third, shape-polymorphic level sits behind the engine level: the
+// AnalysisPlan cache (core/analysis_plan.hpp).  It is keyed on a
+// *shape-erased* structural fingerprint (FingerprintMode::kStructural) that
+// hashes op types / attributes / connectivity but symbolizes batch and
+// sequence dims, so every cell of a sweep grid that differs only in batch or
+// KV position — and every decode-step graph of the same LLM config at a
+// different position — shares one frozen structure phase (fusion partition,
+// lowering recipes, layer mapping, stream policy).  A plan hit replaces the
+// full prepare pipeline with a cheap instantiation: one graph copy, one shape
+// inference pass, closed-form kernel re-evaluation, and a mapping replay.
+// Disable with PROOF_PLAN_CACHE=0 (or set_plan_cache_enabled(false)) for the
+// A/B legacy path; reports are byte-identical either way.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +58,18 @@ namespace proof {
 class PreparedEngine {
  public:
   PreparedEngine(backends::Engine engine_in, mapping::LayerMapping mapping_in);
+
+  /// Tag for the plan-cache instantiation path: the engine's analysis graph
+  /// was produced by instantiating a frozen AnalysisPlan and is already
+  /// validated + shape-inferred, so AR construction skips both.
+  struct PreInferredTag {};
+  PreparedEngine(backends::Engine engine_in, mapping::LayerMapping mapping_in,
+                 PreInferredTag tag);
+
+  /// As above, adopting an AR the instantiation already built (over the
+  /// engine's shared analysis graph) instead of constructing one here.
+  PreparedEngine(backends::Engine engine_in, mapping::LayerMapping mapping_in,
+                 AnalyzeRepresentation ar_in, PreInferredTag tag);
 
   PreparedEngine(const PreparedEngine&) = delete;
   PreparedEngine& operator=(const PreparedEngine&) = delete;
@@ -68,6 +93,16 @@ struct PrepCacheStats {
   size_t plan_misses = 0;
   size_t evictions = 0;      ///< entries dropped by the FIFO memory backstop
 
+  // Shape-polymorphic AnalysisPlan level (structural-fingerprint keyed).
+  // When the plan cache is enabled its hits/misses also count into
+  // plan_hits/plan_misses above — a plan-cache hit skips the same fusion
+  // planning + mapping search the legacy exact-fingerprint level skipped.
+  size_t plan_cache_hits = 0;        ///< frozen plan instantiated per cell
+  size_t plan_cache_misses = 0;      ///< full structure phase built + frozen
+  size_t plan_cache_evictions = 0;   ///< plans dropped by the FIFO backstop
+  size_t plan_cache_collisions = 0;  ///< fingerprint hit, verification failed
+  uint64_t plan_cache_build_ns = 0;  ///< cumulative structure-phase build time
+
   [[nodiscard]] double engine_hit_rate() const {
     const size_t total = engine_hits + engine_misses;
     return total == 0 ? 0.0 : static_cast<double>(engine_hits) / static_cast<double>(total);
@@ -78,10 +113,32 @@ struct PrepCacheStats {
   }
 };
 
-/// Structural fingerprint of a model graph: name, I/O, nodes (names, op
-/// types, attributes) and tensor table (dtype, shape, param flag).  Weights
-/// do not enter profiling and are excluded.
-[[nodiscard]] uint64_t graph_fingerprint(const Graph& model);
+/// How much of a graph a fingerprint keys on.
+enum class FingerprintMode : uint8_t {
+  /// Name, I/O, nodes (names, op types, attributes) and the full tensor
+  /// table (dtype, every dim, param flag).  Keys engine-level entries.
+  kExact,
+  /// Shape-erased: same structure (op types, attributes, connectivity, param
+  /// shapes) but the graph name is dropped and non-param tensors contribute
+  /// only their rank — batch and sequence/position dims are symbolized.
+  /// Every batch size of a model, and every KV position of an LLM decode
+  /// step, map to the same structural fingerprint.  Keys AnalysisPlans.
+  kStructural,
+};
+
+/// Structural fingerprint of a model graph.  Weights do not enter profiling
+/// and are excluded in both modes.
+[[nodiscard]] uint64_t graph_fingerprint(
+    const Graph& model, FingerprintMode mode = FingerprintMode::kExact);
+
+/// Both fingerprints of a model, computed in one traversal.  Sweeps hoist
+/// this out of their inner loops and hand it to Profiler::run / the cache so
+/// per-cell lookups skip re-hashing the (shared, read-only) model graph.
+struct GraphKeys {
+  uint64_t exact = 0;
+  uint64_t structural = 0;
+};
+[[nodiscard]] GraphKeys compute_graph_keys(const Graph& model);
 
 class PrepCache {
  public:
@@ -96,10 +153,13 @@ class PrepCache {
   /// Returns the prepared engine for (model, backend, platform, config),
   /// building at most once per key even under concurrent callers (other
   /// threads wait on the winner's in-flight build).  When the cache is
-  /// disabled every call builds privately and records no stats.
+  /// disabled every call builds privately and records no stats.  `keys`, when
+  /// non-null, supplies precomputed fingerprints (sweeps hoist the hashing
+  /// out of their inner loops); it must describe `model` exactly.
   [[nodiscard]] std::shared_ptr<const PreparedEngine> get_or_prepare(
       const Graph& model, const backends::Backend& backend,
-      const hw::PlatformDesc& platform, const backends::BuildConfig& config);
+      const hw::PlatformDesc& platform, const backends::BuildConfig& config,
+      const GraphKeys* keys = nullptr);
 
   /// Drops every cached entry (stats are kept; use reset_stats()).
   void clear();
@@ -121,6 +181,22 @@ class PrepCache {
   /// entries immediately.
   [[nodiscard]] size_t capacity() const;
   void set_capacity(size_t capacity);
+
+  /// Shape-polymorphic AnalysisPlan level.  Runtime switch; initial value
+  /// comes from PROOF_PLAN_CACHE ("0"/"false"/"off" disables).  Disabling
+  /// falls back to the legacy exact-fingerprint plan level (the seed path)
+  /// without clearing existing entries; results are byte-identical either
+  /// way — this is the A/B mode bench_plan_cache exercises.
+  void set_plan_cache_enabled(bool enabled);
+  [[nodiscard]] bool plan_cache_enabled() const;
+
+  /// Ready AnalysisPlans cached right now.
+  [[nodiscard]] size_t plan_cache_size() const;
+
+  /// FIFO eviction bound on AnalysisPlans (0 = unbounded).  Initial value
+  /// comes from PROOF_PLAN_CACHE_CAP (default 128).
+  [[nodiscard]] size_t plan_cache_capacity() const;
+  void set_plan_cache_capacity(size_t capacity);
 
  private:
   struct Impl;

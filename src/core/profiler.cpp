@@ -31,7 +31,7 @@ ProfileReport Profiler::run_zoo(const std::string& model_id) const {
   return run(models::build_model(model_id));
 }
 
-ProfileReport Profiler::run(const Graph& model) const {
+ProfileReport Profiler::run(const Graph& model, const GraphKeys* keys) const {
   PROOF_SPAN("profiler.run");
   PROOF_COUNT("profiler.runs", 1);
   obs::arm_metrics_dump_at_exit();
@@ -58,7 +58,8 @@ ProfileReport Profiler::run(const Graph& model) const {
   std::shared_ptr<const PreparedEngine> prep;
   {
     PROOF_SPAN("profiler.prepare");
-    prep = PrepCache::instance().get_or_prepare(model, backend, platform, config);
+    prep = PrepCache::instance().get_or_prepare(model, backend, platform,
+                                                config, keys);
   }
   const backends::Engine& engine = prep->engine;
   const AnalyzeRepresentation& ar = prep->ar;

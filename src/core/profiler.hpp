@@ -23,6 +23,8 @@
 
 namespace proof {
 
+struct GraphKeys;  // core/prep_cache.hpp
+
 /// How FLOP / memory metrics are obtained (paper Table 1's last row).
 enum class MetricMode : uint8_t {
   kPredicted,  ///< analytical model (works on every platform, negligible cost)
@@ -102,8 +104,12 @@ class Profiler {
  public:
   explicit Profiler(ProfileOptions options);
 
-  /// Full pipeline on an arbitrary model graph.
-  [[nodiscard]] ProfileReport run(const Graph& model) const;
+  /// Full pipeline on an arbitrary model graph.  `keys`, when non-null,
+  /// supplies the model's precomputed cache fingerprints (see
+  /// compute_graph_keys); sweeps hoist the hashing out of their inner loops
+  /// so per-cell cache lookups skip re-walking the shared model graph.
+  [[nodiscard]] ProfileReport run(const Graph& model,
+                                  const GraphKeys* keys = nullptr) const;
 
   /// Convenience: profile a model-zoo entry by id.
   [[nodiscard]] ProfileReport run_zoo(const std::string& model_id) const;

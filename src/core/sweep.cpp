@@ -1,9 +1,10 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
+#include "core/prep_cache.hpp"
+#include "core/sweep_axis.hpp"
 #include "hw/platform.hpp"
 #include "models/zoo.hpp"
 #include "obs/span.hpp"
@@ -14,18 +15,9 @@
 
 namespace proof {
 
-namespace {
-
-/// Materializes the shared model's lazy lookup indices before a parallel
-/// region so concurrent const lookups are pure reads.
-void warm_indices(const Graph& model) { model.warm_indices(); }
-
-}  // namespace
-
 BatchSweep sweep_batches(const ProfileOptions& base, const Graph& model,
                          std::vector<int64_t> candidates, double knee_tolerance) {
-  const bool explicit_candidates = !candidates.empty();
-  if (!explicit_candidates) {
+  if (candidates.empty()) {
     for (int64_t b = 1; b <= 2048; b *= 2) {
       candidates.push_back(b);
     }
@@ -34,20 +26,15 @@ BatchSweep sweep_batches(const ProfileOptions& base, const Graph& model,
               "knee_tolerance must be in [0, 1)");
 
   // Validate: keep positive batches, first occurrence of each value.
-  std::vector<int64_t> valid;
-  std::set<int64_t> seen;
-  for (const int64_t b : candidates) {
-    if (b > 0 && seen.insert(b).second) {
-      valid.push_back(b);
-    }
-  }
-  if (valid.empty()) {
-    PROOF_CHECK(explicit_candidates, "default batch candidates cannot be empty");
-    throw ConfigError("sweep_batches: no valid batch candidates (need at least "
-                      "one positive batch size)");
-  }
+  sweep_axis::AxisSpec spec;
+  spec.context = "sweep_batches";
+  spec.what = "batch candidates";
+  spec.empty_hint = "need at least one positive batch size";
+  const std::vector<int64_t> valid = sweep_axis::clean_axis(candidates, spec);
 
-  warm_indices(model);
+  sweep_axis::warm_shared_graph(model);
+  // Every cell profiles the same graph; hash it once instead of per cell.
+  const GraphKeys keys = compute_graph_keys(model);
   PROOF_SPAN("sweep.batches");
   PROOF_COUNT("sweep.points", valid.size());
   BatchSweep sweep;
@@ -55,7 +42,7 @@ BatchSweep sweep_batches(const ProfileOptions& base, const Graph& model,
       valid.size(), [&](size_t i) {
         ProfileOptions opt = base;
         opt.batch = valid[i];
-        const ProfileReport r = Profiler(opt).run(model);
+        const ProfileReport r = Profiler(opt).run(model, &keys);
         BatchPoint point;
         point.batch = valid[i];
         point.latency_s = r.total_latency_s;
@@ -164,7 +151,10 @@ ClockSweep sweep_clocks(const ProfileOptions& base, const Graph& model,
               "platform exposes no GPU clock steps to sweep");
   std::sort(gpu_mhz_steps.begin(), gpu_mhz_steps.end());
 
-  warm_indices(model);
+  sweep_axis::warm_shared_graph(model);
+  // Clock changes touch nothing structural (and nothing shape-dependent
+  // either — every cell reuses one cached engine); hash the graph once.
+  const GraphKeys keys = compute_graph_keys(model);
   PROOF_SPAN("sweep.clocks");
   PROOF_COUNT("sweep.points", gpu_mhz_steps.size());
   ClockSweep sweep;
@@ -172,7 +162,7 @@ ClockSweep sweep_clocks(const ProfileOptions& base, const Graph& model,
       gpu_mhz_steps.size(), [&](size_t i) {
         ProfileOptions opt = base;
         opt.clocks.gpu_mhz = gpu_mhz_steps[i];
-        const ProfileReport r = Profiler(opt).run(model);
+        const ProfileReport r = Profiler(opt).run(model, &keys);
         ClockPoint point;
         point.gpu_mhz = gpu_mhz_steps[i];
         point.latency_s = r.total_latency_s;

@@ -101,10 +101,18 @@ struct ClockSweep {
 
 /// §4.6 power-budget search: evaluates the platform's GPU clock steps and
 /// returns the highest clock whose modelled board power stays within
-/// `power_budget_w` (0 = the lowest step when every step busts the budget).
-/// Unlike the paper's serial binary search this evaluates candidate steps
-/// concurrently — same result, one pool fan-out instead of log2(n) round
-/// trips.  The evaluated points are appended to `*sweep_out` when non-null.
+/// `power_budget_w` (when every step busts the budget, the LOWEST step — the
+/// closest the hardware can get to compliance — not 0).  Unlike the paper's
+/// serial binary search this evaluates candidate steps concurrently — same
+/// result, one pool fan-out instead of log2(n) round trips.
+///
+/// Surprise to note: when `sweep_out` is non-null the evaluated points are
+/// APPENDED to `sweep_out->points` — existing points are kept, not replaced,
+/// so callers can accumulate several searches (e.g. per power budget) into
+/// one ClockSweep for a combined table.  `sweep_out->points` therefore ends
+/// up sorted by clock only within each appended segment, and
+/// `sweep_out`'s other fields are never touched.  Pass an empty ClockSweep
+/// for plain capture semantics.  Pinned by SweepClocks.PowerSearchAppendsToSweepOut.
 [[nodiscard]] double search_gpu_clock_under_power(const ProfileOptions& base,
                                                   const Graph& model,
                                                   double power_budget_w,

@@ -434,6 +434,65 @@ void Graph::warm_indices() const {
   }
 }
 
+Graph Graph::clone_warm() const {
+  Graph g;
+  g.name_ = name_;
+  {
+    PROOF_SPAN("graph.clone.nodes");
+    g.nodes_ = nodes_;
+  }
+  {
+    PROOF_SPAN("graph.clone.tensors");
+    g.tensors_ = tensors_;
+  }
+  g.inputs_ = inputs_;
+  g.outputs_ = outputs_;
+  // Eager tables: clone the interner id-for-id and re-point the descriptor
+  // table at the copy's own tensor map (map nodes are address-stable).  Id
+  // preservation holds in every lookup mode — interned ids cached against
+  // the source (plan-cache kernel boundary ids) stay valid in the clone.
+  {
+    PROOF_SPAN("graph.clone.pool");
+    g.names_ = names_.clone();
+  }
+  g.is_output_ = is_output_;
+  {
+    PROOF_SPAN("graph.clone.descs");
+    g.desc_of_.assign(desc_of_.size(), nullptr);
+    for (auto& [tensor_name, desc] : g.tensors_) {
+      g.desc_of_[static_cast<size_t>(g.names_.find(tensor_name))] = &desc;
+    }
+  }
+  if (lookup_mode() != LookupMode::kIndexed) {
+    return g;  // legacy mode has no warm structural index worth preserving
+  }
+  warm_indices();
+  // Lazy index: every id in the source's CSR arrays is valid verbatim in the
+  // copy because the cloned pool preserved the numbering.
+  const Index& src = *index_;
+  Index& dst = *g.index_;
+  dst.node_of_name = src.node_of_name;
+  dst.in_offsets = src.in_offsets;
+  dst.in_ids = src.in_ids;
+  dst.out_offsets = src.out_offsets;
+  dst.out_ids = src.out_ids;
+  dst.op_types = src.op_types.clone();
+  dst.node_op_type = src.node_op_type;
+  dst.type_offsets = src.type_offsets;
+  dst.type_list = src.type_list;
+  dst.producer_of = src.producer_of;
+  dst.consumer_offsets = src.consumer_offsets;
+  dst.consumer_list = src.consumer_list;
+  dst.topo = src.topo;
+  dst.edges_built_once = true;
+  dst.topo_built_once = true;
+  dst.built_mode.store(src.built_mode.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  dst.edges_valid.store(true, std::memory_order_release);
+  dst.topo_valid.store(true, std::memory_order_release);
+  return g;
+}
+
 // --- node / tensor accessors -------------------------------------------------
 
 const Node& Graph::node(NodeId id) const {

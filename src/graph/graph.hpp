@@ -193,6 +193,18 @@ class Graph {
   /// const lookups from concurrent threads are pure reads.
   void warm_indices() const;
 
+  /// Copy that *keeps* the source's warm lookup state instead of resetting
+  /// it: the name pool is deep-cloned id-for-id, the eager tables are
+  /// re-pointed at the copy's own tensor map, and the lazy structural index
+  /// (CSR adjacency, type buckets, topo order) is duplicated already-valid.
+  /// Skips the ~O(names) re-interning and the first-query index rebuild the
+  /// plain copy constructor pays — the win the plan cache's per-cell skeleton
+  /// instantiation is built on.  Safe to call concurrently from readers of a
+  /// warmed graph (all pure reads).  Under LookupMode::kLegacyMaps only the
+  /// eager tables are cloned (there is no warm structural index to keep);
+  /// interned ids are preserved in every mode.
+  [[nodiscard]] Graph clone_warm() const;
+
   /// Monotonic counter bumped on every structural invalidation; lets callers
   /// detect that cached derived state (spans, topo references) went stale.
   [[nodiscard]] uint64_t index_generation() const;

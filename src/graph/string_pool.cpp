@@ -5,31 +5,55 @@
 namespace proof {
 
 int32_t StringPool::intern(std::string_view s) {
-  const auto it = ids_.find(s);
-  if (it != ids_.end()) {
-    return it->second;
+  if (rep_ != nullptr) {
+    const auto it = rep_->ids.find(s);
+    if (it != rep_->ids.end()) {
+      return it->second;
+    }
   }
-  const int32_t id = static_cast<int32_t>(storage_.size());
-  storage_.emplace_back(s);
-  ids_.emplace(std::string_view(storage_.back()), id);
+  detach();
+  const int32_t id = static_cast<int32_t>(rep_->storage.size());
+  rep_->storage.emplace_back(s);
+  rep_->ids.emplace(std::string_view(rep_->storage.back()), id);
   return id;
 }
 
 std::string_view StringPool::view(int32_t id) const {
-  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < storage_.size(),
+  PROOF_CHECK(rep_ != nullptr && id >= 0 &&
+                  static_cast<size_t>(id) < rep_->storage.size(),
               "bad string pool id " << id);
-  return storage_[static_cast<size_t>(id)];
+  return rep_->storage[static_cast<size_t>(id)];
 }
 
 const std::string& StringPool::str(int32_t id) const {
-  PROOF_CHECK(id >= 0 && static_cast<size_t>(id) < storage_.size(),
+  PROOF_CHECK(rep_ != nullptr && id >= 0 &&
+                  static_cast<size_t>(id) < rep_->storage.size(),
               "bad string pool id " << id);
-  return storage_[static_cast<size_t>(id)];
+  return rep_->storage[static_cast<size_t>(id)];
 }
 
-void StringPool::clear() {
-  ids_.clear();
-  storage_.clear();
+StringPool StringPool::clone() const {
+  StringPool copy;
+  copy.rep_ = rep_;
+  return copy;
 }
+
+void StringPool::detach() {
+  if (rep_ != nullptr && rep_.use_count() == 1) {
+    return;
+  }
+  auto fresh = std::make_shared<Rep>();
+  if (rep_ != nullptr) {
+    fresh->storage = rep_->storage;
+    fresh->ids.reserve(fresh->storage.size());
+    for (size_t i = 0; i < fresh->storage.size(); ++i) {
+      fresh->ids.emplace(std::string_view(fresh->storage[i]),
+                         static_cast<int32_t>(i));
+    }
+  }
+  rep_ = std::move(fresh);
+}
+
+void StringPool::clear() { rep_.reset(); }
 
 }  // namespace proof

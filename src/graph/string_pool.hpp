@@ -7,10 +7,19 @@
 // vector indexing.  The pool is append-only: ids stay stable for the
 // lifetime of the pool, which is what lets the Graph's lazy edge indexes be
 // invalidated and rebuilt without renumbering anything eagerly cached.
+//
+// Storage is copy-on-write: clone() shares the interned table (an O(1)
+// shared_ptr copy), and the first intern of a *new* string on a shared pool
+// detaches onto a private deep copy that preserves every id.  Lookups never
+// detach.  This makes cloning a fully interned graph — the plan-cache
+// instantiation hot path, where clones only ever look names up — free, while
+// clones that do grow (graph surgery, quantization rewrites) behave exactly
+// like the old deep copy.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -22,39 +31,57 @@ class StringPool {
   static constexpr int32_t kInvalidId = -1;
 
   StringPool() = default;
-  // Movable but not copyable: the lookup table holds string_views into
-  // storage_, which a memberwise copy would leave dangling.  Owners that
-  // need copy semantics (Graph) rebuild a fresh pool instead.
+  // Movable but not copyable: copy semantics are spelled clone() so sharing
+  // is always explicit at the call site.
   StringPool(StringPool&&) noexcept = default;
   StringPool& operator=(StringPool&&) noexcept = default;
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
 
   /// Id of `s`, interning it when absent.  Ids are dense and start at 0.
+  /// Interning a new string into a shared pool detaches (id-preserving deep
+  /// copy) first; interning an existing string never detaches.
   int32_t intern(std::string_view s);
 
   /// Id of `s`, or kInvalidId when it has never been interned.
   [[nodiscard]] int32_t find(std::string_view s) const {
-    const auto it = ids_.find(s);
-    return it == ids_.end() ? kInvalidId : it->second;
+    if (rep_ == nullptr) {
+      return kInvalidId;
+    }
+    const auto it = rep_->ids.find(s);
+    return it == rep_->ids.end() ? kInvalidId : it->second;
   }
 
   /// The string behind an id; throws proof::Error on out-of-range ids.
   [[nodiscard]] std::string_view view(int32_t id) const;
   [[nodiscard]] const std::string& str(int32_t id) const;
 
-  [[nodiscard]] size_t size() const { return storage_.size(); }
+  /// Id-preserving copy.  O(1): the interned table is shared with this pool
+  /// until either side interns a new string (copy-on-write).
+  [[nodiscard]] StringPool clone() const;
+
+  [[nodiscard]] size_t size() const {
+    return rep_ == nullptr ? 0 : rep_->storage.size();
+  }
   [[nodiscard]] bool contains(std::string_view s) const {
-    return ids_.find(s) != ids_.end();
+    return find(s) != kInvalidId;
   }
 
   void clear();
 
  private:
-  // deque: element addresses are stable across growth, so the string_view
-  // keys in ids_ stay valid as new strings are appended.
-  std::deque<std::string> storage_;
-  std::unordered_map<std::string_view, int32_t> ids_;
+  struct Rep {
+    // deque: element addresses are stable across growth, so the string_view
+    // keys in ids stay valid as new strings are appended.
+    std::deque<std::string> storage;
+    std::unordered_map<std::string_view, int32_t> ids;
+  };
+
+  /// Ensures rep_ is non-null and uniquely owned, deep-copying a shared rep
+  /// with every id preserved (storage order *is* the id order).
+  void detach();
+
+  std::shared_ptr<Rep> rep_;
 };
 
 }  // namespace proof

@@ -225,7 +225,8 @@ LayerMapping map_layers(const backends::Engine& engine,
 
 void apply_mapping(const backends::Engine& engine,
                    OptimizedAnalyzeRepresentation& oar,
-                   const LayerMapping& mapping) {
+                   const LayerMapping& mapping,
+                   const std::vector<std::vector<NodeId>>* member_ids) {
   PROOF_SPAN("mapping.apply");
   const Graph& g = oar.base().graph();
   if (mapping.entries.size() != engine.layers().size()) {
@@ -233,10 +234,12 @@ void apply_mapping(const backends::Engine& engine,
                      std::to_string(mapping.entries.size()) + " entries but engine has " +
                      std::to_string(engine.layers().size()) + " layers");
   }
+  PROOF_CHECK(member_ids == nullptr || member_ids->size() == mapping.entries.size(),
+              "apply_mapping: member_ids/entry count mismatch");
   for (size_t i = 0; i < mapping.entries.size(); ++i) {
     const LayerMapEntry& entry = mapping.entries[i];
     const backends::BackendLayer& layer = engine.layers()[i];
-    if (entry.backend_layer != layer.name) {
+    if (member_ids == nullptr && entry.backend_layer != layer.name) {
       throw ModelError("apply_mapping: layer " + std::to_string(i) + " is '" +
                        layer.name + "' but mapping expects '" +
                        entry.backend_layer + "'");
@@ -251,6 +254,12 @@ void apply_mapping(const backends::Engine& engine,
     }
     if (entry.model_nodes.empty()) {
       continue;  // was unmapped; stays unmapped
+    }
+    if (member_ids != nullptr) {
+      // Ids pre-resolved from these entries at plan-build time against the
+      // same node numbering; the lookups below would reproduce them exactly.
+      oar.set_fused_op(layer.name, (*member_ids)[i]);
+      continue;
     }
     std::vector<NodeId> members;
     members.reserve(entry.model_nodes.size());

@@ -61,11 +61,22 @@ struct LayerMapping {
 /// same alias registrations and `_FusedOp` groups without re-running the
 /// mapping search.  Valid whenever `engine` has the same layer structure the
 /// mapping was computed from — in particular any batch size of the same
-/// (model, backend, platform, dtype) build, which is what the preparation
-/// cache exploits.  Throws ModelError when the layer lists do not line up.
+/// (model, backend, platform, dtype) build (the legacy prep-cache plan
+/// level), and any engine instantiated from a frozen AnalysisPlan, where the
+/// layer list is replayed from recipes and therefore structurally identical
+/// by construction (core/analysis_plan.hpp).  Throws ModelError when the
+/// layer lists do not line up.
+///
+/// `member_ids` (optional) is a plan-derived shortcut: per-entry model node
+/// ids pre-resolved against a graph with identical node numbering (every
+/// clone_warm of the plan skeleton qualifies).  When given, the per-name
+/// find_node lookups and the name cross-checks are skipped — the ids were
+/// resolved from exactly these entries' names at plan-build time, so the
+/// applied fused-op groups are identical by construction.
 void apply_mapping(const backends::Engine& engine,
                    OptimizedAnalyzeRepresentation& oar,
-                   const LayerMapping& mapping);
+                   const LayerMapping& mapping,
+                   const std::vector<std::vector<NodeId>>* member_ids = nullptr);
 
 /// Test/diagnostic helper: compares a mapping against the engine's ground
 /// truth.  Returns the number of layers whose node set differs.

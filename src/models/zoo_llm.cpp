@@ -14,6 +14,17 @@
 // performs: the caches enter as graph inputs, the appended K/V tensors are
 // graph outputs (cache write-back), and the attention matmuls read the full
 // concatenated sequence.
+//
+// Position-parameterized fingerprint contract: build_llm_decode_step(P) must
+// keep the decode position OUT of everything the shape-erased structural
+// fingerprint hashes — P appears only in the graph name
+// ("<id>_decode_p<P>", dropped by FingerprintMode::kStructural) and in the
+// past_k_/past_v_ *input* tensor dims (rank-erased for non-params).  Node
+// names, op types, attrs (reshape targets use t=1, never P) and param shapes
+// are position-independent, so every position of a decode sweep maps to one
+// structural fingerprint and shares one AnalysisPlan (core/analysis_plan.hpp).
+// Keep it that way: baking P into a node name, an attr, or a param shape
+// silently turns the sweep-decode inner loop back into full rebuilds.
 #include <string>
 #include <vector>
 

@@ -6,6 +6,7 @@
 
 #include "analysis/quantize.hpp"
 #include "backends/backend.hpp"
+#include "core/prep_cache.hpp"
 #include "hw/platform.hpp"
 #include "models/zoo.hpp"
 #include "report/table.hpp"
@@ -58,7 +59,7 @@ class ProfilingVariantSource final : public VariantSource {
   /// Profiles the incumbent configuration (memoized until an acceptance).
   const ProfileReport& incumbent_report() {
     if (!report_) {
-      report_ = Profiler(options_).run(graph_);
+      report_ = Profiler(options_).run(graph_, incumbent_keys());
     }
     return *report_;
   }
@@ -95,8 +96,11 @@ class ProfilingVariantSource final : public VariantSource {
       }
     }
     // The round measures concurrently against the shared incumbent graph;
-    // materialize its lazy indices while still single-threaded.
+    // materialize its lazy indices and cache fingerprints while still
+    // single-threaded (batch/clock/backend-knob variants all profile this
+    // same graph, so one hash serves the whole round).
     graph_.warm_indices();
+    (void)incumbent_keys();
     return fresh;
   }
 
@@ -128,7 +132,10 @@ class ProfilingVariantSource final : public VariantSource {
           (void)quantize_to_qdq(quantized);
           return Profiler(opt).run(quantized);
         }
-        return Profiler(opt).run(graph_);
+        // `_mod`-substitute and quantize variants above profile rewritten
+        // graphs whose structural fingerprints correctly diverge from the
+        // incumbent's; only the unmodified-graph knob variants reuse its keys.
+        return Profiler(opt).run(graph_, keys_ ? &*keys_ : nullptr);
       }();
       return measurement_from(report, opt_.objective, opt_.power_budget_w);
     } catch (const Error& e) {
@@ -149,10 +156,12 @@ class ProfilingVariantSource final : public VariantSource {
       if (quantized_) {
         (void)quantize_to_qdq(graph_);
       }
+      keys_.reset();  // the incumbent graph's structure changed
     }
     if (variant.quantize) {
       quantized_ = true;
       (void)quantize_to_qdq(graph_);
+      keys_.reset();
     }
     if (variant.batch) {
       options_.batch = *variant.batch;
@@ -182,6 +191,17 @@ class ProfilingVariantSource final : public VariantSource {
   bool quantized_ = false;
   std::set<std::string> tried_;  ///< every id ever proposed (no re-proposal)
   std::optional<ProfileReport> report_;
+  /// Memoized cache fingerprints of graph_ (reset whenever graph_ is
+  /// rebuilt or rewritten).  NOT thread-safe to fill lazily from measure();
+  /// propose() materializes it while the loop is still single-threaded.
+  std::optional<GraphKeys> keys_;
+
+  const GraphKeys* incumbent_keys() {
+    if (!keys_) {
+      keys_ = compute_graph_keys(graph_);
+    }
+    return &*keys_;
+  }
 };
 
 OptimizeResult run_optimize(std::string model_id, Graph graph,

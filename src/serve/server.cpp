@@ -283,6 +283,20 @@ std::string Server::stats_json() const {
       << ",\"plan_hit_rate\":" << c.plan_hit_rate()
       << ",\"evictions\":" << c.evictions << "}";
 
+  // Shape-polymorphic AnalysisPlan level (structural-fingerprint keyed);
+  // entries are shared by every batch size / decode position of a model, so
+  // hits here are whole prepare pipelines replaced by cheap instantiations.
+  out << ",\"plan_cache\":{"
+      << "\"enabled\":"
+      << (PrepCache::instance().plan_cache_enabled() ? "true" : "false")
+      << ",\"entries\":" << PrepCache::instance().plan_cache_size()
+      << ",\"capacity\":" << PrepCache::instance().plan_cache_capacity()
+      << ",\"hits\":" << c.plan_cache_hits
+      << ",\"misses\":" << c.plan_cache_misses
+      << ",\"evictions\":" << c.plan_cache_evictions
+      << ",\"collisions\":" << c.plan_cache_collisions
+      << ",\"build_ns\":" << c.plan_cache_build_ns << "}";
+
   out << ",\"model_pool\":{\"models\":" << models_.size() << "}";
 
   // The full observability snapshot (already a JSON object; spliced raw).

@@ -96,12 +96,13 @@ TEST(AnalyzeRepresentation, PerNodeAndTotals) {
   EXPECT_GT(ar.param_count(), 0);
 }
 
-TEST(AnalyzeRepresentation, RefreshTracksBatchChange) {
-  AnalyzeRepresentation ar(proof::testing::small_cnn());
+TEST(AnalyzeRepresentation, AnalysisTracksBatchChange) {
+  const AnalyzeRepresentation ar(proof::testing::small_cnn());
   const double flops1 = ar.total_flops();
-  set_batch_size(ar.mutable_graph(), 4);
-  ar.refresh();
-  EXPECT_NEAR(ar.total_flops(), 4.0 * flops1, 1e-6 * flops1 * 4);
+  Graph g4 = proof::testing::small_cnn();
+  set_batch_size(g4, 4);
+  const AnalyzeRepresentation ar4(std::move(g4));
+  EXPECT_NEAR(ar4.total_flops(), 4.0 * flops1, 1e-6 * flops1 * 4);
 }
 
 TEST(AnalyzeRepresentation, MemoryScalesWithBatchParamsDoNot) {

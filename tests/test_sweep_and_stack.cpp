@@ -53,6 +53,42 @@ TEST(BatchSweep, RejectsBadTolerance) {
   EXPECT_THROW((void)sweep_batches(a100_opts(), model, {1}, 1.5), Error);
 }
 
+TEST(SweepClocks, PowerSearchAppendsToSweepOut) {
+  // Pins the documented capture semantics (core/sweep.hpp): the evaluated
+  // points are APPENDED to sweep_out->points, never replacing existing ones,
+  // so successive searches accumulate into one combined table.
+  ProfileOptions opt = a100_opts();
+  opt.batch = 1;
+  const Graph model = models::build_model("mobilenetv2_05");
+
+  ClockSweep out;
+  ClockPoint sentinel;
+  sentinel.gpu_mhz = -1.0;  // impossible clock: unambiguously pre-existing
+  sentinel.latency_s = 42.0;
+  out.points.push_back(sentinel);
+
+  const double generous = search_gpu_clock_under_power(opt, model, 1e9, &out);
+  ASSERT_GT(out.points.size(), 1u);
+  EXPECT_EQ(out.points.front().gpu_mhz, -1.0);       // sentinel kept
+  EXPECT_EQ(out.points.front().latency_s, 42.0);
+  const size_t segment = out.points.size() - 1;      // appended steps
+  // The appended segment is sorted ascending by clock; a budget no step can
+  // bust selects the highest step.
+  for (size_t i = 2; i < out.points.size(); ++i) {
+    EXPECT_GT(out.points[i].gpu_mhz, out.points[i - 1].gpu_mhz);
+  }
+  EXPECT_EQ(generous, out.points.back().gpu_mhz);
+
+  // A second search accumulates a whole new segment after the first.
+  const double strict = search_gpu_clock_under_power(opt, model, 1e-3, &out);
+  EXPECT_EQ(out.points.size(), 1 + 2 * segment);
+  EXPECT_EQ(out.points.front().gpu_mhz, -1.0);       // still kept
+  // Every step busts a 1 mW budget: the LOWEST step is returned (the closest
+  // the hardware gets to compliance), which is the new segment's first point.
+  EXPECT_EQ(strict, out.points[1 + segment].gpu_mhz);
+  EXPECT_EQ(strict, out.points[1].gpu_mhz);          // segments agree
+}
+
 TEST(ZooSweep, UnknownModelRecordedAsErrorNotThrown) {
   // Per the header contract, per-model failures (including unknown ids) land
   // in point.error instead of aborting the whole sweep.
